@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-fig", "14", "-runs", "1", "-edges", "5", "-horizon", "20"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Fig14", "Algorithm1", "Algorithm2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFigureWithSimulation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-fig", "3", "-runs", "1", "-edges", "3", "-horizon", "30"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Fig3") {
+		t.Errorf("missing Fig3 header:\n%s", out.String())
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.txt")
+	var out strings.Builder
+	err := run([]string{"-fig", "14", "-runs", "1", "-edges", "3", "-horizon", "10", "-out", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read output file: %v", err)
+	}
+	if string(data) != out.String() {
+		t.Error("file content differs from stdout")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-ablation", "stepsizes", "-runs", "1", "-edges", "3", "-horizon", "30"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "AblStepSizes") {
+		t.Errorf("missing ablation header:\n%s", out.String())
+	}
+	if err := run([]string{"-ablation", "nope"}, &out); err == nil {
+		t.Error("expected error for unknown ablation")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "2"}, &out); err == nil {
+		t.Error("expected error for unknown figure")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+	if err := run([]string{"-fig", "14", "-out", "/nonexistent-dir/x.txt"}, &out); err == nil {
+		t.Error("expected error for unwritable output path")
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-edges", "0"}, &out); err == nil {
+		t.Error("expected error for zero edges")
+	}
+	if err := run([]string{"-horizon", "0"}, &out); err == nil {
+		t.Error("expected error for zero horizon")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+	if err := run([]string{"-listen", "999.999.999.999:0", "-train", "50", "-epochs", "1"}, &out); err == nil {
+		t.Error("expected error for bad listen address")
+	}
+}

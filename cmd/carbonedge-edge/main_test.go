@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-id", "-1"}, &out); err == nil {
+		t.Error("expected error for negative id")
+	}
+	if err := run([]string{"-pool", "0"}, &out); err == nil {
+		t.Error("expected error for zero pool")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+	// Nothing is listening on this port.
+	if err := run([]string{"-connect", "127.0.0.1:1", "-pool", "5"}, &out); err == nil {
+		t.Error("expected connection error")
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultSmall(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-edges", "3", "-horizon", "40", "-seed", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"scenario:", "Ours", "Offline", "UCB-LY", "total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSingleCombo(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-edges", "2", "-horizon", "30", "-combo", "Ours"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Ours") || !strings.Contains(got, "Offline") {
+		t.Errorf("output missing schemes:\n%s", got)
+	}
+	if strings.Contains(got, "UCB-LY") {
+		t.Errorf("single-combo run should not include baselines:\n%s", got)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-edges", "2", "-horizon", "30",
+		"-cap", "7", "-rate", "900", "-switch-weight", "3", "-combo", "Ours",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "cap=7") || !strings.Contains(got, "rate=900") {
+		t.Errorf("overrides not reflected:\n%s", got)
+	}
+}
+
+func TestRunTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	// Export the traces of a small scenario...
+	err := run([]string{
+		"-edges", "3", "-horizon", "25", "-combo", "Ours",
+		"-export-traces", dir,
+	}, &out)
+	if err != nil {
+		t.Fatalf("export run: %v", err)
+	}
+	// ...then feed them back in; the scenario dimensions must come from the
+	// traces.
+	out.Reset()
+	err = run([]string{
+		"-edges", "99", "-horizon", "99", "-combo", "Ours",
+		"-workload-csv", filepath.Join(dir, "workload.csv"),
+		"-prices-csv", filepath.Join(dir, "prices.csv"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("import run: %v", err)
+	}
+	if !strings.Contains(out.String(), "3 edges, 25 slots") {
+		t.Errorf("trace dimensions not honored:\n%s", out.String())
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out strings.Builder
+	err := run([]string{"-edges", "2", "-horizon", "20", "-combo", "Ours", "-json", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "Ours"`, `"name": "Offline"`, `"cumTotal"`, `"fit"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("json missing %q", want)
+		}
+	}
+	if err := run([]string{"-edges", "2", "-horizon", "10", "-json", "/nonexistent-dir/x.json", "-combo", "Ours"}, &out); err == nil {
+		t.Error("expected error for unwritable json path")
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-workload-csv", "/nonexistent.csv"}, &out); err == nil {
+		t.Error("expected error for missing workload csv")
+	}
+	if err := run([]string{"-prices-csv", "/nonexistent.csv"}, &out); err == nil {
+		t.Error("expected error for missing price csv")
+	}
+	if err := run([]string{"-edges", "2", "-horizon", "10", "-export-traces", "/proc/forbidden/x"}, &out); err == nil {
+		t.Error("expected error for unwritable export dir")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-combo", "NoSuch"}, &out); err == nil {
+		t.Error("expected error for unknown combo")
+	}
+	if err := run([]string{"-zoo", "nope"}, &out); err == nil {
+		t.Error("expected error for unknown zoo")
+	}
+	if err := run([]string{"-edges", "0"}, &out); err == nil {
+		t.Error("expected error for zero edges")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

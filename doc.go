@@ -1,0 +1,12 @@
+// Package carbonedge is a from-scratch Go implementation of
+// "Carbon-Neutralizing Edge AI Inference for Data Streams via Model Control
+// and Allowance Trading" (ICDCS 2025): switching-aware bandit model
+// selection (Algorithm 1) joined with online primal-dual carbon-allowance
+// trading (Algorithm 2), plus every substrate the paper's evaluation needs —
+// a pure-Go neural-network stack, synthetic data streams, a diurnal workload
+// generator, a carbon spot market, and a cloud-edge topology.
+//
+// The implementation lives under internal/; the runnable surfaces are the
+// commands in cmd/ (carbonsim, benchgen), the examples/ programs, and the
+// benchmarks in bench_test.go, which regenerate the paper's Figures 3-14.
+package carbonedge

@@ -1,0 +1,79 @@
+// Citywide simulates the paper's largest deployment: 50 edges co-located
+// with base stations across a metropolitan region, a two-day horizon of
+// 15-minute slots, and the full cross product of model-selection and
+// carbon-trading schemes. It prints the Fig. 4-style comparison for one
+// system scale.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "citywide:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const edges = 50
+	cfg := sim.DefaultConfig(edges)
+	cfg.Seed = 7
+	// The allowance cap scales with the fleet so the trading subproblem
+	// keeps its character at city scale.
+	cfg.InitialCap *= float64(edges) / 10
+
+	zoo, err := models.DefaultSurrogateZoo(numeric.SplitRNG(cfg.Seed, "zoo"))
+	if err != nil {
+		return err
+	}
+	scenario, err := sim.NewScenario(cfg, zoo)
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		name  string
+		total float64
+		fit   float64
+		acc   float64
+	}
+	var rows []row
+	for _, combo := range sim.Combos() {
+		res, err := sim.Run(scenario, combo.Name, combo.Policy, combo.Trader)
+		if err != nil {
+			return fmt.Errorf("run %s: %w", combo.Name, err)
+		}
+		rows = append(rows, row{combo.Name, res.Cost.Total(), res.Fit, res.OverallAccuracy})
+	}
+	off, err := sim.Offline(scenario)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, row{"Offline", off.Cost.Total(), off.Fit, off.OverallAccuracy})
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total < rows[j].total })
+	fmt.Printf("citywide deployment: %d edges, %d slots, cap %.1f g\n\n",
+		cfg.Edges, cfg.Horizon, cfg.InitialCap)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tscheme\ttotal cost\tvs Ours\tfit (g)\taccuracy")
+	var oursTotal float64
+	for _, r := range rows {
+		if r.name == "Ours" {
+			oursTotal = r.total
+		}
+	}
+	for i, r := range rows {
+		rel := (r.total/oursTotal - 1) * 100
+		fmt.Fprintf(tw, "%d\t%s\t%.1f\t%+.1f%%\t%.3f\t%.3f\n", i+1, r.name, r.total, rel, r.fit, r.acc)
+	}
+	return tw.Flush()
+}

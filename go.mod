@@ -1,0 +1,3 @@
+module github.com/carbonedge/carbonedge
+
+go 1.22

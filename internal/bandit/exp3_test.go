@@ -1,0 +1,198 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEXP3ConstructorErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewEXP3(0, 0.1, 1, rng); err == nil {
+		t.Error("expected error for zero arms")
+	}
+	if _, err := NewEXP3(3, 0, 1, rng); err == nil {
+		t.Error("expected error for gamma = 0")
+	}
+	if _, err := NewEXP3(3, 1.5, 1, rng); err == nil {
+		t.Error("expected error for gamma > 1")
+	}
+	if _, err := NewEXP3(3, 0.1, 0, rng); err == nil {
+		t.Error("expected error for zero loss scale")
+	}
+}
+
+func TestEXP3ConvergesToBestArm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	means := []float64{0.7, 0.2, 0.6, 0.8}
+	e, err := NewEXP3(len(means), 0.07, 1.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 30000
+	_, _, pulls := runStochastic(t, e, means, 0.1, horizon, rng)
+	frac := float64(pulls[1]) / horizon
+	if frac < 0.55 {
+		t.Errorf("best-arm fraction = %v (pulls=%v)", frac, pulls)
+	}
+	if got := e.Selections(); got[1] != pulls[1] {
+		t.Error("selection accounting mismatch")
+	}
+}
+
+func TestEXP3ExploresAllArms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e, err := NewEXP3(4, 0.2, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStochastic(t, e, []float64{0.1, 0.9, 0.9, 0.9}, 0.05, 5000, rng)
+	for i, c := range e.Selections() {
+		// gamma/n uniform mixing guarantees every arm gets ~gamma/n share.
+		if c < 5000/4/20 {
+			t.Errorf("arm %d starved: %d pulls", i, c)
+		}
+	}
+}
+
+func TestEXP3ProtocolEnforced(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e, err := NewEXP3(2, 0.1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SelectArm()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double SelectArm must panic")
+			}
+		}()
+		e.SelectArm()
+	}()
+	e.Update(0.5)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Update without SelectArm must panic")
+			}
+		}()
+		e.Update(0.5)
+	}()
+}
+
+func TestEXP3WeightsStayFinite(t *testing.T) {
+	// A long run with extreme losses must not overflow the weights.
+	rng := rand.New(rand.NewSource(5))
+	e, err := NewEXP3(3, 0.3, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		arm := e.SelectArm()
+		loss := 0.0
+		if arm != 0 {
+			loss = 100 // clamped to scale
+		}
+		e.Update(loss)
+	}
+	for i, w := range e.weights {
+		if math.IsInf(w, 0) || math.IsNaN(w) || w <= 0 {
+			t.Fatalf("weight[%d] = %v", i, w)
+		}
+	}
+	if e.Switches() <= 0 {
+		t.Error("switch counter never moved")
+	}
+}
+
+func TestEpsilonGreedyConstructorErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewEpsilonGreedy(0, 0.1, rng); err == nil {
+		t.Error("expected error for zero arms")
+	}
+	if _, err := NewEpsilonGreedy(3, -0.1, rng); err == nil {
+		t.Error("expected error for negative epsilon")
+	}
+	if _, err := NewEpsilonGreedy(3, 1.1, rng); err == nil {
+		t.Error("expected error for epsilon > 1")
+	}
+}
+
+func TestEpsilonGreedyTriesAllArmsFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, err := NewEpsilonGreedy(5, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 5; i++ {
+		arm := e.SelectArm()
+		if seen[arm] {
+			t.Fatalf("arm %d repeated during initialization", arm)
+		}
+		seen[arm] = true
+		e.Update(0.5)
+	}
+}
+
+func TestEpsilonGreedyConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	means := []float64{0.9, 0.3, 0.7}
+	e, err := NewEpsilonGreedy(len(means), 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 20000
+	_, _, pulls := runStochastic(t, e, means, 0.1, horizon, rng)
+	if frac := float64(pulls[1]) / horizon; frac < 0.85 {
+		t.Errorf("best-arm fraction = %v", frac)
+	}
+}
+
+func TestEpsilonGreedyZeroEpsilonPureExploit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e, err := NewEpsilonGreedy(3, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After initialization with deterministic losses, epsilon=0 always
+	// plays the best arm.
+	losses := []float64{0.9, 0.1, 0.5}
+	for i := 0; i < 3; i++ {
+		arm := e.SelectArm()
+		e.Update(losses[arm])
+	}
+	for i := 0; i < 100; i++ {
+		if arm := e.SelectArm(); arm != 1 {
+			t.Fatalf("epsilon=0 played arm %d", arm)
+		}
+		e.Update(0.1)
+	}
+}
+
+func TestEpsilonGreedyProtocolEnforced(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e, err := NewEpsilonGreedy(2, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SelectArm()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double SelectArm must panic")
+			}
+		}()
+		e.SelectArm()
+	}()
+	e.Update(0.5)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Update without SelectArm must panic")
+			}
+		}()
+		e.Update(0.5)
+	}()
+}

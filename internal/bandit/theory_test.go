@@ -1,0 +1,95 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Empirical verification of Theorem 1: the regret-plus-switching-cost of
+// Algorithm 1 grows sub-linearly in T. We estimate the growth exponent by
+// regressing log(regret) on log(T) across a geometric horizon sweep and
+// require it to be clearly below 1 (linear growth).
+
+// regretPlusSwitching plays the policy against Gaussian arms and returns
+// regret against the best fixed arm plus u * switches.
+func regretPlusSwitching(t *testing.T, horizon int, u float64, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	means := []float64{0.55, 0.3, 0.6, 0.45, 0.7, 0.5}
+	b, err := NewBlockedTsallisINF(len(means), u, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, switches, _ := runStochastic(t, b, means, 0.2, horizon, rng)
+	best := 0.3
+	return (total - best*float64(horizon)) + u*float64(switches)
+}
+
+func TestTheorem1SublinearGrowthExponent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long horizon sweep")
+	}
+	horizons := []int{2000, 4000, 8000, 16000, 32000}
+	const (
+		u     = 1.0
+		seeds = 3
+	)
+	var logT, logR []float64
+	for _, h := range horizons {
+		sum := 0.0
+		for s := int64(0); s < seeds; s++ {
+			sum += regretPlusSwitching(t, h, u, 100+s)
+		}
+		avg := sum / seeds
+		if avg <= 0 {
+			avg = 1 // regret can dip around zero at small T; guard the log
+		}
+		logT = append(logT, math.Log(float64(h)))
+		logR = append(logR, math.Log(avg))
+	}
+	slope := regressSlope(logT, logR)
+	t.Logf("empirical regret growth exponent: %.3f (Theorem 1 predicts ~1/3 for the leading term)", slope)
+	if slope > 0.85 {
+		t.Errorf("regret growth exponent %.3f looks linear", slope)
+	}
+}
+
+func TestTheorem1SwitchesGrowSublinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long horizon sweep")
+	}
+	// The number of switches is bounded by the number of blocks K ~
+	// N^{1/3} (T/u)^{2/3}; estimate the exponent of switches vs T.
+	horizons := []int{2000, 8000, 32000}
+	var logT, logS []float64
+	for _, h := range horizons {
+		rng := rand.New(rand.NewSource(7))
+		means := []float64{0.55, 0.3, 0.6, 0.45, 0.7, 0.5}
+		b, err := NewBlockedTsallisINF(len(means), 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, switches, _ := runStochastic(t, b, means, 0.2, h, rng)
+		logT = append(logT, math.Log(float64(h)))
+		logS = append(logS, math.Log(float64(switches)))
+	}
+	slope := regressSlope(logT, logS)
+	t.Logf("empirical switch growth exponent: %.3f (block bound predicts <= 2/3)", slope)
+	if slope > 0.8 {
+		t.Errorf("switch count grows with exponent %.3f, want <= ~2/3", slope)
+	}
+}
+
+// regressSlope returns the least-squares slope of y on x.
+func regressSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

@@ -1,0 +1,239 @@
+// Package core assembles the paper's full online framework — per-edge
+// switching-aware bandit model selection (Algorithm 1) plus online
+// primal-dual carbon-allowance trading (Algorithm 2) — behind a single
+// Controller with a strict per-slot protocol, so that a downstream system
+// can drive real inference traffic through it without touching the
+// algorithm internals.
+//
+// Per time slot the caller:
+//
+//  1. calls SelectModels to obtain the model placement x_{i,n}^t (one model
+//     per edge; compare with the previous slot to know which edges must
+//     download, i.e. y_i^t),
+//  2. calls DecideTrade to obtain the allowance purchase/sale (z^t, w^t),
+//  3. runs inference, measures per-edge average losses and the slot's total
+//     carbon emission, and
+//  4. calls CompleteSlot to feed the observations back.
+//
+// The controller enforces this ordering and is deterministic given its seed.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/carbonedge/carbonedge/internal/bandit"
+	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/trading"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// NumModels is N, the size of the cloud's model set.
+	NumModels int
+	// DownloadCosts holds u_i for each edge (defines the number of edges).
+	DownloadCosts []float64
+	// Horizon is T, the number of slots the controller will run.
+	Horizon int
+	// InitialCap is the allowance cap R.
+	InitialCap float64
+	// EmissionScale is the expected per-slot system emission, used to scale
+	// Algorithm 2's step sizes; PriceScale is the expected allowance price
+	// magnitude. Zero values default to 1.
+	EmissionScale float64
+	PriceScale    float64
+	// Seed drives all sampling.
+	Seed int64
+	// PredictivePricing enables the future-work extension: Algorithm 2's
+	// primal step is driven by an online AR(1) price forecast instead of
+	// the last observed price.
+	PredictivePricing bool
+	// SellRatio is the market's r/c ratio, needed by predictive pricing
+	// (0 defaults to 0.9).
+	SellRatio float64
+}
+
+// phase tracks the per-slot protocol position.
+type phase int
+
+const (
+	phaseSelect phase = iota + 1
+	phaseTrade
+	phaseComplete
+)
+
+// Controller is the paper's joint online algorithm.
+type Controller struct {
+	cfg      Config
+	policies []*bandit.BlockedTsallisINF
+	trader   trading.Trader
+	lambda   func() float64
+
+	slot    int
+	state   phase
+	current []int
+	prev    []int
+	trade   trading.Decision
+	quote   trading.Quote
+}
+
+// New creates a Controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.NumModels <= 0 {
+		return nil, fmt.Errorf("core: NumModels must be positive, got %d", cfg.NumModels)
+	}
+	if len(cfg.DownloadCosts) == 0 {
+		return nil, fmt.Errorf("core: need at least one edge")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("core: Horizon must be positive, got %d", cfg.Horizon)
+	}
+	if cfg.InitialCap < 0 {
+		return nil, fmt.Errorf("core: negative InitialCap %g", cfg.InitialCap)
+	}
+	if cfg.EmissionScale < 0 || cfg.PriceScale < 0 {
+		return nil, fmt.Errorf("core: negative scale hints")
+	}
+	if cfg.EmissionScale == 0 {
+		cfg.EmissionScale = 1
+	}
+	if cfg.PriceScale == 0 {
+		cfg.PriceScale = 1
+	}
+
+	c := &Controller{
+		cfg:      cfg,
+		policies: make([]*bandit.BlockedTsallisINF, len(cfg.DownloadCosts)),
+		current:  make([]int, len(cfg.DownloadCosts)),
+		prev:     make([]int, len(cfg.DownloadCosts)),
+		state:    phaseSelect,
+	}
+	for i, u := range cfg.DownloadCosts {
+		if u < 0 {
+			return nil, fmt.Errorf("core: negative download cost u[%d]=%g", i, u)
+		}
+		p, err := bandit.NewBlockedTsallisINF(cfg.NumModels, u,
+			numeric.SplitRNG(cfg.Seed, fmt.Sprintf("core-policy-%d", i)))
+		if err != nil {
+			return nil, fmt.Errorf("edge %d policy: %w", i, err)
+		}
+		c.policies[i] = p
+		c.prev[i] = -1
+	}
+	tCfg := trading.DefaultPrimalDualConfig(cfg.InitialCap, cfg.Horizon)
+	inv3 := 1.0 / math.Cbrt(float64(cfg.Horizon))
+	tCfg.Gamma1 = 4 * inv3 * cfg.PriceScale / cfg.EmissionScale
+	tCfg.Gamma2 = 4 * inv3 * cfg.EmissionScale / cfg.PriceScale
+	tCfg.ZMax = 20 * cfg.EmissionScale
+	if cfg.PredictivePricing {
+		ratio := cfg.SellRatio
+		if ratio == 0 {
+			ratio = 0.9
+		}
+		trader, err := trading.NewPredictivePrimalDual(tCfg, market.NewARPredictor(), ratio)
+		if err != nil {
+			return nil, fmt.Errorf("predictive trader: %w", err)
+		}
+		c.trader = trader
+		c.lambda = trader.Lambda
+	} else {
+		trader, err := trading.NewPrimalDual(tCfg)
+		if err != nil {
+			return nil, fmt.Errorf("trader: %w", err)
+		}
+		c.trader = trader
+		c.lambda = trader.Lambda
+	}
+	return c, nil
+}
+
+// NumEdges returns the number of edges I.
+func (c *Controller) NumEdges() int { return len(c.policies) }
+
+// Slot returns the current 0-indexed slot.
+func (c *Controller) Slot() int { return c.slot }
+
+// SelectModels starts a slot and returns the model index for every edge.
+// The returned slice is owned by the caller.
+func (c *Controller) SelectModels() ([]int, error) {
+	if c.state != phaseSelect {
+		return nil, fmt.Errorf("core: SelectModels called out of order (state %d)", c.state)
+	}
+	out := make([]int, len(c.policies))
+	for i, p := range c.policies {
+		c.current[i] = p.SelectArm()
+		out[i] = c.current[i]
+	}
+	c.state = phaseTrade
+	return out, nil
+}
+
+// Downloads reports, after SelectModels, which edges must download a new
+// model this slot (y_i^t = 1).
+func (c *Controller) Downloads() ([]bool, error) {
+	if c.state != phaseTrade && c.state != phaseComplete {
+		return nil, fmt.Errorf("core: Downloads called before SelectModels")
+	}
+	out := make([]bool, len(c.policies))
+	for i := range out {
+		out[i] = c.current[i] != c.prev[i]
+	}
+	return out, nil
+}
+
+// DecideTrade returns (z^t, w^t) for the slot. The quote is recorded for the
+// trader's history; Algorithm 2 does not use the current slot's prices.
+func (c *Controller) DecideTrade(q trading.Quote) (trading.Decision, error) {
+	if c.state != phaseTrade {
+		return trading.Decision{}, fmt.Errorf("core: DecideTrade called out of order (state %d)", c.state)
+	}
+	c.trade = c.trader.Decide(c.slot, q)
+	c.quote = q
+	c.state = phaseComplete
+	return c.trade, nil
+}
+
+// CompleteSlot feeds back the per-edge observed losses (the paper's
+// L_{i,n}^t + v_{i,n}) and the slot's total emission, then advances to the
+// next slot.
+func (c *Controller) CompleteSlot(losses []float64, emission float64) error {
+	if c.state != phaseComplete {
+		return fmt.Errorf("core: CompleteSlot called out of order (state %d)", c.state)
+	}
+	if len(losses) != len(c.policies) {
+		return fmt.Errorf("core: got %d losses for %d edges", len(losses), len(c.policies))
+	}
+	if emission < 0 {
+		return fmt.Errorf("core: negative emission %g", emission)
+	}
+	for i, p := range c.policies {
+		p.Update(losses[i])
+		c.prev[i] = c.current[i]
+	}
+	c.trader.Observe(c.slot, emission, c.quote, c.trade)
+	c.slot++
+	c.state = phaseSelect
+	return nil
+}
+
+// Switches returns total model downloads across edges so far.
+func (c *Controller) Switches() int {
+	total := 0
+	for _, p := range c.policies {
+		total += p.Switches()
+	}
+	return total
+}
+
+// Lambda returns Algorithm 2's dual multiplier (diagnostics).
+func (c *Controller) Lambda() float64 { return c.lambda() }
+
+// Selections returns per-edge per-model slot counts.
+func (c *Controller) Selections() [][]int {
+	out := make([][]int, len(c.policies))
+	for i, p := range c.policies {
+		out[i] = p.Selections()
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/carbonedge/carbonedge/internal/nn"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	for _, spec := range []Spec{MNISTLike, CIFARLike} {
+		t.Run(spec.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			d, err := Generate(spec, 50, 30, rng)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if len(d.Train) != 50 || len(d.Test) != 30 {
+				t.Fatalf("pool sizes = %d/%d", len(d.Train), len(d.Test))
+			}
+			for _, s := range append(append([]nn.Sample{}, d.Train...), d.Test...) {
+				if s.Label < 0 || s.Label >= spec.Classes {
+					t.Fatalf("label %d out of range", s.Label)
+				}
+				if s.X.Shape[0] != spec.Channels || s.X.Shape[1] != spec.Height || s.X.Shape[2] != spec.Width {
+					t.Fatalf("sample shape %v", s.X.Shape)
+				}
+				for _, v := range s.X.Data {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatal("non-finite pixel")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Generate(MNISTLike, 0, 10, rng); err == nil {
+		t.Error("expected error for zero train pool")
+	}
+	if _, err := Generate(MNISTLike, 10, 0, rng); err == nil {
+		t.Error("expected error for zero test pool")
+	}
+	bad := MNISTLike
+	bad.Classes = 1
+	if _, err := Generate(bad, 10, 10, rng); err == nil {
+		t.Error("expected error for single class")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1, err := Generate(MNISTLike, 20, 20, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(MNISTLike, 20, 20, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Train {
+		if d1.Train[i].Label != d2.Train[i].Label {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range d1.Train[i].X.Data {
+			if d1.Train[i].X.Data[j] != d2.Train[i].X.Data[j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// A small MLP must learn MNIST-like far above chance — otherwise the
+	// dataset carries no signal and model-quality differences vanish.
+	rng := rand.New(rand.NewSource(3))
+	d, err := Generate(MNISTLike, 600, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.BuildMLP("probe", []int{1, 28, 28}, 32, 16, MNISTLike.Classes, rng)
+	if _, err := nn.Train(net, d.Train, nn.TrainConfig{Epochs: 4, BatchSize: 16, LR: 0.05}, rng); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := nn.Evaluate(net, d.Test)
+	if acc < 0.5 {
+		t.Errorf("probe accuracy = %v, want >= 0.5 (chance is 0.1)", acc)
+	}
+}
+
+func TestCIFARLikeHarderThanMNISTLike(t *testing.T) {
+	// Same-capacity probes must find CIFAR-like harder; the paper's accuracy
+	// gap between Figs. 12 and 13 depends on this.
+	train := func(spec Spec, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := Generate(spec, 500, 300, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := []int{spec.Channels, spec.Height, spec.Width}
+		net := nn.BuildMLP("probe", in, 32, 16, spec.Classes, rng)
+		if _, err := nn.Train(net, d.Train, nn.TrainConfig{Epochs: 3, BatchSize: 16, LR: 0.05}, rng); err != nil {
+			t.Fatal(err)
+		}
+		acc, _ := nn.Evaluate(net, d.Test)
+		return acc
+	}
+	mnistAcc := train(MNISTLike, 4)
+	cifarAcc := train(CIFARLike, 4)
+	if cifarAcc >= mnistAcc {
+		t.Errorf("cifar-like acc %v >= mnist-like acc %v", cifarAcc, mnistAcc)
+	}
+}
+
+func TestStreamUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := NewStream(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		idx := s.Next()
+		if idx < 0 || idx >= 10 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("empirical p[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestStreamErrorsAndBatch(t *testing.T) {
+	if _, err := NewStream(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error for empty pool")
+	}
+	s, err := NewStream(5, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.NextBatch(7, nil)
+	if len(out) != 7 {
+		t.Fatalf("batch len = %d", len(out))
+	}
+	// Reuse a larger buffer.
+	buf := make([]int, 10)
+	out2 := s.NextBatch(3, buf)
+	if len(out2) != 3 || &out2[0] != &buf[0] {
+		t.Error("NextBatch did not reuse buffer")
+	}
+}
+
+// Property: every generated sample has label matching a template index and
+// bounded pixel magnitudes (template peak 1 + noise tails).
+func TestSamplePixelBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d, err := Generate(MNISTLike, 5, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		s := d.Distribution().Sample(numeric.SplitRNG(seed, "prop"))
+		if s.Label < 0 || s.Label >= MNISTLike.Classes {
+			return false
+		}
+		for _, v := range s.X.Data {
+			if math.Abs(v) > 1+6*MNISTLike.Noise {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,302 @@
+package deploy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/carbonedge/carbonedge/internal/core"
+	"github.com/carbonedge/carbonedge/internal/energy"
+	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/trading"
+)
+
+// ModelSource supplies the cloud's model zoo: metadata plus serialized
+// checkpoints to ship to edges.
+type ModelSource interface {
+	// NumModels returns N.
+	NumModels() int
+	// Meta returns the announced metadata of model n.
+	Meta(n int) ModelMeta
+	// Checkpoint returns the serialized weights of model n (what a switch
+	// actually downloads). May be empty for surrogate sources.
+	Checkpoint(n int) ([]byte, error)
+}
+
+// CloudConfig parameterizes a cloud server.
+type CloudConfig struct {
+	// Edges is the number of edge agents that will connect.
+	Edges int
+	// Horizon is the number of slots to run.
+	Horizon int
+	// DownloadCosts holds u_i per edge id; length must equal Edges.
+	DownloadCosts []float64
+	// InitialCap (grams) and EmissionRate (g/kWh) configure the carbon side.
+	InitialCap   float64
+	EmissionRate float64
+	// Prices is the allowance price series (length >= Horizon).
+	Prices *market.Prices
+	// EmissionScale hints the expected per-slot emission for Algorithm 2's
+	// step sizes (0 = 1).
+	EmissionScale float64
+	// Seed drives the controller's sampling.
+	Seed int64
+	// SlotTimeout bounds each per-edge exchange (assign + report). Zero
+	// disables deadlines. A slow or hung edge then fails its slot instead
+	// of stalling the whole fleet.
+	SlotTimeout time.Duration
+}
+
+// Summary is what a completed distributed run reports.
+type Summary struct {
+	// ObservedLoss accumulates the reported per-slot average losses
+	// (including the measured computation time, the paper's L + v).
+	ObservedLoss float64
+	// TradingCost is sum z c - w r.
+	TradingCost float64
+	// Emissions[t] is grams emitted in slot t; Decisions aligns with it.
+	Emissions []float64
+	Decisions []trading.Decision
+	// Fit is the long-term constraint violation.
+	Fit float64
+	// Switches counts model downloads shipped (including initial ones).
+	Switches int
+	// Accuracy is the overall fraction of correct predictions reported.
+	Accuracy float64
+}
+
+// Cloud hosts the models and the online controller.
+type Cloud struct {
+	cfg    CloudConfig
+	source ModelSource
+	ctrl   *core.Controller
+	meter  *energy.Meter
+}
+
+// NewCloud validates the configuration and builds the controller.
+func NewCloud(cfg CloudConfig, source ModelSource) (*Cloud, error) {
+	if source == nil {
+		return nil, fmt.Errorf("deploy: nil model source")
+	}
+	if cfg.Edges <= 0 {
+		return nil, fmt.Errorf("deploy: need at least one edge, got %d", cfg.Edges)
+	}
+	if len(cfg.DownloadCosts) != cfg.Edges {
+		return nil, fmt.Errorf("deploy: %d download costs for %d edges", len(cfg.DownloadCosts), cfg.Edges)
+	}
+	if cfg.Prices == nil || cfg.Prices.Horizon() < cfg.Horizon {
+		return nil, fmt.Errorf("deploy: price series shorter than horizon")
+	}
+	avgPrice := 0.0
+	for t := 0; t < cfg.Horizon; t++ {
+		avgPrice += cfg.Prices.Buy[t]
+	}
+	if cfg.Horizon > 0 {
+		avgPrice /= float64(cfg.Horizon)
+	}
+	ctrl, err := core.New(core.Config{
+		NumModels:     source.NumModels(),
+		DownloadCosts: cfg.DownloadCosts,
+		Horizon:       cfg.Horizon,
+		InitialCap:    cfg.InitialCap,
+		EmissionScale: cfg.EmissionScale,
+		PriceScale:    avgPrice,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: controller: %w", err)
+	}
+	meter, err := energy.NewMeter(cfg.EmissionRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Cloud{cfg: cfg, source: source, ctrl: ctrl, meter: meter}, nil
+}
+
+// edgeConn is one connected edge after the handshake.
+type edgeConn struct {
+	id   int
+	conn net.Conn
+}
+
+// Serve accepts exactly cfg.Edges connections from ln, runs the full
+// horizon, and returns the summary. The listener is not closed.
+func (c *Cloud) Serve(ln net.Listener) (*Summary, error) {
+	edges := make([]*edgeConn, c.cfg.Edges)
+	for i := 0; i < c.cfg.Edges; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("deploy: accept: %w", err)
+		}
+		ec, err := c.handshake(conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if ec.id < 0 || ec.id >= c.cfg.Edges || edges[ec.id] != nil {
+			conn.Close()
+			return nil, fmt.Errorf("deploy: bad or duplicate edge id %d", ec.id)
+		}
+		edges[ec.id] = ec
+	}
+	defer func() {
+		for _, e := range edges {
+			if e != nil {
+				e.conn.Close()
+			}
+		}
+	}()
+	return c.run(edges)
+}
+
+// handshake reads Hello and answers Welcome.
+func (c *Cloud) handshake(conn net.Conn) (*edgeConn, error) {
+	m, err := ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: handshake read: %w", err)
+	}
+	if m.Type != MsgHello {
+		return nil, fmt.Errorf("deploy: expected Hello, got type %d", m.Type)
+	}
+	metas := make([]ModelMeta, c.source.NumModels())
+	for n := range metas {
+		metas[n] = c.source.Meta(n)
+	}
+	welcome := &Message{
+		Type:      MsgWelcome,
+		EdgeID:    m.EdgeID,
+		NumModels: len(metas),
+		Models:    metas,
+	}
+	if err := WriteMessage(conn, welcome); err != nil {
+		return nil, fmt.Errorf("deploy: handshake write: %w", err)
+	}
+	return &edgeConn{id: m.EdgeID, conn: conn}, nil
+}
+
+// run drives all slots and the controller.
+func (c *Cloud) run(edges []*edgeConn) (*Summary, error) {
+	sum := &Summary{
+		Emissions: make([]float64, c.cfg.Horizon),
+		Decisions: make([]trading.Decision, c.cfg.Horizon),
+	}
+	totalCorrect, totalSamples := 0, 0
+	for t := 0; t < c.cfg.Horizon; t++ {
+		arms, err := c.ctrl.SelectModels()
+		if err != nil {
+			return nil, c.abort(edges, err)
+		}
+		downloads, err := c.ctrl.Downloads()
+		if err != nil {
+			return nil, c.abort(edges, err)
+		}
+
+		reports := make([]*Message, len(edges))
+		errs := make([]error, len(edges))
+		var wg sync.WaitGroup
+		for i, e := range edges {
+			wg.Add(1)
+			go func(i int, e *edgeConn) {
+				defer wg.Done()
+				if c.cfg.SlotTimeout > 0 {
+					if err := e.conn.SetDeadline(time.Now().Add(c.cfg.SlotTimeout)); err != nil {
+						errs[i] = fmt.Errorf("edge %d deadline: %w", i, err)
+						return
+					}
+					defer e.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+				}
+				assign := &Message{
+					Type:    MsgAssign,
+					Slot:    t,
+					ModelID: arms[i],
+					Switch:  downloads[i],
+				}
+				if downloads[i] {
+					ckpt, err := c.source.Checkpoint(arms[i])
+					if err != nil {
+						errs[i] = fmt.Errorf("checkpoint model %d: %w", arms[i], err)
+						return
+					}
+					assign.Weights = ckpt
+				}
+				if err := WriteMessage(e.conn, assign); err != nil {
+					errs[i] = fmt.Errorf("edge %d assign: %w", i, err)
+					return
+				}
+				rep, err := ReadMessage(e.conn)
+				if err != nil {
+					errs[i] = fmt.Errorf("edge %d report: %w", i, err)
+					return
+				}
+				if rep.Type == MsgError {
+					errs[i] = fmt.Errorf("edge %d failed: %s", i, rep.Reason)
+					return
+				}
+				if rep.Type != MsgReport || rep.Slot != t {
+					errs[i] = fmt.Errorf("edge %d: unexpected reply type %d slot %d", i, rep.Type, rep.Slot)
+					return
+				}
+				reports[i] = rep
+			}(i, e)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, c.abort(edges, err)
+			}
+		}
+
+		// Account the slot: losses (L + measured v), energy, emissions.
+		losses := make([]float64, len(edges))
+		slotEmission := 0.0
+		for i, rep := range reports {
+			losses[i] = rep.AvgLoss + rep.CompSeconds
+			sum.ObservedLoss += losses[i]
+			slotEmission += c.meter.RecordInference(rep.EnergyKWh)
+			if downloads[i] {
+				sum.Switches++
+				slotEmission += c.meter.RecordTransfer(
+					energy.TransferEnergy(energy.TransferEnergyPerByte, c.source.Meta(arms[i]).SizeBytes))
+			}
+			totalCorrect += rep.Correct
+			totalSamples += rep.Samples
+		}
+
+		q := trading.Quote{Buy: c.cfg.Prices.Buy[t], Sell: c.cfg.Prices.Sell[t]}
+		d, err := c.ctrl.DecideTrade(q)
+		if err != nil {
+			return nil, c.abort(edges, err)
+		}
+		if err := c.ctrl.CompleteSlot(losses, slotEmission); err != nil {
+			return nil, c.abort(edges, err)
+		}
+		sum.TradingCost += d.Cost(q)
+		sum.Emissions[t] = slotEmission
+		sum.Decisions[t] = d
+	}
+
+	for _, e := range edges {
+		if err := WriteMessage(e.conn, &Message{Type: MsgDone}); err != nil {
+			return nil, fmt.Errorf("deploy: send done: %w", err)
+		}
+	}
+	fit, err := trading.Fit(sum.Emissions, sum.Decisions, c.cfg.InitialCap)
+	if err != nil {
+		return nil, err
+	}
+	sum.Fit = fit
+	if totalSamples > 0 {
+		sum.Accuracy = float64(totalCorrect) / float64(totalSamples)
+	}
+	return sum, nil
+}
+
+// abort tells every edge the run failed and returns the error.
+func (c *Cloud) abort(edges []*edgeConn, err error) error {
+	msg := &Message{Type: MsgError, Reason: err.Error()}
+	for _, e := range edges {
+		_ = WriteMessage(e.conn, msg) // best effort; we are already failing
+	}
+	return err
+}

@@ -1,0 +1,196 @@
+package deploy
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+
+	"github.com/carbonedge/carbonedge/internal/nn"
+)
+
+// Runtime is the edge-local inference engine: it loads shipped checkpoints
+// and serves one slot of traffic.
+type Runtime interface {
+	// Welcome delivers the cloud's model metadata before the first slot.
+	Welcome(models []ModelMeta) error
+	// LoadModel installs the checkpoint for modelID (called on switches).
+	LoadModel(modelID int, checkpoint []byte) error
+	// RunSlot serves the slot's local traffic with the given model and
+	// returns the observation the cloud needs.
+	RunSlot(slot, modelID int) (SlotReport, error)
+}
+
+// SlotReport is an edge's end-of-slot observation.
+type SlotReport struct {
+	AvgLoss     float64 // average squared inference loss L_{i,n}^t
+	Correct     int
+	Samples     int
+	EnergyKWh   float64 // inference energy consumed this slot
+	CompSeconds float64 // measured per-sample computation cost v_{i,n}
+}
+
+// RunEdge connects an edge agent: handshake, then serve Assign frames until
+// Done. It returns nil on a clean Done and an error otherwise.
+func RunEdge(conn net.Conn, edgeID int, rt Runtime) error {
+	if rt == nil {
+		return fmt.Errorf("deploy: nil runtime")
+	}
+	if err := WriteMessage(conn, &Message{Type: MsgHello, EdgeID: edgeID}); err != nil {
+		return fmt.Errorf("deploy: hello: %w", err)
+	}
+	welcome, err := ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("deploy: welcome: %w", err)
+	}
+	if welcome.Type != MsgWelcome {
+		return fmt.Errorf("deploy: expected Welcome, got type %d", welcome.Type)
+	}
+	if err := rt.Welcome(welcome.Models); err != nil {
+		return fmt.Errorf("deploy: runtime welcome: %w", err)
+	}
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return fmt.Errorf("deploy: read: %w", err)
+		}
+		switch m.Type {
+		case MsgDone:
+			return nil
+		case MsgError:
+			return fmt.Errorf("deploy: cloud aborted: %s", m.Reason)
+		case MsgAssign:
+			if m.Switch {
+				if err := rt.LoadModel(m.ModelID, m.Weights); err != nil {
+					_ = WriteMessage(conn, &Message{Type: MsgError, Reason: err.Error()})
+					return fmt.Errorf("deploy: load model %d: %w", m.ModelID, err)
+				}
+			}
+			rep, err := rt.RunSlot(m.Slot, m.ModelID)
+			if err != nil {
+				_ = WriteMessage(conn, &Message{Type: MsgError, Reason: err.Error()})
+				return fmt.Errorf("deploy: run slot %d: %w", m.Slot, err)
+			}
+			out := &Message{
+				Type:        MsgReport,
+				Slot:        m.Slot,
+				EdgeID:      edgeID,
+				ModelID:     m.ModelID,
+				AvgLoss:     rep.AvgLoss,
+				Correct:     rep.Correct,
+				Samples:     rep.Samples,
+				EnergyKWh:   rep.EnergyKWh,
+				CompSeconds: rep.CompSeconds,
+			}
+			if err := WriteMessage(conn, out); err != nil {
+				return fmt.Errorf("deploy: report: %w", err)
+			}
+		default:
+			return fmt.Errorf("deploy: unexpected message type %d", m.Type)
+		}
+	}
+}
+
+// NNRuntime is a full-fidelity edge runtime: it holds the edge's local
+// labeled data pool, rebuilds each model's architecture locally, installs
+// checkpoints shipped by the cloud via nn.ReadWeights, and runs genuine
+// forward passes. The cloud never sees the data; the edge never sees the
+// training pipeline — exactly the paper's split.
+type NNRuntime struct {
+	// BuildNet constructs the (untrained) architecture for a model id;
+	// weights arrive from the cloud.
+	BuildNet func(modelID int) (*nn.Network, error)
+	// Pool is the edge's local stream pool.
+	Pool []nn.Sample
+	// SamplesPerSlot draws M_i^t.
+	SamplesPerSlot func(slot int) int
+	// CompSecondsPerSample simulates the measured computation latency of
+	// one inference (posterior, observed while serving).
+	CompSecondsPerSample func(modelID int) float64
+
+	rng    *rand.Rand
+	metas  []ModelMeta
+	loaded map[int]*nn.Network
+}
+
+var _ Runtime = (*NNRuntime)(nil)
+
+// NewNNRuntime creates a runtime over a local pool.
+func NewNNRuntime(build func(int) (*nn.Network, error), pool []nn.Sample,
+	samplesPerSlot func(int) int, compSeconds func(int) float64, rng *rand.Rand) (*NNRuntime, error) {
+	if build == nil || samplesPerSlot == nil || compSeconds == nil || rng == nil {
+		return nil, fmt.Errorf("deploy: nil runtime dependency")
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("deploy: empty data pool")
+	}
+	return &NNRuntime{
+		BuildNet:             build,
+		Pool:                 pool,
+		SamplesPerSlot:       samplesPerSlot,
+		CompSecondsPerSample: compSeconds,
+		rng:                  rng,
+		loaded:               make(map[int]*nn.Network),
+	}, nil
+}
+
+// Welcome implements Runtime.
+func (r *NNRuntime) Welcome(models []ModelMeta) error {
+	if len(models) == 0 {
+		return fmt.Errorf("deploy: empty model metadata")
+	}
+	r.metas = models
+	return nil
+}
+
+// LoadModel implements Runtime: rebuild the architecture and install the
+// shipped weights.
+func (r *NNRuntime) LoadModel(modelID int, checkpoint []byte) error {
+	if modelID < 0 || modelID >= len(r.metas) {
+		return fmt.Errorf("deploy: model id %d out of range", modelID)
+	}
+	if _, ok := r.loaded[modelID]; ok && len(checkpoint) == 0 {
+		return nil // cached copy, nothing shipped
+	}
+	net, err := r.BuildNet(modelID)
+	if err != nil {
+		return err
+	}
+	if len(checkpoint) > 0 {
+		if err := nn.ReadWeights(bytes.NewReader(checkpoint), net); err != nil {
+			return err
+		}
+	}
+	r.loaded[modelID] = net
+	return nil
+}
+
+// RunSlot implements Runtime: serve M samples with the loaded model.
+func (r *NNRuntime) RunSlot(slot, modelID int) (SlotReport, error) {
+	net, ok := r.loaded[modelID]
+	if !ok {
+		return SlotReport{}, fmt.Errorf("deploy: model %d assigned but never downloaded", modelID)
+	}
+	m := r.SamplesPerSlot(slot)
+	if m < 0 {
+		return SlotReport{}, fmt.Errorf("deploy: negative sample count %d", m)
+	}
+	var rep SlotReport
+	rep.Samples = m
+	totalLoss := 0.0
+	for j := 0; j < m; j++ {
+		s := r.Pool[r.rng.Intn(len(r.Pool))]
+		logits := net.Forward(s.X)
+		loss, _ := nn.SquaredLoss(logits, s.Label)
+		totalLoss += loss
+		if logits.MaxIndex() == s.Label {
+			rep.Correct++
+		}
+	}
+	if m > 0 {
+		rep.AvgLoss = totalLoss / float64(m)
+	}
+	rep.EnergyKWh = r.metas[modelID].PhiKWh * float64(m)
+	rep.CompSeconds = r.CompSecondsPerSample(modelID)
+	return rep, nil
+}

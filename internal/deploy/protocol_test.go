@@ -1,0 +1,88 @@
+package deploy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Message
+	}{
+		{"hello", Message{Type: MsgHello, EdgeID: 3}},
+		{"welcome", Message{Type: MsgWelcome, NumModels: 2, Models: []ModelMeta{
+			{Name: "a", PhiKWh: 7e-8, SizeBytes: 100},
+			{Name: "b", PhiKWh: 9e-8, SizeBytes: 200},
+		}}},
+		{"assign with weights", Message{Type: MsgAssign, Slot: 5, ModelID: 1, Switch: true, Weights: []byte{1, 2, 3}}},
+		{"report", Message{Type: MsgReport, Slot: 5, EdgeID: 2, AvgLoss: 0.4, Correct: 30, Samples: 50, EnergyKWh: 1e-6, CompSeconds: 0.05}},
+		{"done", Message{Type: MsgDone}},
+		{"error", Message{Type: MsgError, Reason: "boom"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteMessage(&buf, &tt.msg); err != nil {
+				t.Fatalf("WriteMessage: %v", err)
+			}
+			got, err := ReadMessage(&buf)
+			if err != nil {
+				t.Fatalf("ReadMessage: %v", err)
+			}
+			if got.Type != tt.msg.Type || got.EdgeID != tt.msg.EdgeID ||
+				got.Slot != tt.msg.Slot || got.ModelID != tt.msg.ModelID ||
+				got.Switch != tt.msg.Switch || got.Reason != tt.msg.Reason {
+				t.Errorf("round trip mismatch: %+v vs %+v", got, tt.msg)
+			}
+			if !bytes.Equal(got.Weights, tt.msg.Weights) {
+				t.Error("weights mismatch")
+			}
+			if len(tt.msg.Models) != len(got.Models) {
+				t.Error("models mismatch")
+			}
+		})
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := ReadMessage(strings.NewReader("ab")); err == nil {
+		t.Error("expected error for short header")
+	}
+	// Oversized frame.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(maxFrame+1))
+	buf.Write(hdr[:])
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("expected error for oversized frame")
+	}
+	// Truncated body.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("{}")
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("expected error for short body")
+	}
+	// Invalid JSON.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 3)
+	buf.Write(hdr[:])
+	buf.WriteString("{{{")
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("expected error for bad json")
+	}
+	// Unknown type.
+	buf.Reset()
+	body := []byte(`{"type":99}`)
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}

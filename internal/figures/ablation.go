@@ -1,0 +1,255 @@
+package figures
+
+import (
+	"sort"
+
+	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/metrics"
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/sim"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: what the
+// block schedule buys under switching cost, how sensitive Algorithm 2 is to
+// its step sizes, and whether the price-prediction extension (the paper's
+// future work) pays off.
+
+// Ablations returns the named ablation generators.
+func Ablations() map[string]func(Options) (*Figure, error) {
+	return map[string]func(Options) (*Figure, error){
+		"blocking":   AblationBlocking,
+		"stepsizes":  AblationStepSizes,
+		"prediction": AblationPricePrediction,
+		"substrate":  AblationSubstrate,
+	}
+}
+
+// AblationNames returns the ablation keys in sorted order.
+func AblationNames() []string {
+	m := Ablations()
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AblationBlocking isolates the paper's Insight 1: the same Tsallis-INF
+// learner with and without the block schedule, under a sweep of the
+// switching-cost weight. Blocking must keep the cumulative switching cost
+// bounded while the unblocked learner's grows roughly linearly with the
+// weight.
+func AblationBlocking(o Options) (*Figure, error) {
+	o = o.normalized()
+	weights := []float64{1, 2, 4, 8, 16}
+	fig := &Figure{
+		ID:     "AblBlocking",
+		Title:  "Switching cost: blocked vs unblocked Tsallis-INF",
+		XLabel: "switch weight",
+		YLabel: "cumulative switching cost",
+	}
+	for _, entry := range []struct {
+		label  string
+		policy sim.PolicyFactory
+	}{
+		{"Blocked", sim.PolicyOurs},
+		{"Unblocked", sim.PolicyTsallisINF},
+	} {
+		ys := make([]float64, len(weights))
+		for xi, w := range weights {
+			weight := w
+			var sum float64
+			for r := 0; r < o.Runs; r++ {
+				cfg := sim.DefaultConfig(o.Edges)
+				cfg.Horizon = o.Horizon
+				cfg.Seed = o.Seed + int64(r)
+				cfg.SwitchWeight = weight
+				s, err := surrogateScenario(cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(s, entry.label, entry.policy, sim.TraderOurs)
+				if err != nil {
+					return nil, err
+				}
+				sum += res.Cost.Switching
+			}
+			ys[xi] = sum / float64(o.Runs)
+		}
+		fig.Series = append(fig.Series, Series{Label: entry.label, X: weights, Y: ys})
+	}
+	return fig, nil
+}
+
+// AblationStepSizes sweeps a common multiplier on Algorithm 2's step sizes
+// gamma1/gamma2 and reports trading cost and fit: too-small steps leave the
+// constraint uncovered (large fit), too-large steps churn volume (higher
+// cost). The Theorem-2 defaults sit in the flat middle.
+func AblationStepSizes(o Options) (*Figure, error) {
+	o = o.normalized()
+	multipliers := []float64{0.25, 0.5, 1, 2, 4}
+	costs := make([]float64, len(multipliers))
+	fits := make([]float64, len(multipliers))
+	for xi, m := range multipliers {
+		trader := sim.TraderOursScaled(m)
+		for r := 0; r < o.Runs; r++ {
+			cfg := sim.DefaultConfig(o.Edges)
+			cfg.Horizon = o.Horizon
+			cfg.Seed = o.Seed + int64(r)
+			s, err := surrogateScenario(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(s, "Ours", sim.PolicyOurs, trader)
+			if err != nil {
+				return nil, err
+			}
+			costs[xi] += res.Cost.Trading / float64(o.Runs)
+			fits[xi] += res.Fit / float64(o.Runs)
+		}
+	}
+	return &Figure{
+		ID:     "AblStepSizes",
+		Title:  "Algorithm 2 sensitivity to step-size scaling",
+		XLabel: "gamma multiplier",
+		YLabel: "value",
+		Series: []Series{
+			{Label: "TradingCost", X: multipliers, Y: costs},
+			{Label: "Fit", X: multipliers, Y: fits},
+		},
+	}, nil
+}
+
+// AblationSubstrate checks that the headline conclusion — Ours beats the
+// strongest baseline family — is substrate-independent: the same comparison
+// on the surrogate (parametric-loss) zoo and on a genuinely trained
+// neural-network zoo. Series report the fractional cost reduction of Ours
+// against each baseline (positive = Ours cheaper), one X point per
+// baseline, for the two substrates.
+func AblationSubstrate(o Options) (*Figure, error) {
+	o = o.normalized()
+	baselines := []string{"Greedy-LY", "TINF-LY", "UCB-LY"}
+	fig := &Figure{
+		ID:     "AblSubstrate",
+		Title:  "Ours vs baselines: surrogate vs trained-NN loss substrate",
+		XLabel: "baseline index",
+		YLabel: "cost reduction of Ours",
+	}
+	x := make([]float64, len(baselines))
+	for i := range x {
+		x[i] = float64(i)
+	}
+
+	run := func(zoo models.Zoo, seed int64) (map[string]float64, error) {
+		cfg := sim.DefaultConfig(o.Edges)
+		cfg.Horizon = o.Horizon
+		cfg.Seed = seed
+		s, err := sim.NewScenario(cfg, zoo)
+		if err != nil {
+			return nil, err
+		}
+		totals := make(map[string]float64, len(baselines)+1)
+		for _, name := range append([]string{"Ours"}, baselines...) {
+			res, err := runCombo(s, name)
+			if err != nil {
+				return nil, err
+			}
+			totals[name] = res.Cost.Total()
+		}
+		return totals, nil
+	}
+
+	// Surrogate substrate.
+	surrogate := make([]float64, len(baselines))
+	for r := 0; r < o.Runs; r++ {
+		zoo, err := models.DefaultSurrogateZoo(numeric.SplitRNG(o.Seed+int64(r), "zoo"))
+		if err != nil {
+			return nil, err
+		}
+		totals, err := run(zoo, o.Seed+int64(r))
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range baselines {
+			surrogate[i] += metrics.Reduction(totals["Ours"], totals[name]) / float64(o.Runs)
+		}
+	}
+	fig.Series = append(fig.Series, Series{Label: "Surrogate", X: x, Y: surrogate})
+
+	// Trained-NN substrate (one zoo, kept small; workload/seeds vary).
+	zooCfg := models.TrainedZooConfig{
+		Dataset: dataset.MNISTLike,
+		TrainN:  500, TestN: 500, Epochs: 2, LR: 0.05, BatchSize: 16,
+	}
+	zoo, err := models.NewTrainedZoo(zooCfg, numeric.SplitRNG(o.Seed, "abl-zoo"))
+	if err != nil {
+		return nil, err
+	}
+	trained := make([]float64, len(baselines))
+	for r := 0; r < o.Runs; r++ {
+		totals, err := run(zoo, o.Seed+int64(r))
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range baselines {
+			trained[i] += metrics.Reduction(totals["Ours"], totals[name]) / float64(o.Runs)
+		}
+	}
+	fig.Series = append(fig.Series, Series{Label: "TrainedNN", X: x, Y: trained})
+	return fig, nil
+}
+
+// AblationPricePrediction compares vanilla Algorithm 2 against the
+// AR(1)-predictive variant (the paper's future-work extension) on scenarios
+// with strongly mean-reverting (predictable) allowance prices and a
+// structural deficit. Reported series: trading cost and fit per variant
+// across a volatility sweep.
+func AblationPricePrediction(o Options) (*Figure, error) {
+	o = o.normalized()
+	volatilities := []float64{0.35, 0.7, 1.4}
+	fig := &Figure{
+		ID:     "AblPrediction",
+		Title:  "Vanilla vs AR(1)-predictive primal-dual trading",
+		XLabel: "price volatility",
+		YLabel: "trading cost",
+	}
+	for _, entry := range []struct {
+		label  string
+		trader sim.TraderFactory
+	}{
+		{"Vanilla", sim.TraderOurs},
+		{"Predictive", sim.TraderPredictive},
+	} {
+		ys := make([]float64, len(volatilities))
+		for xi, vol := range volatilities {
+			volatility := vol
+			var sum float64
+			for r := 0; r < o.Runs; r++ {
+				cfg := sim.DefaultConfig(o.Edges)
+				cfg.Horizon = o.Horizon
+				cfg.Seed = o.Seed + int64(r)
+				cfg.Prices = market.DefaultPriceConfig()
+				cfg.Prices.Reversion = 0.25 // predictable regime
+				cfg.Prices.Volatility = volatility
+				// A tight cap forces sustained buying so price timing
+				// matters.
+				cfg.InitialCap = 0.5
+				s, err := surrogateScenario(cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(s, entry.label, sim.PolicyOurs, entry.trader)
+				if err != nil {
+					return nil, err
+				}
+				sum += res.Cost.Trading
+			}
+			ys[xi] = sum / float64(o.Runs)
+		}
+		fig.Series = append(fig.Series, Series{Label: entry.label, X: volatilities, Y: ys})
+	}
+	return fig, nil
+}

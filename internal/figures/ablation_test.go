@@ -1,0 +1,113 @@
+package figures
+
+import (
+	"testing"
+)
+
+func TestAblationSubstrateShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a neural zoo")
+	}
+	o := Options{Runs: 1, Seed: 4, Edges: 4, Horizon: 120}
+	fig, err := AblationSubstrate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := byLabel(t, fig)
+	// The headline conclusion — Ours beats the *learning* baselines — must
+	// hold on both substrates. Greedy (index 0) is substrate-fragile: when
+	// the cheapest model happens to be near-best (as on the easy trained
+	// MNIST zoo) Greedy wins, exactly the deviation EXPERIMENTS.md
+	// documents for Fig. 13; we log it rather than assert it.
+	for _, label := range []string{"Surrogate", "TrainedNN"} {
+		s, ok := series[label]
+		if !ok {
+			t.Fatalf("missing %s series", label)
+		}
+		t.Logf("%s reductions (Greedy-LY, TINF-LY, UCB-LY): %v", label, s.Y)
+		for i, red := range s.Y {
+			if i == 0 {
+				continue // Greedy-LY: reported, not asserted
+			}
+			if red <= 0 {
+				t.Errorf("%s: learning baseline %d reduction = %v, want positive", label, i, red)
+			}
+		}
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	names := AblationNames()
+	want := []string{"blocking", "prediction", "stepsizes", "substrate"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestAblationBlockingShape(t *testing.T) {
+	o := fastOpts()
+	o.Runs = 2
+	fig, err := AblationBlocking(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := byLabel(t, fig)
+	blocked := series["Blocked"]
+	unblocked := series["Unblocked"]
+	n := len(blocked.Y)
+	// At the largest weight, blocking must save a large factor.
+	if blocked.Y[n-1]*2 > unblocked.Y[n-1] {
+		t.Errorf("blocking saves too little at weight 16: %v vs %v",
+			blocked.Y[n-1], unblocked.Y[n-1])
+	}
+	// The blocked learner's switching cost grows sub-linearly with weight:
+	// a 16x weight must cost well under 16x.
+	if blocked.Y[n-1] > blocked.Y[0]*8 {
+		t.Errorf("blocked switching not sublinear in weight: %v", blocked.Y)
+	}
+}
+
+func TestAblationStepSizesShape(t *testing.T) {
+	o := fastOpts()
+	o.Runs = 2
+	fig, err := AblationStepSizes(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := byLabel(t, fig)
+	fit := series["Fit"]
+	// Fit decreases as steps grow (more aggressive constraint coverage).
+	if fit.Y[0] < fit.Y[len(fit.Y)-1] {
+		t.Errorf("fit should shrink with larger steps: %v", fit.Y)
+	}
+	if _, ok := series["TradingCost"]; !ok {
+		t.Error("missing TradingCost series")
+	}
+}
+
+func TestAblationPricePredictionShape(t *testing.T) {
+	o := fastOpts()
+	o.Runs = 2
+	fig, err := AblationPricePrediction(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := byLabel(t, fig)
+	vanilla := series["Vanilla"]
+	pred := series["Predictive"]
+	// Across the sweep, prediction must not lose more than 5% in total.
+	var vSum, pSum float64
+	for i := range vanilla.Y {
+		vSum += vanilla.Y[i]
+		pSum += pred.Y[i]
+	}
+	t.Logf("trading cost: vanilla=%.2f predictive=%.2f", vSum, pSum)
+	if pSum > vSum*1.05 {
+		t.Errorf("predictive trading cost %v clearly above vanilla %v", pSum, vSum)
+	}
+}

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/sim"
+)
+
+// accuracyCombos mirrors the paper's Figs. 12-13 line-up.
+var accuracyCombos = []string{"Ours", "Greedy-Ran", "TINF-Ran", "UCB-Ran", "Offline"}
+
+// AccuracyZooConfig lets callers trade zoo fidelity for speed; the zero
+// value takes models.DefaultTrainedZooConfig.
+type AccuracyZooConfig = models.TrainedZooConfig
+
+// figAccuracy generates an accuracy-per-slot figure over a trained zoo.
+func figAccuracy(o Options, id, title string, zooCfg models.TrainedZooConfig) (*Figure, error) {
+	o = o.normalized()
+	zoo, err := models.NewTrainedZoo(zooCfg, newRNG(o.Seed, "zoo-"+id))
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "slot",
+		YLabel: "accuracy",
+	}
+	x := slotAxis(o.Horizon)
+	// Average per-slot accuracy over runs. The zoo (trained models) is
+	// shared; workload and streams vary with the seed.
+	acc := make(map[string][]float64, len(accuracyCombos))
+	for _, name := range accuracyCombos {
+		acc[name] = make([]float64, o.Horizon)
+	}
+	for r := 0; r < o.Runs; r++ {
+		cfg := sim.DefaultConfig(o.Edges)
+		cfg.Horizon = o.Horizon
+		cfg.Seed = o.Seed + int64(r)
+		s, err := sim.NewScenario(cfg, zoo)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range accuracyCombos {
+			res, err := runCombo(s, name)
+			if err != nil {
+				return nil, err
+			}
+			for t, a := range res.Accuracy {
+				acc[name][t] += a / float64(o.Runs)
+			}
+		}
+	}
+	for _, name := range accuracyCombos {
+		fig.Series = append(fig.Series, Series{Label: name, X: x, Y: acc[name]})
+	}
+	return fig, nil
+}
+
+// Fig12AccuracyMNIST reproduces Fig. 12: per-slot inference accuracy over
+// the MNIST-like streams.
+func Fig12AccuracyMNIST(o Options) (*Figure, error) {
+	return figAccuracy(o, "Fig12", "Inference accuracy over MNIST-like streams",
+		models.DefaultTrainedZooConfig(dataset.MNISTLike))
+}
+
+// Fig13AccuracyCIFAR reproduces Fig. 13: per-slot inference accuracy over
+// the CIFAR-like streams.
+func Fig13AccuracyCIFAR(o Options) (*Figure, error) {
+	return figAccuracy(o, "Fig13", "Inference accuracy over CIFAR-like streams",
+		models.DefaultTrainedZooConfig(dataset.CIFARLike))
+}

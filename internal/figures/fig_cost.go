@@ -1,0 +1,180 @@
+package figures
+
+import (
+	"github.com/carbonedge/carbonedge/internal/metrics"
+	"github.com/carbonedge/carbonedge/internal/sim"
+)
+
+// fig3Combos is the subset of schemes the paper plots in Fig. 3 (for
+// visualization clarity it omits some of the twelve combinations).
+var fig3Combos = []string{"Ours", "Ran-Ran", "Greedy-LY", "TINF-Ran", "UCB-LY", "Offline"}
+
+// Fig3CumulativeCost reproduces Fig. 3: normalized cumulative total cost
+// over time with 10 edges for the main schemes plus Offline.
+func Fig3CumulativeCost(o Options) (*Figure, error) {
+	o = o.normalized()
+	curves, err := meanCurves(o, fig3Combos, func(r *sim.Result) []float64 {
+		return r.CumTotal
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize all curves jointly, as the paper does.
+	ordered := make([][]float64, len(fig3Combos))
+	for i, name := range fig3Combos {
+		ordered[i] = curves[name]
+	}
+	norm := metrics.Normalize(ordered...)
+	fig := &Figure{
+		ID:     "Fig3",
+		Title:  "Normalized cumulative total cost over time (10 edges)",
+		XLabel: "slot",
+		YLabel: "normalized cumulative cost",
+	}
+	x := slotAxis(o.Horizon)
+	for i, name := range fig3Combos {
+		fig.Series = append(fig.Series, Series{Label: name, X: x, Y: norm[i]})
+	}
+	return fig, nil
+}
+
+// fig4Combos is the bar set of Fig. 4.
+var fig4Combos = []string{
+	"Ours",
+	"Ran-Ran", "Ran-LY",
+	"Greedy-Ran", "Greedy-LY",
+	"TINF-Ran", "TINF-LY",
+	"UCB-Ran", "UCB-LY",
+	"Offline",
+}
+
+// Fig4CostVsEdges reproduces Fig. 4: total cost as the number of edges grows
+// from 10 to 50, normalized by the largest value.
+func Fig4CostVsEdges(o Options) (*Figure, error) {
+	o = o.normalized()
+	edgeCounts := []int{10, 20, 30, 40, 50}
+	fig := &Figure{
+		ID:     "Fig4",
+		Title:  "Normalized total cost vs number of edges",
+		XLabel: "edges",
+		YLabel: "normalized total cost",
+	}
+	raw := make([][]float64, len(fig4Combos))
+	for i := range raw {
+		raw[i] = make([]float64, len(edgeCounts))
+	}
+	for xi, edges := range edgeCounts {
+		for ci, name := range fig4Combos {
+			v, err := avgTotalCost(o, name, func(c *sim.Config) {
+				c.Edges = edges
+				// Cap scales with system size so the trading subproblem
+				// keeps the same character at every scale.
+				c.InitialCap = sim.DefaultConfig(10).InitialCap * float64(edges) / 10
+			})
+			if err != nil {
+				return nil, err
+			}
+			raw[ci][xi] = v
+		}
+	}
+	norm := metrics.Normalize(raw...)
+	x := make([]float64, len(edgeCounts))
+	for i, e := range edgeCounts {
+		x[i] = float64(e)
+	}
+	for ci, name := range fig4Combos {
+		fig.Series = append(fig.Series, Series{Label: name, X: x, Y: norm[ci]})
+	}
+	return fig, nil
+}
+
+// fig5Combos follows the paper's Fig. 5 line-up.
+var fig5Combos = []string{"Ours", "Greedy-LY", "TINF-LY", "UCB-LY", "Offline"}
+
+// Fig5SwitchWeight reproduces Fig. 5: total cost as the weight on the
+// switching cost grows; Ours stays nearly flat because its block lengths
+// grow with u_i.
+func Fig5SwitchWeight(o Options) (*Figure, error) {
+	o = o.normalized()
+	weights := []float64{1, 2, 4, 8, 16}
+	fig := &Figure{
+		ID:     "Fig5",
+		Title:  "Total cost vs switching-cost weight",
+		XLabel: "weight",
+		YLabel: "total cost",
+	}
+	for _, name := range fig5Combos {
+		ys := make([]float64, len(weights))
+		for xi, w := range weights {
+			weight := w
+			v, err := avgTotalCost(o, name, func(c *sim.Config) { c.SwitchWeight = weight })
+			if err != nil {
+				return nil, err
+			}
+			ys[xi] = v
+		}
+		fig.Series = append(fig.Series, Series{Label: name, X: weights, Y: ys})
+	}
+	return fig, nil
+}
+
+// Fig6EmissionRate reproduces Fig. 6: total cost as the carbon emission rate
+// rho grows (multiples of the paper's 500 g/kWh). The sweep stays in the
+// regime where the cost of honestly offsetting the deficit is below the
+// inference advantage of the learned placement; beyond it, schemes that
+// simply ignore the neutrality constraint (huge fit, see Fig. 11) would
+// win the raw-cost comparison by construction.
+func Fig6EmissionRate(o Options) (*Figure, error) {
+	o = o.normalized()
+	multipliers := []float64{0.5, 1, 1.5, 2, 2.5}
+	combos := []string{"Ours", "UCB-Ran", "UCB-TH", "UCB-LY", "Offline"}
+	fig := &Figure{
+		ID:     "Fig6",
+		Title:  "Total cost vs carbon emission rate (x500 g/kWh)",
+		XLabel: "rate multiplier",
+		YLabel: "total cost",
+	}
+	for _, name := range combos {
+		ys := make([]float64, len(multipliers))
+		for xi, m := range multipliers {
+			mult := m
+			v, err := avgTotalCost(o, name, func(c *sim.Config) { c.EmissionRate *= mult })
+			if err != nil {
+				return nil, err
+			}
+			ys[xi] = v
+		}
+		fig.Series = append(fig.Series, Series{Label: name, X: multipliers, Y: ys})
+	}
+	return fig, nil
+}
+
+// Fig7CarbonCap reproduces Fig. 7: total cost as the initial carbon cap R
+// grows. Caps are expressed relative to the default scenario's total
+// emissions so the sweep crosses the deficit/surplus boundary like the
+// paper's 100..500 range does.
+func Fig7CarbonCap(o Options) (*Figure, error) {
+	o = o.normalized()
+	base := sim.DefaultConfig(o.Edges).InitialCap
+	caps := []float64{0.2 * base, 0.6 * base, base, 1.4 * base, 1.8 * base}
+	combos := []string{"Ours", "UCB-Ran", "UCB-TH", "UCB-LY", "Offline"}
+	fig := &Figure{
+		ID:     "Fig7",
+		Title:  "Total cost vs initial carbon cap",
+		XLabel: "cap (g)",
+		YLabel: "total cost",
+	}
+	for _, name := range combos {
+		ys := make([]float64, len(caps))
+		for xi, r := range caps {
+			cap := r
+			v, err := avgTotalCost(o, name, func(c *sim.Config) { c.InitialCap = cap })
+			if err != nil {
+				return nil, err
+			}
+			ys[xi] = v
+		}
+		fig.Series = append(fig.Series, Series{Label: name, X: caps, Y: ys})
+	}
+	return fig, nil
+}

@@ -1,0 +1,99 @@
+package figures
+
+import (
+	"github.com/carbonedge/carbonedge/internal/sim"
+)
+
+// horizonSweep is the T axis of the regret/fit figures, centered on the
+// paper's two-day, 160-slot horizon.
+var horizonSweep = []int{40, 80, 160, 240, 320}
+
+// Fig10Regret reproduces Fig. 10: the regret for P0 (total cost of the
+// online scheme minus the Offline optimum on the same instance) as the
+// horizon grows. Sub-linear growth means regret/T shrinks; Ours grows
+// slowest.
+func Fig10Regret(o Options) (*Figure, error) {
+	o = o.normalized()
+	combos := []string{"Ours", "TINF-LY", "UCB-LY", "Greedy-LY"}
+	fig := &Figure{
+		ID:     "Fig10",
+		Title:  "Regret for P0 vs time horizon",
+		XLabel: "horizon T",
+		YLabel: "regret",
+	}
+	x := make([]float64, len(horizonSweep))
+	for i, h := range horizonSweep {
+		x[i] = float64(h)
+	}
+	for _, name := range combos {
+		ys := make([]float64, len(horizonSweep))
+		for xi, horizon := range horizonSweep {
+			var sum float64
+			for r := 0; r < o.Runs; r++ {
+				cfg := sim.DefaultConfig(o.Edges)
+				cfg.Horizon = horizon
+				// Scale the cap with T so the trading subproblem stays
+				// comparable across horizons.
+				cfg.InitialCap = cfg.InitialCap * float64(horizon) / 160
+				cfg.Seed = o.Seed + int64(r)
+				s, err := surrogateScenario(cfg)
+				if err != nil {
+					return nil, err
+				}
+				off, err := sim.Offline(s)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runCombo(s, name)
+				if err != nil {
+					return nil, err
+				}
+				sum += sim.RegretP0(res, off)
+			}
+			ys[xi] = sum / float64(o.Runs)
+		}
+		fig.Series = append(fig.Series, Series{Label: name, X: x, Y: ys})
+	}
+	return fig, nil
+}
+
+// Fig11Fit reproduces Fig. 11: the long-term constraint violation (fit) as
+// the horizon grows; sub-linear for Ours (time-averaged fit vanishes).
+func Fig11Fit(o Options) (*Figure, error) {
+	o = o.normalized()
+	combos := []string{"Ours", "UCB-Ran", "UCB-TH", "UCB-LY"}
+	fig := &Figure{
+		ID:     "Fig11",
+		Title:  "Fit (long-term constraint violation) vs time horizon",
+		XLabel: "horizon T",
+		YLabel: "fit",
+	}
+	x := make([]float64, len(horizonSweep))
+	for i, h := range horizonSweep {
+		x[i] = float64(h)
+	}
+	for _, name := range combos {
+		ys := make([]float64, len(horizonSweep))
+		for xi, horizon := range horizonSweep {
+			var sum float64
+			for r := 0; r < o.Runs; r++ {
+				cfg := sim.DefaultConfig(o.Edges)
+				cfg.Horizon = horizon
+				cfg.InitialCap = cfg.InitialCap * float64(horizon) / 160
+				cfg.Seed = o.Seed + int64(r)
+				s, err := surrogateScenario(cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runCombo(s, name)
+				if err != nil {
+					return nil, err
+				}
+				sum += res.Fit
+			}
+			ys[xi] = sum / float64(o.Runs)
+		}
+		fig.Series = append(fig.Series, Series{Label: name, X: x, Y: ys})
+	}
+	return fig, nil
+}

@@ -1,0 +1,237 @@
+// Package figures regenerates the data behind every figure in the paper's
+// evaluation (Figs. 3-14). Each FigN function runs the required simulations
+// and returns a Figure — labeled data series — that cmd/benchgen renders as
+// aligned text tables and the repository's benchmarks time. Absolute values
+// are substrate-dependent; the claims the paper makes about each figure's
+// *shape* are asserted by this package's tests.
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/metrics"
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/sim"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is the data behind one paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Options tunes figure generation globally.
+type Options struct {
+	// Runs averages each data point over this many seeds (paper: 10).
+	Runs int
+	// Seed is the base seed.
+	Seed int64
+	// Edges and Horizon default to the paper's 10 and 160.
+	Edges   int
+	Horizon int
+}
+
+// DefaultOptions mirrors the paper at a quick-to-run number of repetitions.
+func DefaultOptions() Options {
+	return Options{Runs: 3, Seed: 1, Edges: 10, Horizon: 160}
+}
+
+func (o Options) normalized() Options {
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.Edges <= 0 {
+		o.Edges = 10
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 160
+	}
+	return o
+}
+
+// surrogateScenario builds a scenario over a fresh surrogate zoo.
+func surrogateScenario(cfg sim.Config) (*sim.Scenario, error) {
+	zoo, err := models.DefaultSurrogateZoo(numeric.SplitRNG(cfg.Seed, "zoo"))
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewScenario(cfg, zoo)
+}
+
+// runCombo runs a named combo ("Ours", "UCB-LY", ..., or "Offline").
+func runCombo(s *sim.Scenario, name string) (*sim.Result, error) {
+	if name == "Offline" {
+		return sim.Offline(s)
+	}
+	combo, err := sim.ComboByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(s, combo.Name, combo.Policy, combo.Trader)
+}
+
+// avgTotalCost averages a combo's total cost over o.Runs seeds for the
+// given config mutation.
+func avgTotalCost(o Options, name string, mutate func(*sim.Config)) (float64, error) {
+	o = o.normalized()
+	total := 0.0
+	for r := 0; r < o.Runs; r++ {
+		cfg := sim.DefaultConfig(o.Edges)
+		cfg.Horizon = o.Horizon
+		cfg.Seed = o.Seed + int64(r)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		s, err := surrogateScenario(cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := runCombo(s, name)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Cost.Total()
+	}
+	return total / float64(o.Runs), nil
+}
+
+// Render prints a figure as an aligned text table: the X column followed by
+// one column per series.
+func Render(f *Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	b.WriteString("\n")
+	// Assume aligned X across series (true for all our figures); use the
+	// longest series' X as the axis.
+	axis := f.Series[0].X
+	for _, s := range f.Series[1:] {
+		if len(s.X) > len(axis) {
+			axis = s.X
+		}
+	}
+	for i := range axis {
+		fmt.Fprintf(&b, "%-14.4g", axis[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%16.5g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// All returns every figure generator keyed by its paper number.
+func All() map[int]func(Options) (*Figure, error) {
+	return map[int]func(Options) (*Figure, error){
+		3:  Fig3CumulativeCost,
+		4:  Fig4CostVsEdges,
+		5:  Fig5SwitchWeight,
+		6:  Fig6EmissionRate,
+		7:  Fig7CarbonCap,
+		8:  Fig8SelectionHistogram,
+		9:  Fig9TradingVolume,
+		10: Fig10Regret,
+		11: Fig11Fit,
+		12: Fig12AccuracyMNIST,
+		13: Fig13AccuracyCIFAR,
+		14: Fig14AlgRuntime,
+	}
+}
+
+// sortedKeys returns the figure IDs in order.
+func sortedKeys(m map[int]func(Options) (*Figure, error)) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// RenderAll generates and renders every figure.
+func RenderAll(o Options) (string, error) {
+	var b strings.Builder
+	gens := All()
+	for _, id := range sortedKeys(gens) {
+		fig, err := gens[id](o)
+		if err != nil {
+			return "", fmt.Errorf("figure %d: %w", id, err)
+		}
+		b.WriteString(Render(fig))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// meanCurves averages per-slot series across runs for several combos.
+func meanCurves(o Options, names []string, extract func(*sim.Result) []float64, mutate func(*sim.Config)) (map[string][]float64, error) {
+	o = o.normalized()
+	curves := make(map[string][][]float64, len(names))
+	for r := 0; r < o.Runs; r++ {
+		cfg := sim.DefaultConfig(o.Edges)
+		cfg.Horizon = o.Horizon
+		cfg.Seed = o.Seed + int64(r)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		s, err := surrogateScenario(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			res, err := runCombo(s, name)
+			if err != nil {
+				return nil, err
+			}
+			curves[name] = append(curves[name], extract(res))
+		}
+	}
+	out := make(map[string][]float64, len(names))
+	for name, runs := range curves {
+		mean, err := metrics.MeanOf(runs...)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = mean
+	}
+	return out, nil
+}
+
+// slotAxis builds the X axis 1..T.
+func slotAxis(horizon int) []float64 {
+	x := make([]float64, horizon)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	return x
+}
+
+// newRNG is a helper for figure-local randomness.
+func newRNG(seed int64, label string) *rand.Rand {
+	return numeric.SplitRNG(seed, label)
+}

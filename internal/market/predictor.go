@@ -1,0 +1,110 @@
+package market
+
+import "math"
+
+// Predictor forecasts the next allowance buy price from the history it has
+// observed. Implementations must be causal: Predict may only use prices
+// passed to Observe.
+type Predictor interface {
+	// Observe feeds the realized buy price of the current slot.
+	Observe(price float64)
+	// Predict forecasts the next slot's buy price. Before any observation
+	// it returns fallback.
+	Predict(fallback float64) float64
+}
+
+// ARPredictor is an online AR(1) forecaster: it models
+//
+//	c_{t+1} - mu = phi * (c_t - mu) + noise
+//
+// with mu estimated as the running mean and phi by online least squares over
+// lag-1 products. This realizes the paper's future-work suggestion of
+// integrating price prediction into the trading strategy; see
+// trading.NewPredictivePrimalDual for the consumer.
+type ARPredictor struct {
+	n    int
+	mean float64
+
+	// Online sums for phi = sum(x_t * x_{t+1}) / sum(x_t^2) over centered
+	// values x = c - mean (mean updated as data arrives; the slight
+	// nonstationarity is acceptable for forecasting).
+	sumXX, sumXY float64
+	prev         float64
+	hasPrev      bool
+	last         float64
+}
+
+var _ Predictor = (*ARPredictor)(nil)
+
+// NewARPredictor creates an empty AR(1) forecaster.
+func NewARPredictor() *ARPredictor { return &ARPredictor{} }
+
+// Observe implements Predictor.
+func (p *ARPredictor) Observe(price float64) {
+	p.n++
+	p.mean += (price - p.mean) / float64(p.n)
+	x := price - p.mean
+	if p.hasPrev {
+		p.sumXX += p.prev * p.prev
+		p.sumXY += p.prev * x
+	}
+	p.prev = x
+	p.hasPrev = true
+	p.last = price
+}
+
+// Phi returns the estimated AR(1) coefficient, clamped to [-1, 1].
+func (p *ARPredictor) Phi() float64 {
+	if p.sumXX <= 0 {
+		return 0
+	}
+	phi := p.sumXY / p.sumXX
+	return math.Max(-1, math.Min(1, phi))
+}
+
+// Predict implements Predictor.
+func (p *ARPredictor) Predict(fallback float64) float64 {
+	if p.n == 0 {
+		return fallback
+	}
+	if p.n < 3 {
+		return p.last
+	}
+	return p.mean + p.Phi()*(p.last-p.mean)
+}
+
+// EWMAPredictor is a simpler exponentially weighted moving-average
+// forecaster, useful as a prediction-quality baseline in ablations.
+type EWMAPredictor struct {
+	alpha float64
+	level float64
+	seen  bool
+}
+
+var _ Predictor = (*EWMAPredictor)(nil)
+
+// NewEWMAPredictor creates an EWMA forecaster with smoothing alpha in (0,1].
+func NewEWMAPredictor(alpha float64) *EWMAPredictor {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &EWMAPredictor{alpha: alpha}
+}
+
+// Observe implements Predictor.
+func (p *EWMAPredictor) Observe(price float64) {
+	if !p.seen {
+		p.level = price
+		p.seen = true
+		return
+	}
+	p.level += p.alpha * (price - p.level)
+}
+
+// Predict implements Predictor.
+func (p *EWMAPredictor) Predict(fallback float64) float64 {
+	if !p.seen {
+		return fallback
+	}
+	return p.level
+}

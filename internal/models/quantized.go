@@ -1,0 +1,105 @@
+package models
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/nn"
+)
+
+// Int8 inference typically runs at a fraction of float energy and latency;
+// these factors calibrate the quantized variants' metadata.
+const (
+	quantEnergyFactor  = 0.6
+	quantLatencyFactor = 0.7
+)
+
+// NewQuantizedTrainedZoo builds the quantization-aware zoo of the paper's
+// future-work direction: every trained model appears twice — once at full
+// precision and once int8-quantized (suffix "-q8") with a quarter of the
+// download size, reduced inference energy/latency, and whatever accuracy
+// the quantization actually costs (measured, not assumed). The bandit then
+// chooses among 2N arms, trading quality against carbon per model *and* per
+// precision.
+func NewQuantizedTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, error) {
+	base, err := NewTrainedZoo(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := base.NumModels()
+	z := &TrainedZoo{
+		testPool: base.testPool,
+		nets:     make([]*nn.Network, 0, 2*n),
+		infos:    make([]Info, 0, 2*n),
+		meanLoss: make([]float64, 0, 2*n),
+		meanAcc:  make([]float64, 0, 2*n),
+		losses:   make([][]float64, 0, 2*n),
+		correct:  make([][]bool, 0, 2*n),
+	}
+	// Keep the full-precision entries as-is.
+	z.nets = append(z.nets, base.nets...)
+	z.infos = append(z.infos, base.infos...)
+	z.meanLoss = append(z.meanLoss, base.meanLoss...)
+	z.meanAcc = append(z.meanAcc, base.meanAcc...)
+	z.losses = append(z.losses, base.losses...)
+	z.correct = append(z.correct, base.correct...)
+
+	// The quantized variants are scored on the identical test pool, so the
+	// per-sample caches stay aligned across all 2N models.
+	pool := base.testPool
+
+	for i := 0; i < n; i++ {
+		q, err := cloneNetwork(cfg.Dataset, i, base.nets[i], rng)
+		if err != nil {
+			return nil, err
+		}
+		nn.QuantizeInPlace(q)
+		q.Name = base.infos[i].Name + "-q8"
+
+		losses := make([]float64, len(pool))
+		correct := make([]bool, len(pool))
+		sumLoss, nCorrect := 0.0, 0
+		for s, sample := range pool {
+			logits := q.Forward(sample.X)
+			loss, _ := nn.SquaredLoss(logits, sample.Label)
+			losses[s] = loss
+			ok := logits.MaxIndex() == sample.Label
+			correct[s] = ok
+			sumLoss += loss
+			if ok {
+				nCorrect++
+			}
+		}
+		z.nets = append(z.nets, q)
+		z.infos = append(z.infos, Info{
+			Name:           q.Name,
+			SizeBytes:      nn.QuantizedWireSize(q),
+			PhiKWh:         base.infos[i].PhiKWh * quantEnergyFactor,
+			BaseLatencySec: base.infos[i].BaseLatencySec * quantLatencyFactor,
+		})
+		z.meanLoss = append(z.meanLoss, sumLoss/float64(len(pool)))
+		z.meanAcc = append(z.meanAcc, float64(nCorrect)/float64(len(pool)))
+		z.losses = append(z.losses, losses)
+		z.correct = append(z.correct, correct)
+	}
+	return z, nil
+}
+
+// cloneNetwork copies a trained network by rebuilding its architecture and
+// round-tripping the weights through the wire format.
+func cloneNetwork(spec dataset.Spec, modelID int, src *nn.Network, rng *rand.Rand) (*nn.Network, error) {
+	dst, err := NewFamilyNetwork(spec, modelID, rng)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := nn.WriteWeights(&buf, src); err != nil {
+		return nil, fmt.Errorf("clone %s: %w", src.Name, err)
+	}
+	if err := nn.ReadWeights(&buf, dst); err != nil {
+		return nil, fmt.Errorf("clone %s: %w", src.Name, err)
+	}
+	return dst, nil
+}

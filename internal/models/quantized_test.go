@@ -1,0 +1,78 @@
+package models
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/dataset"
+)
+
+func TestQuantizedZooShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewQuantizedTrainedZoo(smallZooConfig(dataset.MNISTLike), rng)
+	if err != nil {
+		t.Fatalf("NewQuantizedTrainedZoo: %v", err)
+	}
+	if z.NumModels() != 12 {
+		t.Fatalf("NumModels = %d, want 12 (6 fp + 6 int8)", z.NumModels())
+	}
+	for i := 0; i < 6; i++ {
+		fp := z.Info(i)
+		q := z.Info(i + 6)
+		if !strings.HasSuffix(q.Name, "-q8") {
+			t.Errorf("quantized name %q missing suffix", q.Name)
+		}
+		if !strings.HasPrefix(q.Name, fp.Name) {
+			t.Errorf("pairing broken: %q vs %q", fp.Name, q.Name)
+		}
+		// Quantized checkpoints are about a quarter the size.
+		ratio := float64(q.SizeBytes) / float64(fp.SizeBytes)
+		if ratio > 0.35 || ratio < 0.15 {
+			t.Errorf("%s size ratio = %v, want ~0.25", q.Name, ratio)
+		}
+		if q.PhiKWh >= fp.PhiKWh {
+			t.Errorf("%s energy %v not below fp %v", q.Name, q.PhiKWh, fp.PhiKWh)
+		}
+		if q.BaseLatencySec >= fp.BaseLatencySec {
+			t.Errorf("%s latency not reduced", q.Name)
+		}
+	}
+}
+
+func TestQuantizedZooAccuracyClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := smallZooConfig(dataset.MNISTLike)
+	cfg.TrainN, cfg.TestN, cfg.Epochs = 400, 400, 2
+	z, err := NewQuantizedTrainedZoo(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Int8 quantization of these small nets should cost only a little
+	// accuracy relative to the full-precision sibling (scored on the
+	// identical pool).
+	for i := 0; i < 6; i++ {
+		fp, q := z.MeanAccuracy(i), z.MeanAccuracy(i+6)
+		if q < fp-0.10 {
+			t.Errorf("%s: quantized accuracy %v far below fp %v", z.Info(i).Name, q, fp)
+		}
+	}
+}
+
+func TestQuantizedZooBatchLossConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z, err := NewQuantizedTrainedZoo(smallZooConfig(dataset.MNISTLike), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, z.PoolSize())
+	for i := range all {
+		all[i] = i
+	}
+	for n := 0; n < z.NumModels(); n++ {
+		avg, _ := z.BatchLoss(n, all, nil)
+		if diff := avg - z.MeanLoss(n); diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("model %d: cache inconsistent", n)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArchitecturesForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mnistIn := []int{1, 28, 28}
+	cifarIn := []int{3, 32, 32}
+	tests := []struct {
+		name string
+		net  *Network
+		in   []int
+	}{
+		{"cnn-mnist", BuildCNN("cnn", mnistIn, 8, 16, 32, 10, rng), mnistIn},
+		{"lenet-mnist", BuildLeNet5("lenet", mnistIn, 1, 10, rng), mnistIn},
+		{"mlp-mnist", BuildMLP("mlp", mnistIn, 64, 32, 10, rng), mnistIn},
+		{"cnn-cifar", BuildCNN("cnn", cifarIn, 8, 16, 32, 10, rng), cifarIn},
+		{"lenet-cifar", BuildLeNet5("lenet", cifarIn, 1, 10, rng), cifarIn},
+		{"mobile-cifar", BuildMobileCNN("mobile", cifarIn, 8, 16, 10, rng), cifarIn},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, err := tt.net.OutDim()
+			if err != nil {
+				t.Fatalf("OutDim: %v", err)
+			}
+			if out != 10 {
+				t.Fatalf("OutDim = %d, want 10", out)
+			}
+			x := randomTensor(rng, tt.in...)
+			logits := tt.net.Forward(x)
+			if logits.Len() != 10 {
+				t.Fatalf("logits len = %d", logits.Len())
+			}
+			if tt.net.NumParams() <= 0 {
+				t.Error("no parameters")
+			}
+			if tt.net.ForwardFLOPs() <= 0 {
+				t.Error("no FLOPs")
+			}
+		})
+	}
+}
+
+func TestCapacityOrdering(t *testing.T) {
+	// Bigger variants of the same family must have more parameters and more
+	// FLOPs — the model zoo relies on this to derive distinct energy/sizes.
+	rng := rand.New(rand.NewSource(22))
+	in := []int{1, 28, 28}
+	small := BuildCNN("small", in, 8, 16, 32, 10, rng)
+	large := BuildCNN("large", in, 16, 32, 64, 10, rng)
+	if small.NumParams() >= large.NumParams() {
+		t.Errorf("params: small %d >= large %d", small.NumParams(), large.NumParams())
+	}
+	if small.ForwardFLOPs() >= large.ForwardFLOPs() {
+		t.Errorf("flops: small %d >= large %d", small.ForwardFLOPs(), large.ForwardFLOPs())
+	}
+
+	l1 := BuildLeNet5("l1", in, 1, 10, rng)
+	l2 := BuildLeNet5("l2", in, 2, 10, rng)
+	if l1.NumParams() >= l2.NumParams() {
+		t.Errorf("lenet params: %d >= %d", l1.NumParams(), l2.NumParams())
+	}
+}
+
+func TestLeNetScaleDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in := []int{1, 28, 28}
+	n := BuildLeNet5("l", in, 0, 10, rng) // scale <= 0 falls back to 1
+	ref := BuildLeNet5("r", in, 1, 10, rng)
+	if n.NumParams() != ref.NumParams() {
+		t.Errorf("default scale mismatch: %d vs %d", n.NumParams(), ref.NumParams())
+	}
+}
+
+func TestMobileCheaperThanCNN(t *testing.T) {
+	// The MobileNet stand-in must be cheaper per inference than the plain
+	// CNN with similar channel counts (that is its entire point).
+	rng := rand.New(rand.NewSource(24))
+	in := []int{3, 32, 32}
+	mobile := BuildMobileCNN("mobile", in, 8, 16, 10, rng)
+	cnn := BuildCNN("cnn", in, 8, 16, 32, 10, rng)
+	if mobile.ForwardFLOPs() >= cnn.ForwardFLOPs() {
+		t.Errorf("mobile FLOPs %d >= cnn FLOPs %d", mobile.ForwardFLOPs(), cnn.ForwardFLOPs())
+	}
+}

@@ -1,0 +1,13 @@
+// Package nn is a small from-scratch neural-network substrate (pure Go,
+// stdlib only) used to stand in for the paper's MNIST/CIFAR-10 model zoo.
+//
+// It provides dense and 2-D convolutional layers, max pooling, ReLU,
+// softmax/cross-entropy and squared-loss heads, and a minibatch SGD trainer.
+// Networks report their parameter counts and per-inference FLOPs, from which
+// the model-zoo package derives the paper's model size W_n, per-sample
+// inference energy, and computation latency.
+//
+// The implementation favors clarity and determinism over raw speed: all
+// weight initialization flows from an explicit RNG so that a simulation seed
+// fully reproduces the trained models.
+package nn

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dropout is inverted dropout: during training each activation is zeroed
+// with probability p and survivors are scaled by 1/(1-p); during inference
+// it is the identity. Training mode is toggled through Network.SetTraining
+// (Train/TrainWith flip it automatically).
+type Dropout struct {
+	p   float64
+	rng *rand.Rand
+
+	training bool
+	mask     []float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout creates a dropout layer with drop probability p in [0, 1).
+func NewDropout(p float64, rng *rand.Rand) (*Dropout, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("nn: dropout probability must be in [0,1), got %g", p)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nn: dropout needs an RNG")
+	}
+	return &Dropout{p: p, rng: rng}, nil
+}
+
+// SetTraining toggles training mode.
+func (d *Dropout) SetTraining(on bool) { d.training = on }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(in *Tensor) *Tensor {
+	if !d.training || d.p == 0 {
+		d.mask = nil
+		return in
+	}
+	out := NewTensor(in.Shape...)
+	if cap(d.mask) < in.Len() {
+		d.mask = make([]float64, in.Len())
+	}
+	d.mask = d.mask[:in.Len()]
+	keep := 1 - d.p
+	inv := 1 / keep
+	for i, v := range in.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = inv
+			out.Data[i] = v * inv
+		} else {
+			d.mask[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *Tensor) *Tensor {
+	if d.mask == nil {
+		return gradOut
+	}
+	gradIn := NewTensor(gradOut.Shape...)
+	for i, m := range d.mask {
+		gradIn.Data[i] = gradOut.Data[i] * m
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*Tensor { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return in }
+
+// FLOPs implements Layer.
+func (d *Dropout) FLOPs(in []int) int64 {
+	n := int64(1)
+	for _, dim := range in {
+		n *= int64(dim)
+	}
+	return n
+}
+
+// modeSetter is implemented by layers that behave differently during
+// training (currently Dropout).
+type modeSetter interface {
+	SetTraining(bool)
+}
+
+// SetTraining flips training mode on every mode-aware layer.
+func (n *Network) SetTraining(on bool) {
+	for _, l := range n.Layers {
+		if m, ok := l.(modeSetter); ok {
+			m.SetTraining(on)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDropoutErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDropout(-0.1, rng); err == nil {
+		t.Error("expected error for negative p")
+	}
+	if _, err := NewDropout(1, rng); err == nil {
+		t.Error("expected error for p = 1")
+	}
+	if _, err := NewDropout(0.5, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestDropoutIdentityInEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := NewDropout(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomTensor(rng, 10)
+	out := d.Forward(in) // not training
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatal("dropout modified activations in eval mode")
+		}
+	}
+	g := randomTensor(rng, 10)
+	back := d.Backward(g)
+	for i := range g.Data {
+		if back.Data[i] != g.Data[i] {
+			t.Fatal("dropout modified gradients in eval mode")
+		}
+	}
+}
+
+func TestDropoutTrainingStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const p = 0.3
+	d, err := NewDropout(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetTraining(true)
+	in := NewTensor(10000)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	out := d.Forward(in)
+	zeros, sum := 0, 0.0
+	for _, v := range out.Data {
+		if v == 0 {
+			zeros++
+		}
+		sum += v
+	}
+	// Roughly p of activations dropped; inverted scaling preserves the
+	// expected sum.
+	if frac := float64(zeros) / 10000; math.Abs(frac-p) > 0.02 {
+		t.Errorf("dropped fraction = %v, want ~%v", frac, p)
+	}
+	if math.Abs(sum-10000) > 300 {
+		t.Errorf("expected-sum preservation broke: %v", sum)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := NewDropout(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetTraining(true)
+	in := randomTensor(rng, 50)
+	out := d.Forward(in)
+	g := NewTensor(50)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	back := d.Backward(g)
+	for i := range out.Data {
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("gradient mask mismatches activation mask")
+		}
+	}
+}
+
+func TestNetworkSetTrainingPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	drop, err := NewDropout(0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork("d", []int{20}, NewDense(20, 20, rng), drop)
+	in := randomTensor(rng, 20)
+
+	net.SetTraining(false)
+	a := net.Forward(in)
+	b := net.Forward(in)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("eval mode must be deterministic")
+		}
+	}
+	net.SetTraining(true)
+	c := net.Forward(in)
+	zeros := 0
+	for _, v := range c.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Error("training mode dropped nothing at p=0.9")
+	}
+}
+
+func TestTrainingWithDropoutConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	drop, err := NewDropout(0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork("dn", []int{2},
+		NewDense(2, 16, rng), NewReLU(), drop, NewDense(16, 2, rng))
+	samples := separableData(rng, 100)
+	if _, err := Train(net, samples, TrainConfig{Epochs: 40, BatchSize: 8, LR: 0.3}, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Train must leave the network in eval mode so Evaluate is
+	// deterministic and undropped.
+	acc, _ := Evaluate(net, samples)
+	if acc < 0.9 {
+		t.Errorf("accuracy with dropout = %v", acc)
+	}
+}

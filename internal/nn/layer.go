@@ -1,0 +1,387 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes an input
+// tensor and produces an output tensor; Backward consumes the gradient of
+// the loss w.r.t. the output and returns the gradient w.r.t. the input,
+// accumulating parameter gradients internally. Layers process one sample at
+// a time; minibatching is handled by the trainer accumulating gradients.
+type Layer interface {
+	// Forward runs the layer on one sample.
+	Forward(in *Tensor) *Tensor
+	// Backward back-propagates the output gradient from the most recent
+	// Forward call and returns the input gradient.
+	Backward(gradOut *Tensor) *Tensor
+	// Params returns the layer's parameter slices (possibly empty).
+	Params() []*Tensor
+	// Grads returns the gradient accumulators aligned with Params.
+	Grads() []*Tensor
+	// OutShape maps an input shape to the layer's output shape.
+	OutShape(in []int) []int
+	// FLOPs estimates multiply-accumulate operations for one forward pass
+	// given the input shape.
+	FLOPs(in []int) int64
+}
+
+// Dense is a fully connected layer: out = W*in + b.
+type Dense struct {
+	InDim, OutDim int
+
+	w, b   *Tensor
+	gw, gb *Tensor
+	lastIn *Tensor
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense creates a dense layer with He-style initialization from rng.
+func NewDense(inDim, outDim int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		InDim:  inDim,
+		OutDim: outDim,
+		w:      NewTensor(outDim, inDim),
+		b:      NewTensor(outDim),
+		gw:     NewTensor(outDim, inDim),
+		gb:     NewTensor(outDim),
+	}
+	scale := math.Sqrt(2 / float64(inDim))
+	for i := range d.w.Data {
+		d.w.Data[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(in *Tensor) *Tensor {
+	if in.Len() != d.InDim {
+		panic(fmt.Sprintf("nn: Dense expected %d inputs, got %d", d.InDim, in.Len()))
+	}
+	d.lastIn = in
+	out := NewTensor(d.OutDim)
+	for o := 0; o < d.OutDim; o++ {
+		row := d.w.Data[o*d.InDim : (o+1)*d.InDim]
+		sum := d.b.Data[o]
+		for i, x := range in.Data {
+			sum += row[i] * x
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *Tensor) *Tensor {
+	gradIn := NewTensor(d.InDim)
+	for o := 0; o < d.OutDim; o++ {
+		g := gradOut.Data[o]
+		d.gb.Data[o] += g
+		row := d.w.Data[o*d.InDim : (o+1)*d.InDim]
+		grow := d.gw.Data[o*d.InDim : (o+1)*d.InDim]
+		for i, x := range d.lastIn.Data {
+			grow[i] += g * x
+			gradIn.Data[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Tensor { return []*Tensor{d.w, d.b} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*Tensor { return []*Tensor{d.gw, d.gb} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape([]int) []int { return []int{d.OutDim} }
+
+// FLOPs implements Layer.
+func (d *Dense) FLOPs([]int) int64 { return int64(d.InDim) * int64(d.OutDim) }
+
+// Conv2D is a 2-D convolution with stride 1 and valid padding over CHW
+// tensors.
+type Conv2D struct {
+	InC, OutC, K int
+
+	w, b   *Tensor // w: [OutC, InC, K, K]
+	gw, gb *Tensor
+	lastIn *Tensor
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D creates a convolution layer with He initialization.
+func NewConv2D(inC, outC, k int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		InC:  inC,
+		OutC: outC,
+		K:    k,
+		w:    NewTensor(outC, inC, k, k),
+		b:    NewTensor(outC),
+		gw:   NewTensor(outC, inC, k, k),
+		gb:   NewTensor(outC),
+	}
+	fanIn := float64(inC * k * k)
+	scale := math.Sqrt(2 / fanIn)
+	for i := range c.w.Data {
+		c.w.Data[i] = rng.NormFloat64() * scale
+	}
+	return c
+}
+
+func (c *Conv2D) wAt(oc, ic, ky, kx int) float64 {
+	return c.w.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx]
+}
+
+func (c *Conv2D) gwAdd(oc, ic, ky, kx int, v float64) {
+	c.gw.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx] += v
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *Tensor) *Tensor {
+	if len(in.Shape) != 3 || in.Shape[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expected [%d,H,W], got %v", c.InC, in.Shape))
+	}
+	c.lastIn = in
+	h, w := in.Shape[1], in.Shape[2]
+	oh, ow := h-c.K+1, w-c.K+1
+	out := NewTensor(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		bias := c.b.Data[oc]
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				sum := bias
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						inRow := in.Data[(ic*h+y+ky)*w+x:]
+						wRow := c.w.Data[((oc*c.InC+ic)*c.K+ky)*c.K:]
+						for kx := 0; kx < c.K; kx++ {
+							sum += wRow[kx] * inRow[kx]
+						}
+					}
+				}
+				out.Data[(oc*oh+y)*ow+x] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *Tensor) *Tensor {
+	in := c.lastIn
+	h, w := in.Shape[1], in.Shape[2]
+	oh, ow := gradOut.Shape[1], gradOut.Shape[2]
+	gradIn := NewTensor(c.InC, h, w)
+	for oc := 0; oc < c.OutC; oc++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				g := gradOut.Data[(oc*oh+y)*ow+x]
+				if g == 0 {
+					continue
+				}
+				c.gb.Data[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						inRow := in.Data[(ic*h+y+ky)*w+x:]
+						giRow := gradIn.Data[(ic*h+y+ky)*w+x:]
+						wRow := c.w.Data[((oc*c.InC+ic)*c.K+ky)*c.K:]
+						gwRow := c.gw.Data[((oc*c.InC+ic)*c.K+ky)*c.K:]
+						for kx := 0; kx < c.K; kx++ {
+							gwRow[kx] += g * inRow[kx]
+							giRow[kx] += g * wRow[kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Tensor { return []*Tensor{c.w, c.b} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*Tensor { return []*Tensor{c.gw, c.gb} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	return []int{c.OutC, in[1] - c.K + 1, in[2] - c.K + 1}
+}
+
+// FLOPs implements Layer.
+func (c *Conv2D) FLOPs(in []int) int64 {
+	oh, ow := in[1]-c.K+1, in[2]-c.K+1
+	return int64(c.OutC) * int64(oh) * int64(ow) * int64(c.InC) * int64(c.K*c.K)
+}
+
+// MaxPool2D is a 2x2 max pooling layer with stride 2 over CHW tensors.
+// Odd trailing rows/columns are dropped, matching common framework defaults.
+type MaxPool2D struct {
+	argmax  []int
+	inShape []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D creates a 2x2/stride-2 max-pool layer.
+func NewMaxPool2D() *MaxPool2D { return &MaxPool2D{} }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(in *Tensor) *Tensor {
+	ch, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh, ow := h/2, w/2
+	out := NewTensor(ch, oh, ow)
+	m.inShape = in.Shape
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+	for c := 0; c < ch; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				bestIdx := (c*h+2*y)*w + 2*x
+				best := in.Data[bestIdx]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := (c*h+2*y+dy)*w + 2*x + dx
+						if in.Data[idx] > best {
+							best, bestIdx = in.Data[idx], idx
+						}
+					}
+				}
+				o := (c*oh+y)*ow + x
+				out.Data[o] = best
+				m.argmax[o] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(gradOut *Tensor) *Tensor {
+	gradIn := NewTensor(m.inShape...)
+	for o, idx := range m.argmax {
+		gradIn.Data[idx] += gradOut.Data[o]
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Tensor { return nil }
+
+// Grads implements Layer.
+func (m *MaxPool2D) Grads() []*Tensor { return nil }
+
+// OutShape implements Layer.
+func (m *MaxPool2D) OutShape(in []int) []int {
+	return []int{in[0], in[1] / 2, in[2] / 2}
+}
+
+// FLOPs implements Layer.
+func (m *MaxPool2D) FLOPs(in []int) int64 {
+	return int64(in[0]) * int64(in[1]/2) * int64(in[2]/2) * 4
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in *Tensor) *Tensor {
+	out := NewTensor(in.Shape...)
+	if cap(r.mask) < in.Len() {
+		r.mask = make([]bool, in.Len())
+	}
+	r.mask = r.mask[:in.Len()]
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *Tensor) *Tensor {
+	gradIn := NewTensor(gradOut.Shape...)
+	for i, on := range r.mask {
+		if on {
+			gradIn.Data[i] = gradOut.Data[i]
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*Tensor { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return in }
+
+// FLOPs implements Layer.
+func (r *ReLU) FLOPs(in []int) int64 {
+	n := int64(1)
+	for _, d := range in {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Flatten reshapes any tensor to a vector.
+type Flatten struct {
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten creates a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(in *Tensor) *Tensor {
+	f.inShape = in.Shape
+	out := &Tensor{Shape: []int{in.Len()}, Data: in.Data}
+	return out
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *Tensor) *Tensor {
+	return &Tensor{Shape: f.inShape, Data: gradOut.Data}
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*Tensor { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// FLOPs implements Layer.
+func (f *Flatten) FLOPs([]int) int64 { return 0 }

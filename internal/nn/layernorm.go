@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LayerNorm normalizes a sample's activations to zero mean and unit
+// variance across all features, then applies a learnable per-feature gain
+// and bias (Ba, Kiros & Hinton 2016). Unlike batch normalization it needs
+// no batch statistics, so it fits this substrate's one-sample-at-a-time
+// execution exactly.
+type LayerNorm struct {
+	dim int
+	eps float64
+
+	gain, bias   *Tensor
+	gGain, gBias *Tensor
+
+	lastNorm *Tensor // normalized activations x-hat of the last forward
+	lastStd  float64
+}
+
+var _ Layer = (*LayerNorm)(nil)
+
+// NewLayerNorm creates a layer-norm over dim features.
+func NewLayerNorm(dim int) (*LayerNorm, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("nn: layer norm needs positive dim, got %d", dim)
+	}
+	l := &LayerNorm{
+		dim:   dim,
+		eps:   1e-5,
+		gain:  NewTensor(dim),
+		bias:  NewTensor(dim),
+		gGain: NewTensor(dim),
+		gBias: NewTensor(dim),
+	}
+	for i := range l.gain.Data {
+		l.gain.Data[i] = 1
+	}
+	return l, nil
+}
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(in *Tensor) *Tensor {
+	if in.Len() != l.dim {
+		panic(fmt.Sprintf("nn: LayerNorm expected %d features, got %d", l.dim, in.Len()))
+	}
+	mean := 0.0
+	for _, v := range in.Data {
+		mean += v
+	}
+	mean /= float64(l.dim)
+	varSum := 0.0
+	for _, v := range in.Data {
+		d := v - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum/float64(l.dim) + l.eps)
+	l.lastStd = std
+	l.lastNorm = NewTensor(in.Shape...)
+	out := NewTensor(in.Shape...)
+	for i, v := range in.Data {
+		nx := (v - mean) / std
+		l.lastNorm.Data[i] = nx
+		out.Data[i] = l.gain.Data[i]*nx + l.bias.Data[i]
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(gradOut *Tensor) *Tensor {
+	n := float64(l.dim)
+	// Gradients w.r.t. gain/bias.
+	dxhat := make([]float64, l.dim)
+	var sumDxhat, sumDxhatXhat float64
+	for i := 0; i < l.dim; i++ {
+		g := gradOut.Data[i]
+		l.gGain.Data[i] += g * l.lastNorm.Data[i]
+		l.gBias.Data[i] += g
+		dxhat[i] = g * l.gain.Data[i]
+		sumDxhat += dxhat[i]
+		sumDxhatXhat += dxhat[i] * l.lastNorm.Data[i]
+	}
+	// d in_i = (1/std) * (dxhat_i - mean(dxhat) - xhat_i * mean(dxhat*xhat))
+	gradIn := NewTensor(gradOut.Shape...)
+	for i := 0; i < l.dim; i++ {
+		gradIn.Data[i] = (dxhat[i] - sumDxhat/n - l.lastNorm.Data[i]*sumDxhatXhat/n) / l.lastStd
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Tensor { return []*Tensor{l.gain, l.bias} }
+
+// Grads implements Layer.
+func (l *LayerNorm) Grads() []*Tensor { return []*Tensor{l.gGain, l.gBias} }
+
+// OutShape implements Layer.
+func (l *LayerNorm) OutShape(in []int) []int { return in }
+
+// FLOPs implements Layer.
+func (l *LayerNorm) FLOPs([]int) int64 { return int64(4 * l.dim) }

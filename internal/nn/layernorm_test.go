@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewLayerNormErrors(t *testing.T) {
+	if _, err := NewLayerNorm(0); err == nil {
+		t.Error("expected error for zero dim")
+	}
+}
+
+func TestLayerNormForwardStatistics(t *testing.T) {
+	l, err := NewLayerNorm(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	in := randomTensor(rng, 8)
+	out := l.Forward(in)
+	// With unit gain and zero bias the output has ~zero mean and ~unit
+	// variance.
+	mean := 0.0
+	for _, v := range out.Data {
+		mean += v
+	}
+	mean /= 8
+	if math.Abs(mean) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+	varSum := 0.0
+	for _, v := range out.Data {
+		varSum += (v - mean) * (v - mean)
+	}
+	if sd := math.Sqrt(varSum / 8); math.Abs(sd-1) > 0.01 {
+		t.Errorf("std = %v", sd)
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	l, err := NewLayerNorm(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Non-trivial gain/bias so parameter gradients are exercised.
+	for i := range l.gain.Data {
+		l.gain.Data[i] = 0.5 + rng.Float64()
+		l.bias.Data[i] = rng.NormFloat64() * 0.2
+	}
+	checkLayerGradients(t, l, randomTensor(rng, 6), 1e-5)
+}
+
+func TestLayerNormShapePanic(t *testing.T) {
+	l, err := NewLayerNorm(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong input size")
+		}
+	}()
+	l.Forward(NewTensor(5))
+}
+
+func TestLayerNormInNetworkTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ln, err := NewLayerNorm(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork("ln", []int{2},
+		NewDense(2, 16, rng), ln, NewReLU(), NewDense(16, 2, rng))
+	samples := separableData(rng, 80)
+	if _, err := Train(net, samples, TrainConfig{Epochs: 40, BatchSize: 8, LR: 0.1}, rng); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Evaluate(net, samples)
+	if acc < 0.9 {
+		t.Errorf("accuracy with layer norm = %v", acc)
+	}
+}

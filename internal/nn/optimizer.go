@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer applies one parameter update from the accumulated gradients.
+// Implementations keep per-parameter state keyed by tensor identity, so an
+// optimizer instance must be used with a single network.
+type Optimizer interface {
+	// Step updates all parameters of net from its gradient accumulators
+	// (divided by scale, the minibatch size) and clears the gradients.
+	Step(net *Network, scale float64)
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD creates a plain SGD optimizer.
+func NewSGD(lr float64) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive, got %g", lr)
+	}
+	return &SGD{LR: lr}, nil
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(net *Network, scale float64) {
+	net.Step(s.LR, scale)
+}
+
+// Momentum is SGD with classical (heavy-ball) momentum.
+type Momentum struct {
+	LR, Beta float64
+
+	velocity map[*Tensor][]float64
+}
+
+var _ Optimizer = (*Momentum)(nil)
+
+// NewMomentum creates a momentum optimizer; beta in [0, 1).
+func NewMomentum(lr, beta float64) (*Momentum, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive, got %g", lr)
+	}
+	if beta < 0 || beta >= 1 {
+		return nil, fmt.Errorf("nn: momentum beta must be in [0,1), got %g", beta)
+	}
+	return &Momentum{LR: lr, Beta: beta, velocity: make(map[*Tensor][]float64)}, nil
+}
+
+// Step implements Optimizer.
+func (m *Momentum) Step(net *Network, scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	for _, l := range net.Layers {
+		params, grads := l.Params(), l.Grads()
+		for i, p := range params {
+			v, ok := m.velocity[p]
+			if !ok {
+				v = make([]float64, p.Len())
+				m.velocity[p] = v
+			}
+			g := grads[i]
+			for j := range p.Data {
+				v[j] = m.Beta*v[j] + g.Data[j]/scale
+				p.Data[j] -= m.LR * v[j]
+			}
+		}
+	}
+	net.ZeroGrads()
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Tensor][]float64
+	v map[*Tensor][]float64
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam creates an Adam optimizer with the canonical defaults for any
+// zero-valued hyperparameter.
+func NewAdam(lr float64) (*Adam, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive, got %g", lr)
+	}
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Tensor][]float64),
+		v:     make(map[*Tensor][]float64),
+	}, nil
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(net *Network, scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, l := range net.Layers {
+		params, grads := l.Params(), l.Grads()
+		for i, p := range params {
+			mBuf, ok := a.m[p]
+			if !ok {
+				mBuf = make([]float64, p.Len())
+				a.m[p] = mBuf
+			}
+			vBuf, ok := a.v[p]
+			if !ok {
+				vBuf = make([]float64, p.Len())
+				a.v[p] = vBuf
+			}
+			g := grads[i]
+			for j := range p.Data {
+				gj := g.Data[j] / scale
+				mBuf[j] = a.Beta1*mBuf[j] + (1-a.Beta1)*gj
+				vBuf[j] = a.Beta2*vBuf[j] + (1-a.Beta2)*gj*gj
+				mHat := mBuf[j] / bc1
+				vHat := vBuf[j] / bc2
+				p.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			}
+		}
+	}
+	net.ZeroGrads()
+}
+
+// TrainWith runs minibatch training like Train but with an explicit
+// optimizer instead of plain SGD. cfg.LR is ignored (the optimizer carries
+// its own rate); all other fields behave as in Train.
+func TrainWith(net *Network, samples []Sample, cfg TrainConfig, opt Optimizer, rng interface {
+	Shuffle(n int, swap func(i, j int))
+}) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no training samples")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return 0, fmt.Errorf("nn: invalid train config %+v", cfg)
+	}
+	if opt == nil {
+		return 0, fmt.Errorf("nn: nil optimizer")
+	}
+	if cfg.Loss == 0 {
+		cfg.Loss = LossCrossEntropy
+	}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	net.SetTraining(true)
+	defer net.SetTraining(false)
+	lastAvg := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			net.ZeroGrads()
+			for _, si := range idx[start:end] {
+				s := samples[si]
+				logits := net.Forward(s.X)
+				var loss float64
+				var grad *Tensor
+				switch cfg.Loss {
+				case LossSquared:
+					loss, grad = SquaredLoss(logits, s.Label)
+				default:
+					loss, grad = CrossEntropyLoss(logits, s.Label)
+				}
+				totalLoss += loss
+				net.Backward(grad)
+			}
+			opt.Step(net, float64(end-start))
+		}
+		lastAvg = totalLoss / float64(len(idx))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastAvg)
+		}
+	}
+	return lastAvg, nil
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire format realizes the paper's model-download mechanism: the cloud
+// serializes a model's parameters and ships them to an edge. Weights are
+// stored as float32 (the precision models are actually distributed at), so
+// Network.SizeBytes — the paper's W_n — matches the serialized payload up to
+// the small header.
+//
+// Layout (little endian):
+//
+//	magic  uint32  'C','E','N','N'
+//	count  uint32  number of parameter tensors
+//	repeat count times:
+//	  len  uint32  number of float32 values
+//	  data len * float32
+const (
+	wireMagic   = 0x4345_4e4e // "CENN"
+	maxWireLen  = 1 << 28     // 256M parameters; guards corrupt headers
+	maxWireCnt  = 1 << 16
+	wireVersion = 1
+)
+
+// WriteWeights serializes all parameter tensors of the network.
+func WriteWeights(w io.Writer, net *Network) error {
+	bw := bufio.NewWriter(w)
+	var params []*Tensor
+	for _, l := range net.Layers {
+		params = append(params, l.Params()...)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(wireMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(wireVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Len())); err != nil {
+			return err
+		}
+		for _, v := range p.Data {
+			if err := binary.Write(bw, binary.LittleEndian, float32(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeights deserializes parameters into an already-constructed network
+// of the identical architecture. It validates the header and every tensor
+// length against the receiving network.
+func ReadWeights(r io.Reader, net *Network) error {
+	br := bufio.NewReader(r)
+	var magic, version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("nn: read magic: %w", err)
+	}
+	if magic != wireMagic {
+		return fmt.Errorf("nn: bad magic 0x%08x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("nn: read version: %w", err)
+	}
+	if version != wireVersion {
+		return fmt.Errorf("nn: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: read count: %w", err)
+	}
+	if count > maxWireCnt {
+		return fmt.Errorf("nn: implausible tensor count %d", count)
+	}
+	var params []*Tensor
+	for _, l := range net.Layers {
+		params = append(params, l.Params()...)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: payload has %d tensors, network %q has %d", count, net.Name, len(params))
+	}
+	for i, p := range params {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return fmt.Errorf("nn: read tensor %d length: %w", i, err)
+		}
+		if n > maxWireLen {
+			return fmt.Errorf("nn: implausible tensor length %d", n)
+		}
+		if int(n) != p.Len() {
+			return fmt.Errorf("nn: tensor %d has %d values, network expects %d", i, n, p.Len())
+		}
+		for j := 0; j < int(n); j++ {
+			var v float32
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return fmt.Errorf("nn: read tensor %d value %d: %w", i, j, err)
+			}
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return fmt.Errorf("nn: non-finite weight in tensor %d", i)
+			}
+			p.Data[j] = float64(v)
+		}
+	}
+	return nil
+}
+
+// WireSize returns the exact serialized payload size in bytes for the
+// network, which the model zoo uses as the paper's model size W_n.
+func WireSize(net *Network) int64 {
+	size := int64(12) // magic + version + count
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			size += 4 + 4*int64(p.Len())
+		}
+	}
+	return size
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildTestNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return BuildCNN("cnn", []int{1, 12, 12}, 4, 8, 16, 10, rng)
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	src := buildTestNet(1)
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, src); err != nil {
+		t.Fatalf("WriteWeights: %v", err)
+	}
+	dst := buildTestNet(99) // different init, same architecture
+	if err := ReadWeights(&buf, dst); err != nil {
+		t.Fatalf("ReadWeights: %v", err)
+	}
+	// All parameters must match at float32 precision.
+	srcParams, dstParams := allParams(src), allParams(dst)
+	for i := range srcParams {
+		for j := range srcParams[i].Data {
+			want := float64(float32(srcParams[i].Data[j]))
+			if dstParams[i].Data[j] != want {
+				t.Fatalf("tensor %d value %d: %v != %v", i, j, dstParams[i].Data[j], want)
+			}
+		}
+	}
+	// Behaviorally identical (up to float32 rounding) on a probe input.
+	rng := rand.New(rand.NewSource(3))
+	x := randomTensor(rng, 1, 12, 12)
+	a, b := src.Forward(x), dst.Forward(x)
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-4 {
+			t.Fatalf("logit %d differs: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func allParams(n *Network) []*Tensor {
+	var out []*Tensor
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+func TestWireSizeMatchesPayload(t *testing.T) {
+	net := buildTestNet(2)
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(buf.Len()), WireSize(net); got != want {
+		t.Errorf("payload %d bytes, WireSize %d", got, want)
+	}
+	// WireSize tracks NumParams within the header overhead.
+	if WireSize(net) < net.NumParams()*4 {
+		t.Error("WireSize below raw parameter bytes")
+	}
+}
+
+func TestReadWeightsRejectsCorruptHeaders(t *testing.T) {
+	net := buildTestNet(4)
+	var good bytes.Buffer
+	if err := WriteWeights(&good, net); err != nil {
+		t.Fatal(err)
+	}
+	payload := good.Bytes()
+
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte {
+			out := append([]byte{}, b...)
+			out[0] ^= 0xff
+			return out
+		}},
+		{"bad version", func(b []byte) []byte {
+			out := append([]byte{}, b...)
+			out[4] = 0xff
+			return out
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"huge count", func(b []byte) []byte {
+			out := append([]byte{}, b...)
+			out[8], out[9], out[10], out[11] = 0xff, 0xff, 0xff, 0xff
+			return out
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dst := buildTestNet(5)
+			if err := ReadWeights(bytes.NewReader(tt.mutate(payload)), dst); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadWeightsRejectsArchitectureMismatch(t *testing.T) {
+	src := buildTestNet(6)
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	other := BuildMLP("mlp", []int{1, 12, 12}, 8, 4, 10, rng)
+	if err := ReadWeights(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("expected error for mismatched architecture")
+	}
+}
+
+func TestReadWeightsRejectsNonFinite(t *testing.T) {
+	src := buildTestNet(8)
+	params := allParams(src)
+	params[0].Data[0] = math.NaN()
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildTestNet(9)
+	if err := ReadWeights(bytes.NewReader(buf.Bytes()), dst); err == nil {
+		t.Error("expected error for NaN weight")
+	}
+}

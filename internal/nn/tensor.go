@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense n-dimensional array of float64 in row-major order.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor with the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("nn: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is not
+// copied; it must have exactly the product of the shape elements.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("nn: shape %v needs %d elements, got %d", shape, n, len(data))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Shape: s, Data: data}, nil
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.Shape...)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// At3 reads element (c, y, x) of a CHW tensor.
+func (t *Tensor) At3(c, y, x int) float64 {
+	_, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	return t.Data[(c*h+y)*w+x]
+}
+
+// Set3 writes element (c, y, x) of a CHW tensor.
+func (t *Tensor) Set3(c, y, x int, v float64) {
+	_, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	t.Data[(c*h+y)*w+x] = v
+}
+
+// SameShape reports whether two tensors share identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxIndex returns the index of the largest element (argmax).
+func (t *Tensor) MaxIndex() int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range t.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample is one labeled example.
+type Sample struct {
+	X     *Tensor
+	Label int
+}
+
+// LossKind selects the training objective.
+type LossKind int
+
+// Supported training losses.
+const (
+	// LossCrossEntropy is standard softmax cross-entropy.
+	LossCrossEntropy LossKind = iota + 1
+	// LossSquared is the paper's squared loss between the softmax output
+	// and the one-hot label.
+	LossSquared
+)
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// LRDecay multiplies LR after each epoch (1 = constant).
+	LRDecay float64
+	Loss    LossKind
+	// Silent training has no progress callback; set OnEpoch to observe.
+	OnEpoch func(epoch int, avgLoss float64)
+}
+
+// Train runs minibatch SGD over samples using rng for shuffling. It returns
+// the average training loss of the final epoch.
+func Train(net *Network, samples []Sample, cfg TrainConfig, rng *rand.Rand) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no training samples")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return 0, fmt.Errorf("nn: invalid train config %+v", cfg)
+	}
+	if cfg.Loss == 0 {
+		cfg.Loss = LossCrossEntropy
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	net.SetTraining(true)
+	defer net.SetTraining(false)
+	lr := cfg.LR
+	lastAvg := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		batchCount := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			net.ZeroGrads()
+			for _, si := range idx[start:end] {
+				s := samples[si]
+				logits := net.Forward(s.X)
+				var loss float64
+				var grad *Tensor
+				switch cfg.Loss {
+				case LossSquared:
+					loss, grad = SquaredLoss(logits, s.Label)
+				default:
+					loss, grad = CrossEntropyLoss(logits, s.Label)
+				}
+				totalLoss += loss
+				net.Backward(grad)
+			}
+			net.Step(lr, float64(end-start))
+			batchCount++
+		}
+		lastAvg = totalLoss / float64(len(idx))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastAvg)
+		}
+		lr *= cfg.LRDecay
+	}
+	return lastAvg, nil
+}
+
+// Evaluate returns classification accuracy and mean squared loss of net over
+// samples.
+func Evaluate(net *Network, samples []Sample) (accuracy, meanSquaredLoss float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	correct := 0
+	totalLoss := 0.0
+	for _, s := range samples {
+		logits := net.Forward(s.X)
+		if logits.MaxIndex() == s.Label {
+			correct++
+		}
+		l, _ := SquaredLoss(logits, s.Label)
+		totalLoss += l
+	}
+	n := float64(len(samples))
+	return float64(correct) / n, totalLoss / n
+}

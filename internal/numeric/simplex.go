@@ -1,0 +1,129 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SimplexTol is the tolerance used when validating probability vectors.
+const SimplexTol = 1e-6
+
+// IsDistribution reports whether p is a valid probability vector: all
+// entries non-negative (within tolerance) and summing to one.
+func IsDistribution(p []float64) bool {
+	sum := 0.0
+	for _, v := range p {
+		if v < -SimplexTol || math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		sum += v
+	}
+	return math.Abs(sum-1) <= SimplexTol*float64(len(p)+1)
+}
+
+// Normalize scales the non-negative vector p in place so it sums to one.
+// A zero vector becomes uniform.
+func Normalize(p []float64) {
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}
+
+// ProjectSimplex projects v onto the probability simplex in Euclidean norm
+// using the sorting algorithm of Held, Wolfe and Crowder. The result is
+// written into out (which may alias v) and returned.
+func ProjectSimplex(v []float64, out []float64) []float64 {
+	n := len(v)
+	if out == nil {
+		out = make([]float64, n)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, v)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+
+	cum := 0.0
+	rho, theta := -1, 0.0
+	for i, u := range sorted {
+		cum += u
+		t := (cum - 1) / float64(i+1)
+		if u-t > 0 {
+			rho, theta = i, t
+		}
+	}
+	if rho < 0 {
+		// Degenerate input (all -inf style); fall back to uniform.
+		u := 1 / float64(n)
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i, u := range v {
+		out[i] = math.Max(0, u-theta)
+	}
+	return out
+}
+
+// WeightedSampler draws indices proportionally to a weight vector using a
+// precomputed prefix-sum table and binary search, matching the paper's
+// O(N + log N) sampling step.
+type WeightedSampler struct {
+	prefix []float64
+}
+
+// NewWeightedSampler builds a sampler over the given non-negative weights.
+// It returns an error when the weights are empty, contain negatives/NaNs, or
+// sum to zero.
+func NewWeightedSampler(weights []float64) (*WeightedSampler, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("numeric: empty weight vector")
+	}
+	prefix := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("numeric: invalid weight %g at index %d", w, i)
+		}
+		sum += w
+		prefix[i] = sum
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("numeric: weights sum to zero")
+	}
+	return &WeightedSampler{prefix: prefix}, nil
+}
+
+// Sample draws one index using the provided RNG.
+func (s *WeightedSampler) Sample(rng *rand.Rand) int {
+	total := s.prefix[len(s.prefix)-1]
+	u := rng.Float64() * total
+	// First index whose prefix exceeds u.
+	i := sort.Search(len(s.prefix), func(i int) bool { return s.prefix[i] > u })
+	if i >= len(s.prefix) {
+		i = len(s.prefix) - 1
+	}
+	return i
+}
+
+// SampleIndex is a convenience that builds a throwaway sampler; prefer the
+// reusable WeightedSampler inside loops.
+func SampleIndex(rng *rand.Rand, weights []float64) (int, error) {
+	s, err := NewWeightedSampler(weights)
+	if err != nil {
+		return 0, err
+	}
+	return s.Sample(rng), nil
+}

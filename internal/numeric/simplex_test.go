@@ -1,0 +1,163 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsDistribution(t *testing.T) {
+	tests := []struct {
+		name string
+		p    []float64
+		want bool
+	}{
+		{"uniform", []float64{0.25, 0.25, 0.25, 0.25}, true},
+		{"point mass", []float64{0, 0, 1}, true},
+		{"negative entry", []float64{-0.1, 0.6, 0.5}, false},
+		{"sums over one", []float64{0.6, 0.6}, false},
+		{"sums under one", []float64{0.2, 0.2}, false},
+		{"nan entry", []float64{math.NaN(), 1}, false},
+		{"inf entry", []float64{math.Inf(1), 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsDistribution(tt.p); got != tt.want {
+				t.Errorf("IsDistribution(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := []float64{2, 3, 5}
+	Normalize(p)
+	want := []float64{0.2, 0.3, 0.5}
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Errorf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	p := []float64{0, 0, 0, 0}
+	Normalize(p)
+	for i := range p {
+		if math.Abs(p[i]-0.25) > 1e-12 {
+			t.Errorf("p[%d] = %v, want 0.25", i, p[i])
+		}
+	}
+}
+
+func TestProjectSimplexAlreadyOnSimplex(t *testing.T) {
+	v := []float64{0.3, 0.3, 0.4}
+	got := ProjectSimplex(v, nil)
+	for i := range v {
+		if math.Abs(got[i]-v[i]) > 1e-9 {
+			t.Errorf("projection changed a simplex point: %v -> %v", v, got)
+		}
+	}
+}
+
+func TestProjectSimplexKnownCases(t *testing.T) {
+	// Projecting a large single coordinate yields a point mass.
+	got := ProjectSimplex([]float64{10, 0, 0}, nil)
+	want := []float64{1, 0, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: the projection is a valid distribution and is no farther from
+// the input than any vertex of the simplex.
+func TestProjectSimplexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(n uint8) bool {
+		dim := int(n%6) + 2
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 3
+		}
+		p := ProjectSimplex(v, nil)
+		if !IsDistribution(p) {
+			return false
+		}
+		distP := 0.0
+		for i := range v {
+			d := v[i] - p[i]
+			distP += d * d
+		}
+		// Compare against each vertex e_j.
+		for j := 0; j < dim; j++ {
+			distV := 0.0
+			for i := range v {
+				e := 0.0
+				if i == j {
+					e = 1
+				}
+				d := v[i] - e
+				distV += d * d
+			}
+			if distP > distV+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSamplerErrors(t *testing.T) {
+	if _, err := NewWeightedSampler(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewWeightedSampler([]float64{1, -1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := NewWeightedSampler([]float64{0, 0}); err == nil {
+		t.Error("expected error for zero-sum weights")
+	}
+	if _, err := NewWeightedSampler([]float64{math.NaN()}); err == nil {
+		t.Error("expected error for NaN weight")
+	}
+}
+
+func TestWeightedSamplerDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	s, err := NewWeightedSampler(weights)
+	if err != nil {
+		t.Fatalf("NewWeightedSampler: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical p[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedSamplerZeroWeightNeverDrawn(t *testing.T) {
+	s, err := NewWeightedSampler([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatalf("NewWeightedSampler: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if got := s.Sample(rng); got != 1 {
+			t.Fatalf("drew zero-weight index %d", got)
+		}
+	}
+}

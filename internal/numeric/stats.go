@@ -1,0 +1,147 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Positive is the rectifier [x]^+ = max(x, 0) used throughout the paper's
+// dual updates.
+func Positive(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// RunningMean tracks an online mean without storing samples.
+type RunningMean struct {
+	n   int
+	sum float64
+}
+
+// Add incorporates one observation.
+func (r *RunningMean) Add(x float64) {
+	r.n++
+	r.sum += x
+}
+
+// Mean returns the current mean, or 0 before any observation.
+func (r *RunningMean) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Count returns the number of observations added so far.
+func (r *RunningMean) Count() int { return r.n }
+
+// SplitRNG derives a child RNG from a parent seed and a stream label so that
+// independent subsystems (workload, market, bandit sampling, ...) consume
+// decorrelated streams while the whole simulation stays reproducible from a
+// single seed.
+func SplitRNG(seed int64, stream string) *rand.Rand {
+	h := uint64(seed)
+	// FNV-1a over the stream label, mixed into the seed.
+	const (
+		offset = 1469598103934665603
+		prime  = 1099511628211
+	)
+	hh := uint64(offset)
+	for i := 0; i < len(stream); i++ {
+		hh ^= uint64(stream[i])
+		hh *= prime
+	}
+	h ^= hh
+	// SplitMix64 finalizer for avalanche.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Logistic is the standard logistic sigmoid.
+func Logistic(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// CumSum returns the cumulative sums of xs as a new slice.
+func CumSum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	sum := 0.0
+	for i, x := range xs {
+		sum += x
+		out[i] = sum
+	}
+	return out
+}
+
+// ArgMin returns the index of the smallest element (first on ties), or -1
+// for an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest element (first on ties), or -1 for
+// an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

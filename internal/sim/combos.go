@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/carbonedge/carbonedge/internal/bandit"
+	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/trading"
+)
+
+// The paper evaluates combinations of a model-selection scheme and a carbon
+// trading scheme (Ran-Ran, Greedy-LY, TINF-Ran, UCB-TH, ...). The factories
+// below materialize each named scheme against a scenario; Combos enumerates
+// the cross product used in the figures.
+
+// PolicyOurs is Algorithm 1 (BlockedTsallisINF) with u_i from the scenario.
+func PolicyOurs(s *Scenario, edge int, rng *rand.Rand) (bandit.Policy, error) {
+	return bandit.NewBlockedTsallisINF(s.NumModels(), s.Delays[edge], rng)
+}
+
+// PolicyRandom is the Random baseline.
+func PolicyRandom(s *Scenario, _ int, rng *rand.Rand) (bandit.Policy, error) {
+	return bandit.NewRandom(s.NumModels(), rng)
+}
+
+// PolicyGreedy is the lowest-energy Greedy baseline.
+func PolicyGreedy(s *Scenario, _ int, _ *rand.Rand) (bandit.Policy, error) {
+	scores := make([]float64, s.NumModels())
+	for n := range scores {
+		scores[n] = s.Zoo.Info(n).PhiKWh
+	}
+	return bandit.NewGreedy(scores)
+}
+
+// PolicyTsallisINF is unblocked Tsallis-INF (ignores switching cost).
+func PolicyTsallisINF(s *Scenario, _ int, rng *rand.Rand) (bandit.Policy, error) {
+	return bandit.NewTsallisINF(s.NumModels(), rng)
+}
+
+// PolicyUCB2 is the UCB2 baseline. Loss scale: worst mean loss plus worst
+// compute cost, which upper-bounds per-slot observations loosely.
+func PolicyUCB2(s *Scenario, edge int, _ *rand.Rand) (bandit.Policy, error) {
+	scale := 0.0
+	for n := 0; n < s.NumModels(); n++ {
+		if v := s.Zoo.MeanLoss(n) + s.CompCost[edge][n]; v > scale {
+			scale = v
+		}
+	}
+	return bandit.NewUCB2(s.NumModels(), 0.5, scale*1.5+1e-9)
+}
+
+// PolicyEXP3 is the classical adversarial bandit (not in the paper's
+// line-up; used by ablations).
+func PolicyEXP3(s *Scenario, edge int, rng *rand.Rand) (bandit.Policy, error) {
+	scale := 0.0
+	for n := 0; n < s.NumModels(); n++ {
+		if v := s.Zoo.MeanLoss(n) + s.CompCost[edge][n]; v > scale {
+			scale = v
+		}
+	}
+	return bandit.NewEXP3(s.NumModels(), 0.1, scale*1.5+1e-9, rng)
+}
+
+// PolicyEpsilonGreedy is the simplest stochastic baseline (ablations only).
+func PolicyEpsilonGreedy(s *Scenario, _ int, rng *rand.Rand) (bandit.Policy, error) {
+	return bandit.NewEpsilonGreedy(s.NumModels(), 0.05, rng)
+}
+
+// PolicyOffline pins each edge to its hindsight-best model.
+func PolicyOffline(s *Scenario, edge int, _ *rand.Rand) (bandit.Policy, error) {
+	return bandit.NewFixed(s.BestArm(edge), s.NumModels())
+}
+
+// primalDualConfig assembles Algorithm 2's configuration for a scenario:
+// Theorem-2 T^{-1/3} step sizes scaled by the per-slot emission magnitude
+// and the average price level, optionally multiplied by gammaMult (the
+// step-size ablation knob).
+func primalDualConfig(s *Scenario, gammaMult float64) trading.PrimalDualConfig {
+	cfg := trading.DefaultPrimalDualConfig(s.Cfg.InitialCap, s.Cfg.Horizon)
+	scale := s.MeanEmissionPerSlot()
+	if scale <= 0 {
+		scale = 1
+	}
+	tCube := 1.0 / math.Cbrt(float64(s.Cfg.Horizon))
+	// Dual step converts grams of violation into price units; primal step
+	// converts price units into trade volume.
+	avgPrice := 0.0
+	for _, c := range s.Prices.Buy {
+		avgPrice += c
+	}
+	avgPrice /= float64(len(s.Prices.Buy))
+	cfg.Gamma1 = 4 * tCube * avgPrice / scale * gammaMult
+	cfg.Gamma2 = 4 * tCube * scale / avgPrice * gammaMult
+	cfg.ZMax = 20 * scale
+	return cfg
+}
+
+// TraderOurs is Algorithm 2 (PrimalDual) with Theorem-2 step sizes scaled by
+// the scenario's per-slot emission magnitude.
+func TraderOurs(s *Scenario, _ *rand.Rand) (trading.Trader, error) {
+	return trading.NewPrimalDual(primalDualConfig(s, 1))
+}
+
+// TraderOursScaled returns Algorithm 2 with both step sizes multiplied by
+// gammaMult — the step-size sensitivity ablation.
+func TraderOursScaled(gammaMult float64) TraderFactory {
+	return func(s *Scenario, _ *rand.Rand) (trading.Trader, error) {
+		return trading.NewPrimalDual(primalDualConfig(s, gammaMult))
+	}
+}
+
+// TraderPredictive is the future-work extension: Algorithm 2 driven by an
+// online AR(1) price forecast instead of the last observed price.
+func TraderPredictive(s *Scenario, _ *rand.Rand) (trading.Trader, error) {
+	ratio := market.DefaultSellRatio
+	if s.Cfg.Prices.SellRatio > 0 && s.Cfg.Prices.SellRatio < 1 {
+		ratio = s.Cfg.Prices.SellRatio
+	}
+	return trading.NewPredictivePrimalDual(primalDualConfig(s, 1), market.NewARPredictor(), ratio)
+}
+
+// TraderRandom trades random volumes up to four times the per-slot emission
+// scale — uninformed trading churns far more volume than the workload
+// warrants, which is exactly the waste the paper attributes to the "-Ran"
+// combinations.
+func TraderRandom(s *Scenario, rng *rand.Rand) (trading.Trader, error) {
+	scale := s.MeanEmissionPerSlot()
+	if scale <= 0 {
+		scale = 1
+	}
+	return trading.NewRandomTrader(4*scale, rng)
+}
+
+// TraderThreshold buys below / sells above the band midpoints at the
+// emission scale.
+func TraderThreshold(s *Scenario, _ *rand.Rand) (trading.Trader, error) {
+	scale := s.MeanEmissionPerSlot()
+	if scale <= 0 {
+		scale = 1
+	}
+	lo, hi := s.Prices.Buy[0], s.Prices.Buy[0]
+	for _, c := range s.Prices.Buy {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	mid := (lo + hi) / 2
+	return trading.NewThresholdTrader(mid, scale, mid*0.9, scale)
+}
+
+// TraderLyapunov is the drift-plus-penalty baseline.
+func TraderLyapunov(s *Scenario, _ *rand.Rand) (trading.Trader, error) {
+	scale := s.MeanEmissionPerSlot()
+	if scale <= 0 {
+		scale = 1
+	}
+	avgPrice := 0.0
+	for _, c := range s.Prices.Buy {
+		avgPrice += c
+	}
+	avgPrice /= float64(len(s.Prices.Buy))
+	// V balances cost against queue pressure: queue is in grams, V*price
+	// must be reachable by a few slots of uncovered emissions.
+	v := scale / avgPrice * 3
+	return trading.NewLyapunovTrader(v, 2*scale, s.Cfg.InitialCap, s.Cfg.Horizon)
+}
+
+// Combo names one policy x trader pairing using the paper's labels.
+type Combo struct {
+	Name    string
+	Policy  PolicyFactory
+	Trader  TraderFactory
+	IsOurs  bool
+	PolicyL string // policy label (for grouping)
+	TraderL string // trader label
+}
+
+// Combos returns the paper's evaluated combinations. ours selects whether
+// the full "Ours" (Alg 1 + Alg 2) entry is included.
+func Combos() []Combo {
+	type p struct {
+		label   string
+		factory PolicyFactory
+	}
+	type tr struct {
+		label   string
+		factory TraderFactory
+	}
+	ps := []p{
+		{"Ran", PolicyRandom},
+		{"Greedy", PolicyGreedy},
+		{"TINF", PolicyTsallisINF},
+		{"UCB", PolicyUCB2},
+	}
+	trs := []tr{
+		{"Ran", TraderRandom},
+		{"TH", TraderThreshold},
+		{"LY", TraderLyapunov},
+	}
+	combos := []Combo{{
+		Name:    "Ours",
+		Policy:  PolicyOurs,
+		Trader:  TraderOurs,
+		IsOurs:  true,
+		PolicyL: "Ours",
+		TraderL: "Ours",
+	}}
+	for _, pp := range ps {
+		for _, tt := range trs {
+			combos = append(combos, Combo{
+				Name:    fmt.Sprintf("%s-%s", pp.label, tt.label),
+				Policy:  pp.factory,
+				Trader:  tt.factory,
+				PolicyL: pp.label,
+				TraderL: tt.label,
+			})
+		}
+	}
+	return combos
+}
+
+// ComboByName finds a combo (including "Ours" and "Offline" is excluded; use
+// Offline() for the clairvoyant scheme).
+func ComboByName(name string) (Combo, error) {
+	for _, c := range Combos() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Combo{}, fmt.Errorf("sim: unknown combo %q", name)
+}

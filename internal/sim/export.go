@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// resultJSON is the stable serialized form of a Result.
+type resultJSON struct {
+	Name            string    `json:"name"`
+	TotalCost       float64   `json:"totalCost"`
+	InferLoss       float64   `json:"inferLoss"`
+	Compute         float64   `json:"compute"`
+	Switching       float64   `json:"switching"`
+	Trading         float64   `json:"trading"`
+	Fit             float64   `json:"fit"`
+	Switches        int       `json:"switches"`
+	OverallAccuracy float64   `json:"overallAccuracy"`
+	AvgBuyPrice     float64   `json:"avgBuyPrice"`
+	CumTotal        []float64 `json:"cumTotal"`
+	Emissions       []float64 `json:"emissions"`
+	NetBuy          []float64 `json:"netBuy"`
+	WorkloadTotal   []int     `json:"workloadTotal"`
+	Accuracy        []float64 `json:"accuracy"`
+	Selections      [][]int   `json:"selections"`
+}
+
+// WriteJSON serializes the result (indented) for downstream analysis.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := resultJSON{
+		Name:            r.Name,
+		TotalCost:       r.Cost.Total(),
+		InferLoss:       r.Cost.InferLoss,
+		Compute:         r.Cost.Compute,
+		Switching:       r.Cost.Switching,
+		Trading:         r.Cost.Trading,
+		Fit:             r.Fit,
+		Switches:        r.Switches,
+		OverallAccuracy: r.OverallAccuracy,
+		AvgBuyPrice:     r.AvgBuyPrice,
+		CumTotal:        r.CumTotal,
+		Emissions:       r.Emissions,
+		NetBuy:          r.NetBuySeries(),
+		WorkloadTotal:   r.WorkloadTotal,
+		Accuracy:        r.Accuracy,
+		Selections:      r.Selections,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("sim: encode result: %w", err)
+	}
+	return nil
+}

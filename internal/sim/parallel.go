@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SeedRun describes one independent replication: a config (whose Seed field
+// is authoritative) plus the combo to play. Zoo construction is delegated to
+// a factory so surrogate zoos can be rebuilt per seed while expensive
+// trained zoos are shared.
+type SeedRun struct {
+	Cfg   Config
+	Combo Combo
+}
+
+// RunSeeds executes independent replications concurrently on up to workers
+// goroutines (default: GOMAXPROCS) and returns results aligned with the
+// input order. The zoo factory is called once per replication from worker
+// goroutines, so it must be safe for concurrent use (both zoo constructors
+// in internal/models are, as long as each call gets its own RNG).
+// A failing replication cancels nothing else; the first error encountered
+// (in input order) is returned.
+func RunSeeds(runs []SeedRun, zooFor func(Config) (*Scenario, error), workers int) ([]*Result, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("sim: no runs")
+	}
+	if zooFor == nil {
+		return nil, fmt.Errorf("sim: nil scenario factory")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+
+	results := make([]*Result, len(runs))
+	errs := make([]error, len(runs))
+	jobs := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				r := runs[idx]
+				scenario, err := zooFor(r.Cfg)
+				if err != nil {
+					errs[idx] = fmt.Errorf("scenario for run %d: %w", idx, err)
+					continue
+				}
+				var res *Result
+				if r.Combo.Name == "Offline" {
+					res, err = Offline(scenario)
+				} else {
+					res, err = Run(scenario, r.Combo.Name, r.Combo.Policy, r.Combo.Trader)
+				}
+				if err != nil {
+					errs[idx] = fmt.Errorf("run %d (%s): %w", idx, r.Combo.Name, err)
+					continue
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for i := range runs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// OfflineCombo is the sentinel combo accepted by RunSeeds for the
+// clairvoyant scheme.
+func OfflineCombo() Combo { return Combo{Name: "Offline"} }

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+func surrogateFactory(cfg Config) (*Scenario, error) {
+	zoo, err := models.DefaultSurrogateZoo(numeric.SplitRNG(cfg.Seed, "zoo"))
+	if err != nil {
+		return nil, err
+	}
+	return NewScenario(cfg, zoo)
+}
+
+func TestRunSeedsMatchesSequential(t *testing.T) {
+	combo, err := ComboByName("Ours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []SeedRun
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := DefaultConfig(3)
+		cfg.Horizon = 50
+		cfg.Seed = seed
+		runs = append(runs, SeedRun{Cfg: cfg, Combo: combo})
+	}
+	parallel, err := RunSeeds(runs, surrogateFactory, 4)
+	if err != nil {
+		t.Fatalf("RunSeeds: %v", err)
+	}
+	for i, r := range runs {
+		s, err := surrogateFactory(r.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Run(s, combo.Name, combo.Policy, combo.Trader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].Cost.Total() != seq.Cost.Total() {
+			t.Errorf("run %d: parallel %v != sequential %v", i, parallel[i].Cost.Total(), seq.Cost.Total())
+		}
+	}
+}
+
+func TestRunSeedsOfflineSentinel(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Horizon = 40
+	results, err := RunSeeds([]SeedRun{{Cfg: cfg, Combo: OfflineCombo()}}, surrogateFactory, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Name != "Offline" {
+		t.Errorf("Name = %q", results[0].Name)
+	}
+	if results[0].Fit > 1e-9 {
+		t.Errorf("offline fit = %v", results[0].Fit)
+	}
+}
+
+func TestRunSeedsErrors(t *testing.T) {
+	if _, err := RunSeeds(nil, surrogateFactory, 1); err == nil {
+		t.Error("expected error for no runs")
+	}
+	cfg := DefaultConfig(2)
+	combo, err := ComboByName("Ours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSeeds([]SeedRun{{Cfg: cfg, Combo: combo}}, nil, 1); err == nil {
+		t.Error("expected error for nil factory")
+	}
+	boom := errors.New("boom")
+	_, err = RunSeeds([]SeedRun{{Cfg: cfg, Combo: combo}}, func(Config) (*Scenario, error) {
+		return nil, boom
+	}, 1)
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunSeedsWorkerClamping(t *testing.T) {
+	combo, err := ComboByName("Greedy-TH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.Horizon = 20
+	// More workers than runs, and zero workers (defaulting) both work.
+	for _, workers := range []int{0, 16} {
+		results, err := RunSeeds([]SeedRun{{Cfg: cfg, Combo: combo}}, surrogateFactory, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != 1 || results[0] == nil {
+			t.Fatalf("workers=%d: bad results", workers)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/carbonedge/carbonedge/internal/bandit"
+	"github.com/carbonedge/carbonedge/internal/energy"
+	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/metrics"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/trading"
+)
+
+// PolicyFactory builds the model-selection policy for one edge.
+type PolicyFactory func(s *Scenario, edge int, rng *rand.Rand) (bandit.Policy, error)
+
+// TraderFactory builds the carbon trader for a run.
+type TraderFactory func(s *Scenario, rng *rand.Rand) (trading.Trader, error)
+
+// Result captures everything a run produces.
+type Result struct {
+	Name string
+	Cost metrics.CostBreakdown
+
+	// CumTotal[t] is the cumulative total cost through slot t.
+	CumTotal []float64
+	// Emissions[t] is grams of CO2 emitted in slot t.
+	Emissions []float64
+	// Decisions[t] is the trade executed in slot t.
+	Decisions []trading.Decision
+	// WorkloadTotal[t] is sum_i M_i^t.
+	WorkloadTotal []int
+	// Accuracy[t] is the fraction of correct predictions in slot t.
+	Accuracy []float64
+	// OverallAccuracy aggregates over all samples.
+	OverallAccuracy float64
+	// Fit is the paper's constraint-violation metric.
+	Fit float64
+	// Switches counts model downloads across all edges (including each
+	// edge's initial download).
+	Switches int
+	// Selections[i][n] counts slots edge i spent on model n.
+	Selections [][]int
+	// AvgBuyPrice is spend / allowances bought (0 if none bought).
+	AvgBuyPrice float64
+}
+
+// Run plays one policy/trader combination through the scenario.
+func Run(s *Scenario, name string, pf PolicyFactory, tf TraderFactory) (*Result, error) {
+	cfg := s.Cfg
+	policies := make([]bandit.Policy, cfg.Edges)
+	for i := range policies {
+		p, err := pf(s, i, numeric.SplitRNG(cfg.Seed, fmt.Sprintf("policy-%s-%d", name, i)))
+		if err != nil {
+			return nil, fmt.Errorf("policy for edge %d: %w", i, err)
+		}
+		policies[i] = p
+	}
+	trader, err := tf(s, numeric.SplitRNG(cfg.Seed, "trader-"+name))
+	if err != nil {
+		return nil, fmt.Errorf("trader: %w", err)
+	}
+	lossRNG := numeric.SplitRNG(cfg.Seed, "loss-"+name)
+	meter, err := energy.NewMeter(cfg.EmissionRate)
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := market.NewLedger(cfg.InitialCap)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Name:          name,
+		CumTotal:      make([]float64, cfg.Horizon),
+		Emissions:     make([]float64, cfg.Horizon),
+		Decisions:     make([]trading.Decision, cfg.Horizon),
+		WorkloadTotal: make([]int, cfg.Horizon),
+		Accuracy:      make([]float64, cfg.Horizon),
+		Selections:    make([][]int, cfg.Edges),
+	}
+	for i := range res.Selections {
+		res.Selections[i] = make([]int, s.NumModels())
+	}
+	prevArm := make([]int, cfg.Edges)
+	for i := range prevArm {
+		prevArm[i] = -1
+	}
+
+	pool := s.Zoo.PoolSize()
+	totalCorrect, totalSamples := 0, 0
+	var batch []int
+	for t := 0; t < cfg.Horizon; t++ {
+		var slotCost metrics.CostBreakdown
+		var slotEmission float64
+		slotCorrect, slotSamples := 0, 0
+		for i := 0; i < cfg.Edges; i++ {
+			arm := policies[i].SelectArm()
+			switched := arm != prevArm[i]
+			prevArm[i] = arm
+			res.Selections[i][arm]++
+			info := s.Zoo.Info(arm)
+
+			m := s.Workload[t][i]
+			// Draw the slot's data-sample indices for this edge.
+			if cap(batch) < m {
+				batch = make([]int, m)
+			}
+			batch = batch[:m]
+			for j := range batch {
+				batch[j] = s.streamRNGs[i].Intn(pool)
+			}
+			avgLoss, correct := s.Zoo.BatchLoss(arm, batch, lossRNG)
+			policies[i].Update(avgLoss + s.CompCost[i][arm])
+
+			slotCorrect += correct
+			slotSamples += m
+			slotCost.InferLoss += s.Zoo.MeanLoss(arm)
+			slotCost.Compute += s.CompCost[i][arm]
+			if switched {
+				slotCost.Switching += s.Delays[i]
+				res.Switches++
+				slotEmission += meter.RecordTransfer(
+					energy.TransferEnergy(energy.TransferEnergyPerByte, info.SizeBytes))
+			}
+			slotEmission += meter.RecordInference(energy.InferenceEnergy(info.PhiKWh, m))
+		}
+
+		q := trading.Quote{Buy: s.Prices.Buy[t], Sell: s.Prices.Sell[t]}
+		d := trader.Decide(t, q)
+		if err := ledger.Buy(d.Buy, q.Buy); err != nil {
+			return nil, err
+		}
+		if err := ledger.Sell(d.Sell, q.Sell); err != nil {
+			return nil, err
+		}
+		trader.Observe(t, slotEmission, q, d)
+		slotCost.Trading = d.Cost(q)
+
+		res.Cost.Add(slotCost)
+		res.CumTotal[t] = res.Cost.Total()
+		res.Emissions[t] = slotEmission
+		res.Decisions[t] = d
+		res.WorkloadTotal[t] = slotSamples
+		if slotSamples > 0 {
+			res.Accuracy[t] = float64(slotCorrect) / float64(slotSamples)
+		}
+		totalCorrect += slotCorrect
+		totalSamples += slotSamples
+	}
+	if totalSamples > 0 {
+		res.OverallAccuracy = float64(totalCorrect) / float64(totalSamples)
+	}
+	fit, err := trading.Fit(res.Emissions, res.Decisions, cfg.InitialCap)
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = fit
+	if ledger.Bought() > 0 {
+		res.AvgBuyPrice = ledger.Spend() / ledger.Bought()
+	}
+	return res, nil
+}
+
+// NetBuySeries returns z^t - w^t for every slot.
+func (r *Result) NetBuySeries() []float64 {
+	out := make([]float64, len(r.Decisions))
+	for t, d := range r.Decisions {
+		out[t] = d.Buy - d.Sell
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package trading
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BoxedOfflineOptimum solves the full-horizon trading LP exactly with
+// per-slot box constraints:
+//
+//	min  sum_t z^t c^t - w^t r^t
+//	s.t. sum_t (z^t - w^t) >= sum_t emissions^t - R
+//	     0 <= z^t, w^t <= zMax
+//
+// Unlike OfflineOptimum this includes cross-slot arbitrage (sell dear, buy
+// cheap) up to the box bound. With a single aggregate constraint the LP has
+// a greedy exchange structure: first cover the net deficit with the cheapest
+// buy capacity (or monetize the surplus with the dearest sell capacity),
+// then add paired buy+sell arbitrage units while the marginal sell price
+// exceeds the marginal buy price.
+//
+// It returns the decisions and the optimal objective value, or an error when
+// the deficit exceeds total buy capacity.
+func BoxedOfflineOptimum(emissions, buy, sell []float64, initialCap, zMax float64) ([]Decision, float64, error) {
+	n := len(emissions)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("trading: empty horizon")
+	}
+	if len(buy) != n || len(sell) != n {
+		return nil, 0, fmt.Errorf("trading: series lengths differ: %d/%d/%d", n, len(buy), len(sell))
+	}
+	if zMax <= 0 {
+		return nil, 0, fmt.Errorf("trading: zMax must be positive, got %g", zMax)
+	}
+	total := 0.0
+	for _, e := range emissions {
+		total += e
+	}
+	deficit := total - initialCap
+	if deficit > float64(n)*zMax {
+		return nil, 0, fmt.Errorf("trading: deficit %g exceeds total buy capacity %g", deficit, float64(n)*zMax)
+	}
+
+	// Remaining capacity per slot and side.
+	zCap := make([]float64, n)
+	wCap := make([]float64, n)
+	for i := range zCap {
+		zCap[i], wCap[i] = zMax, zMax
+	}
+	decisions := make([]Decision, n)
+	cost := 0.0
+
+	buyOrder := make([]int, n) // ascending buy price
+	sellOrder := make([]int, n)
+	for i := range buyOrder {
+		buyOrder[i], sellOrder[i] = i, i
+	}
+	sort.Slice(buyOrder, func(a, b int) bool { return buy[buyOrder[a]] < buy[buyOrder[b]] })
+	sort.Slice(sellOrder, func(a, b int) bool { return sell[sellOrder[a]] > sell[sellOrder[b]] })
+
+	bi, si := 0, 0 // cursors into buyOrder / sellOrder
+
+	// Phase 1: cover the net requirement.
+	if deficit > 0 {
+		need := deficit
+		for need > 1e-15 && bi < n {
+			t := buyOrder[bi]
+			q := zCap[t]
+			if q > need {
+				q = need
+			}
+			decisions[t].Buy += q
+			zCap[t] -= q
+			cost += q * buy[t]
+			need -= q
+			if zCap[t] <= 1e-15 {
+				bi++
+			}
+		}
+	} else if deficit < 0 {
+		surplus := -deficit
+		for surplus > 1e-15 && si < n {
+			t := sellOrder[si]
+			q := wCap[t]
+			if q > surplus {
+				q = surplus
+			}
+			decisions[t].Sell += q
+			wCap[t] -= q
+			cost -= q * sell[t]
+			surplus -= q
+			if wCap[t] <= 1e-15 {
+				si++
+			}
+		}
+	}
+
+	// Phase 2: paired arbitrage while profitable. A pair (buy at t_b, sell
+	// at t_s) keeps the net position unchanged and earns r - c per unit.
+	for bi < n && si < n {
+		tb, ts := buyOrder[bi], sellOrder[si]
+		if zCap[tb] <= 1e-15 {
+			bi++
+			continue
+		}
+		if wCap[ts] <= 1e-15 {
+			si++
+			continue
+		}
+		if sell[ts] <= buy[tb] {
+			break // no more profitable pairs
+		}
+		q := zCap[tb]
+		if wCap[ts] < q {
+			q = wCap[ts]
+		}
+		decisions[tb].Buy += q
+		decisions[ts].Sell += q
+		zCap[tb] -= q
+		wCap[ts] -= q
+		cost += q*buy[tb] - q*sell[ts]
+	}
+	return decisions, cost, nil
+}

@@ -1,0 +1,76 @@
+package trading
+
+import (
+	"math"
+	"testing"
+)
+
+// Empirical verification of Theorem 2: both the regret against the one-shot
+// comparators and the fit grow as O(T^{2/3}), i.e. their growth exponents
+// stay clearly below 1.
+
+func TestTheorem2FitGrowthExponent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long horizon sweep")
+	}
+	horizons := []int{500, 2000, 8000}
+	const seeds = 3
+	var logT, logF []float64
+	for _, h := range horizons {
+		sum := 0.0
+		for s := int64(0); s < seeds; s++ {
+			emissions, prices := makeSeries(t, h, 4, 500+s)
+			initialCap := 2 * float64(h)
+			_, _, fit := runPD(t, initialCap, emissions, prices)
+			sum += fit
+		}
+		avg := sum / seeds
+		if avg <= 0 {
+			avg = 1e-9
+		}
+		logT = append(logT, math.Log(float64(h)))
+		logF = append(logF, math.Log(avg))
+	}
+	slope := slopeOf(logT, logF)
+	t.Logf("empirical fit growth exponent: %.3f (Theorem 2 predicts <= 2/3)", slope)
+	if slope > 0.9 {
+		t.Errorf("fit growth exponent %.3f looks linear", slope)
+	}
+}
+
+func TestTheorem2TimeAveragedRegretVanishes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long horizon sweep")
+	}
+	// Reg_2^T / T must shrink as T grows (Theorem 2's O(T^{2/3}) regret).
+	avgAt := func(h int) float64 {
+		var sum float64
+		const seeds = 3
+		for s := int64(0); s < seeds; s++ {
+			emissions, prices := makeSeries(t, h, 4, 900+s)
+			initialCap := 2 * float64(h)
+			cost, comparator, _ := runPD(t, initialCap, emissions, prices)
+			sum += (cost - comparator) / float64(h)
+		}
+		return sum / seeds
+	}
+	short := avgAt(500)
+	long := avgAt(8000)
+	t.Logf("time-averaged P2 regret: T=500 -> %.4f, T=8000 -> %.4f", short, long)
+	if long > short && long > 0.1*math.Abs(short)+0.5 {
+		t.Errorf("time-averaged regret did not shrink: %v -> %v", short, long)
+	}
+}
+
+// slopeOf returns the least-squares slope of y on x.
+func slopeOf(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitProfile estimates a diurnal Profile and per-edge peak scales from an
+// observed workload trace (workload[t][i] = M_i^t), so that real traces
+// imported via internal/trace can be extended or re-synthesized with the
+// generator. The estimator folds the trace onto a single day, locates the
+// two largest intensity peaks (AM before noon, PM after), fits the floor
+// from the lowest decile, and the peak width from the half-maximum span.
+func FitProfile(workload [][]int) (Profile, []float64, error) {
+	if len(workload) == 0 || len(workload[0]) == 0 {
+		return Profile{}, nil, fmt.Errorf("workload: empty trace")
+	}
+	edges := len(workload[0])
+
+	// Per-edge totals give the relative scales.
+	scales := make([]float64, edges)
+	for _, row := range workload {
+		if len(row) != edges {
+			return Profile{}, nil, fmt.Errorf("workload: ragged trace")
+		}
+		for i, m := range row {
+			if m < 0 {
+				return Profile{}, nil, fmt.Errorf("workload: negative count")
+			}
+			scales[i] += float64(m)
+		}
+	}
+
+	// Fold onto a day: mean total demand per within-day slot.
+	day := make([]float64, SlotsPerDay)
+	dayCount := make([]int, SlotsPerDay)
+	for t, row := range workload {
+		slot := t % SlotsPerDay
+		total := 0.0
+		for _, m := range row {
+			total += float64(m)
+		}
+		day[slot] += total
+		dayCount[slot]++
+	}
+	maxV := 0.0
+	for s := range day {
+		if dayCount[s] > 0 {
+			day[s] /= float64(dayCount[s])
+		}
+		if day[s] > maxV {
+			maxV = day[s]
+		}
+	}
+	if maxV <= 0 {
+		return Profile{}, nil, fmt.Errorf("workload: trace has no demand")
+	}
+	for s := range day {
+		day[s] /= maxV // normalized intensity in [0,1]
+	}
+
+	// Peaks: the largest intensity before and after midday.
+	noon := SlotsPerDay / 2
+	am, pm := argmaxRange(day, 0, noon), argmaxRange(day, noon, SlotsPerDay)
+
+	// Floor: mean of the lowest-decile slots.
+	base := lowestDecileMean(day)
+
+	// Width: half-maximum span around the AM peak.
+	width := halfMaxWidth(day, am, base)
+
+	p := Profile{
+		Base:      base,
+		AMPeak:    am,
+		PMPeak:    pm,
+		PeakWidth: width,
+		DayJitter: 0.1,
+	}
+
+	// Convert per-edge totals into peak scales: total ~= scale * sum of
+	// intensities over the trace.
+	intensitySum := 0.0
+	for t := range workload {
+		intensitySum += day[t%SlotsPerDay]
+	}
+	for i := range scales {
+		if intensitySum > 0 {
+			scales[i] /= intensitySum
+		}
+	}
+	return p, scales, nil
+}
+
+// argmaxRange returns the index of the maximum of xs in [lo, hi).
+func argmaxRange(xs []float64, lo, hi int) int {
+	best := lo
+	for i := lo; i < hi; i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// lowestDecileMean averages the smallest 10% of values.
+func lowestDecileMean(xs []float64) float64 {
+	n := len(xs) / 10
+	if n < 1 {
+		n = 1
+	}
+	// Selection by repeated min without sorting the caller's slice.
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		mi := 0
+		for i, v := range tmp {
+			if v < tmp[mi] {
+				mi = i
+			}
+		}
+		sum += tmp[mi]
+		tmp[mi] = math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// halfMaxWidth measures the width (in slots) where intensity stays above
+// halfway between the floor and the peak, converted to a Gaussian sigma.
+func halfMaxWidth(day []float64, peak int, base float64) float64 {
+	half := base + (day[peak]-base)/2
+	lo, hi := peak, peak
+	for lo > 0 && day[lo-1] >= half {
+		lo--
+	}
+	for hi < len(day)-1 && day[hi+1] >= half {
+		hi++
+	}
+	// FWHM of a Gaussian = 2*sqrt(2 ln 2) * sigma ~= 2.355 sigma.
+	fwhm := float64(hi - lo + 1)
+	sigma := fwhm / 2.355
+	if sigma < 1 {
+		sigma = 1
+	}
+	return sigma
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitProfileRecoversGenerator(t *testing.T) {
+	// Generate a long trace from a known profile, fit, and compare.
+	truth := Profile{Base: 0.2, AMPeak: 30, PMPeak: 70, PeakWidth: 7, DayJitter: 0.05}
+	gen, err := NewGenerator(Config{
+		Edges: 6, MeanPeak: 300, Spread: 4, Profile: truth,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := gen.Series(SlotsPerDay * 10)
+
+	fitted, scales, err := FitProfile(trace)
+	if err != nil {
+		t.Fatalf("FitProfile: %v", err)
+	}
+	if d := fitted.AMPeak - truth.AMPeak; d < -3 || d > 3 {
+		t.Errorf("AMPeak = %d, want ~%d", fitted.AMPeak, truth.AMPeak)
+	}
+	if d := fitted.PMPeak - truth.PMPeak; d < -3 || d > 3 {
+		t.Errorf("PMPeak = %d, want ~%d", fitted.PMPeak, truth.PMPeak)
+	}
+	if math.Abs(fitted.Base-truth.Base) > 0.1 {
+		t.Errorf("Base = %v, want ~%v", fitted.Base, truth.Base)
+	}
+	if math.Abs(fitted.PeakWidth-truth.PeakWidth) > truth.PeakWidth {
+		t.Errorf("PeakWidth = %v, want ~%v", fitted.PeakWidth, truth.PeakWidth)
+	}
+	// Fitted scales preserve the ordering of the true per-edge scales.
+	trueScales := gen.Scales()
+	for i := 0; i < len(scales); i++ {
+		for j := i + 1; j < len(scales); j++ {
+			if (trueScales[i] < trueScales[j]) != (scales[i] < scales[j]) {
+				t.Errorf("scale ordering broken between edges %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestFitProfileRoundTripBehavior(t *testing.T) {
+	// A generator built from the fitted profile must reproduce the trace's
+	// gross statistics: peak-to-floor ratio within a factor of two.
+	gen, err := NewGenerator(Config{Edges: 3, MeanPeak: 200, Spread: 2}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := gen.Series(SlotsPerDay * 6)
+	fitted, scales, err := FitProfile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanScale := 0.0
+	for _, s := range scales {
+		meanScale += s
+	}
+	meanScale /= float64(len(scales))
+	refit, err := NewGenerator(Config{
+		Edges: 3, MeanPeak: meanScale, Spread: 2, Profile: fitted,
+	}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(g *Generator) float64 {
+		peak := g.Intensity(fitted.AMPeak)
+		floor := g.Intensity(0)
+		return peak / floor
+	}
+	origRatio := gen.Intensity(DefaultProfile().AMPeak) / gen.Intensity(0)
+	if r := ratio(refit); r < origRatio/2 || r > origRatio*2 {
+		t.Errorf("peak/floor ratio %v too far from original %v", r, origRatio)
+	}
+}
+
+func TestFitProfileErrors(t *testing.T) {
+	if _, _, err := FitProfile(nil); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	if _, _, err := FitProfile([][]int{{}}); err == nil {
+		t.Error("expected error for zero edges")
+	}
+	if _, _, err := FitProfile([][]int{{1, 2}, {3}}); err == nil {
+		t.Error("expected error for ragged trace")
+	}
+	if _, _, err := FitProfile([][]int{{1, -2}}); err == nil {
+		t.Error("expected error for negative counts")
+	}
+	if _, _, err := FitProfile([][]int{{0, 0}, {0, 0}}); err == nil {
+		t.Error("expected error for all-zero trace")
+	}
+}
