@@ -1,0 +1,34 @@
+# Developer entry points for the carbonedge repo.
+#
+#   make build   - compile everything
+#   make test    - tier-1 gate: full test suite
+#   make vet     - go vet across all packages
+#   make race    - race-detector pass over the internal packages (the shared
+#                  engine's parallel edge stepping must stay data-race free)
+#   make bench   - the engine's serial-vs-parallel slot-stepping benchmark
+#   make check   - vet + race + full tests: the pre-commit gate
+#   make sim     - run the default 10-edge scenario comparison
+
+GO ?= go
+
+.PHONY: build test vet race bench check sim
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test ./internal/sim/ -run XX -bench BenchmarkSlotStepParallel -benchtime 3x
+
+check: vet race test
+
+sim:
+	$(GO) run ./cmd/carbonsim

@@ -45,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 		rate         = fs.Float64("rate", -1, "carbon emission rate g/kWh (-1 = default 500)")
 		switchWeight = fs.Float64("switch-weight", 1, "weight on the model switching cost")
 		combo        = fs.String("combo", "", "run only this combination (e.g. Ours, UCB-LY)")
+		workers      = fs.Int("workers", 1, "edge-stepping workers per slot (1 = serial; results are identical for any count)")
 		zooKind      = fs.String("zoo", "surrogate", "model zoo: surrogate | mnist | cifar")
 		jsonOut      = fs.String("json", "", "write full per-slot results (JSON lines, one object per scheme) to this file")
 		workloadCSV  = fs.String("workload-csv", "", "load the workload trace from this CSV instead of generating it")
@@ -97,14 +98,14 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(scenario, c.Name, c.Policy, c.Trader)
+		res, err := sim.RunWorkers(scenario, c.Name, c.Policy, c.Trader, *workers)
 		if err != nil {
 			return err
 		}
 		results = append(results, res)
 	} else {
 		for _, c := range sim.Combos() {
-			res, err := sim.Run(scenario, c.Name, c.Policy, c.Trader)
+			res, err := sim.RunWorkers(scenario, c.Name, c.Policy, c.Trader, *workers)
 			if err != nil {
 				return fmt.Errorf("run %s: %w", c.Name, err)
 			}

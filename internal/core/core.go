@@ -66,34 +66,74 @@ const (
 // Controller is the paper's joint online algorithm.
 type Controller struct {
 	cfg      Config
-	policies []*bandit.BlockedTsallisINF
+	policies []bandit.Policy
 	trader   trading.Trader
 	lambda   func() float64
 
-	slot    int
-	state   phase
-	current []int
-	prev    []int
-	trade   trading.Decision
-	quote   trading.Quote
+	slot       int
+	state      phase
+	current    []int
+	prev       []int
+	trade      trading.Decision
+	quote      trading.Quote
+	switches   int
+	selections [][]int
 }
 
-// New creates a Controller.
-func New(cfg Config) (*Controller, error) {
+// validate checks the configuration fields shared by both constructors.
+func (cfg *Config) validate() error {
 	if cfg.NumModels <= 0 {
-		return nil, fmt.Errorf("core: NumModels must be positive, got %d", cfg.NumModels)
+		return fmt.Errorf("core: NumModels must be positive, got %d", cfg.NumModels)
 	}
 	if len(cfg.DownloadCosts) == 0 {
-		return nil, fmt.Errorf("core: need at least one edge")
+		return fmt.Errorf("core: need at least one edge")
 	}
 	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("core: Horizon must be positive, got %d", cfg.Horizon)
+		return fmt.Errorf("core: Horizon must be positive, got %d", cfg.Horizon)
 	}
 	if cfg.InitialCap < 0 {
-		return nil, fmt.Errorf("core: negative InitialCap %g", cfg.InitialCap)
+		return fmt.Errorf("core: negative InitialCap %g", cfg.InitialCap)
 	}
 	if cfg.EmissionScale < 0 || cfg.PriceScale < 0 {
-		return nil, fmt.Errorf("core: negative scale hints")
+		return fmt.Errorf("core: negative scale hints")
+	}
+	for i, u := range cfg.DownloadCosts {
+		if u < 0 {
+			return fmt.Errorf("core: negative download cost u[%d]=%g", i, u)
+		}
+	}
+	return nil
+}
+
+// newController assembles the protocol state around validated components.
+func newController(cfg Config, policies []bandit.Policy, trader trading.Trader) *Controller {
+	c := &Controller{
+		cfg:        cfg,
+		policies:   policies,
+		trader:     trader,
+		current:    make([]int, len(policies)),
+		prev:       make([]int, len(policies)),
+		selections: make([][]int, len(policies)),
+		state:      phaseSelect,
+	}
+	for i := range c.prev {
+		c.prev[i] = -1
+		c.selections[i] = make([]int, cfg.NumModels)
+	}
+	if l, ok := trader.(interface{ Lambda() float64 }); ok {
+		c.lambda = l.Lambda
+	} else {
+		c.lambda = func() float64 { return 0 }
+	}
+	return c
+}
+
+// New creates a Controller running the paper's own algorithms: Algorithm 1
+// (BlockedTsallisINF) on every edge and Algorithm 2 (PrimalDual) for
+// trading, with Theorem-2 step sizes derived from the scale hints.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if cfg.EmissionScale == 0 {
 		cfg.EmissionScale = 1
@@ -102,50 +142,66 @@ func New(cfg Config) (*Controller, error) {
 		cfg.PriceScale = 1
 	}
 
-	c := &Controller{
-		cfg:      cfg,
-		policies: make([]*bandit.BlockedTsallisINF, len(cfg.DownloadCosts)),
-		current:  make([]int, len(cfg.DownloadCosts)),
-		prev:     make([]int, len(cfg.DownloadCosts)),
-		state:    phaseSelect,
-	}
+	policies := make([]bandit.Policy, len(cfg.DownloadCosts))
 	for i, u := range cfg.DownloadCosts {
-		if u < 0 {
-			return nil, fmt.Errorf("core: negative download cost u[%d]=%g", i, u)
-		}
 		p, err := bandit.NewBlockedTsallisINF(cfg.NumModels, u,
 			numeric.SplitRNG(cfg.Seed, fmt.Sprintf("core-policy-%d", i)))
 		if err != nil {
 			return nil, fmt.Errorf("edge %d policy: %w", i, err)
 		}
-		c.policies[i] = p
-		c.prev[i] = -1
+		policies[i] = p
 	}
 	tCfg := trading.DefaultPrimalDualConfig(cfg.InitialCap, cfg.Horizon)
 	inv3 := 1.0 / math.Cbrt(float64(cfg.Horizon))
 	tCfg.Gamma1 = 4 * inv3 * cfg.PriceScale / cfg.EmissionScale
 	tCfg.Gamma2 = 4 * inv3 * cfg.EmissionScale / cfg.PriceScale
 	tCfg.ZMax = 20 * cfg.EmissionScale
+	var trader trading.Trader
 	if cfg.PredictivePricing {
 		ratio := cfg.SellRatio
 		if ratio == 0 {
 			ratio = 0.9
 		}
-		trader, err := trading.NewPredictivePrimalDual(tCfg, market.NewARPredictor(), ratio)
+		tr, err := trading.NewPredictivePrimalDual(tCfg, market.NewARPredictor(), ratio)
 		if err != nil {
 			return nil, fmt.Errorf("predictive trader: %w", err)
 		}
-		c.trader = trader
-		c.lambda = trader.Lambda
+		trader = tr
 	} else {
-		trader, err := trading.NewPrimalDual(tCfg)
+		tr, err := trading.NewPrimalDual(tCfg)
 		if err != nil {
 			return nil, fmt.Errorf("trader: %w", err)
 		}
-		c.trader = trader
-		c.lambda = trader.Lambda
+		trader = tr
 	}
-	return c, nil
+	return newController(cfg, policies, trader), nil
+}
+
+// NewWithComponents creates a Controller that drives caller-supplied
+// per-edge policies and a caller-supplied trader through the same strict
+// slot protocol. This is how the simulator runs the paper's baseline
+// combinations (Ran-Ran, UCB-LY, ...) and the clairvoyant Offline scheme
+// through the one shared engine: the protocol, switch accounting, and
+// selection bookkeeping stay identical regardless of the algorithms inside.
+func NewWithComponents(cfg Config, policies []bandit.Policy, trader trading.Trader) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(policies) != len(cfg.DownloadCosts) {
+		return nil, fmt.Errorf("core: %d policies for %d edges", len(policies), len(cfg.DownloadCosts))
+	}
+	if trader == nil {
+		return nil, fmt.Errorf("core: nil trader")
+	}
+	for i, p := range policies {
+		if p == nil {
+			return nil, fmt.Errorf("core: nil policy for edge %d", i)
+		}
+		if p.NumArms() != cfg.NumModels {
+			return nil, fmt.Errorf("core: edge %d policy has %d arms, config wants %d", i, p.NumArms(), cfg.NumModels)
+		}
+	}
+	return newController(cfg, policies, trader), nil
 }
 
 // NumEdges returns the number of edges I.
@@ -164,6 +220,7 @@ func (c *Controller) SelectModels() ([]int, error) {
 	for i, p := range c.policies {
 		c.current[i] = p.SelectArm()
 		out[i] = c.current[i]
+		c.selections[i][c.current[i]]++
 	}
 	c.state = phaseTrade
 	return out, nil
@@ -209,6 +266,9 @@ func (c *Controller) CompleteSlot(losses []float64, emission float64) error {
 	}
 	for i, p := range c.policies {
 		p.Update(losses[i])
+		if c.current[i] != c.prev[i] {
+			c.switches++
+		}
 		c.prev[i] = c.current[i]
 	}
 	c.trader.Observe(c.slot, emission, c.quote, c.trade)
@@ -217,23 +277,21 @@ func (c *Controller) CompleteSlot(losses []float64, emission float64) error {
 	return nil
 }
 
-// Switches returns total model downloads across edges so far.
-func (c *Controller) Switches() int {
-	total := 0
-	for _, p := range c.policies {
-		total += p.Switches()
-	}
-	return total
-}
+// Switches returns total model downloads across edges so far (counted at
+// slot completion; every edge's initial download is included).
+func (c *Controller) Switches() int { return c.switches }
 
-// Lambda returns Algorithm 2's dual multiplier (diagnostics).
+// Lambda returns Algorithm 2's dual multiplier (diagnostics); 0 when the
+// installed trader exposes no dual variable.
 func (c *Controller) Lambda() float64 { return c.lambda() }
 
-// Selections returns per-edge per-model slot counts.
+// Selections returns per-edge per-model slot counts. The returned slices
+// are owned by the caller.
 func (c *Controller) Selections() [][]int {
 	out := make([][]int, len(c.policies))
-	for i, p := range c.policies {
-		out[i] = p.Selections()
+	for i, row := range c.selections {
+		out[i] = make([]int, len(row))
+		copy(out[i], row)
 	}
 	return out
 }

@@ -3,11 +3,11 @@ package deploy
 import (
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"github.com/carbonedge/carbonedge/internal/core"
 	"github.com/carbonedge/carbonedge/internal/energy"
+	"github.com/carbonedge/carbonedge/internal/engine"
 	"github.com/carbonedge/carbonedge/internal/market"
 	"github.com/carbonedge/carbonedge/internal/trading"
 )
@@ -64,6 +64,8 @@ type Summary struct {
 	Switches int
 	// Accuracy is the overall fraction of correct predictions reported.
 	Accuracy float64
+	// Selections[i][n] counts slots edge i spent on model n.
+	Selections [][]int
 }
 
 // Cloud hosts the models and the online controller.
@@ -71,7 +73,6 @@ type Cloud struct {
 	cfg    CloudConfig
 	source ModelSource
 	ctrl   *core.Controller
-	meter  *energy.Meter
 }
 
 // NewCloud validates the configuration and builds the controller.
@@ -107,11 +108,12 @@ func NewCloud(cfg CloudConfig, source ModelSource) (*Cloud, error) {
 	if err != nil {
 		return nil, fmt.Errorf("deploy: controller: %w", err)
 	}
-	meter, err := energy.NewMeter(cfg.EmissionRate)
-	if err != nil {
+	// The engine builds the run's meter; validate the rate up front so a
+	// bad configuration fails before any edge connects.
+	if _, err := energy.NewMeter(cfg.EmissionRate); err != nil {
 		return nil, err
 	}
-	return &Cloud{cfg: cfg, source: source, ctrl: ctrl, meter: meter}, nil
+	return &Cloud{cfg: cfg, source: source, ctrl: ctrl}, nil
 }
 
 // edgeConn is one connected edge after the handshake.
@@ -175,105 +177,27 @@ func (c *Cloud) handshake(conn net.Conn) (*edgeConn, error) {
 	return &edgeConn{id: m.EdgeID, conn: conn}, nil
 }
 
-// run drives all slots and the controller.
+// run drives all slots through the shared engine: the TCP exchange with
+// each edge is one EdgeStepper, so the distributed deployment executes the
+// exact protocol the in-process simulator does. One worker per edge keeps
+// every edge's assign/report exchange in flight concurrently, as before.
 func (c *Cloud) run(edges []*edgeConn) (*Summary, error) {
-	sum := &Summary{
-		Emissions: make([]float64, c.cfg.Horizon),
-		Decisions: make([]trading.Decision, c.cfg.Horizon),
+	steppers := make([]engine.EdgeStepper, len(edges))
+	for i, e := range edges {
+		steppers[i] = &tcpStepper{cloud: c, edge: e, id: i}
 	}
-	totalCorrect, totalSamples := 0, 0
-	for t := 0; t < c.cfg.Horizon; t++ {
-		arms, err := c.ctrl.SelectModels()
-		if err != nil {
-			return nil, c.abort(edges, err)
-		}
-		downloads, err := c.ctrl.Downloads()
-		if err != nil {
-			return nil, c.abort(edges, err)
-		}
-
-		reports := make([]*Message, len(edges))
-		errs := make([]error, len(edges))
-		var wg sync.WaitGroup
-		for i, e := range edges {
-			wg.Add(1)
-			go func(i int, e *edgeConn) {
-				defer wg.Done()
-				if c.cfg.SlotTimeout > 0 {
-					if err := e.conn.SetDeadline(time.Now().Add(c.cfg.SlotTimeout)); err != nil {
-						errs[i] = fmt.Errorf("edge %d deadline: %w", i, err)
-						return
-					}
-					defer e.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
-				}
-				assign := &Message{
-					Type:    MsgAssign,
-					Slot:    t,
-					ModelID: arms[i],
-					Switch:  downloads[i],
-				}
-				if downloads[i] {
-					ckpt, err := c.source.Checkpoint(arms[i])
-					if err != nil {
-						errs[i] = fmt.Errorf("checkpoint model %d: %w", arms[i], err)
-						return
-					}
-					assign.Weights = ckpt
-				}
-				if err := WriteMessage(e.conn, assign); err != nil {
-					errs[i] = fmt.Errorf("edge %d assign: %w", i, err)
-					return
-				}
-				rep, err := ReadMessage(e.conn)
-				if err != nil {
-					errs[i] = fmt.Errorf("edge %d report: %w", i, err)
-					return
-				}
-				if rep.Type == MsgError {
-					errs[i] = fmt.Errorf("edge %d failed: %s", i, rep.Reason)
-					return
-				}
-				if rep.Type != MsgReport || rep.Slot != t {
-					errs[i] = fmt.Errorf("edge %d: unexpected reply type %d slot %d", i, rep.Type, rep.Slot)
-					return
-				}
-				reports[i] = rep
-			}(i, e)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, c.abort(edges, err)
-			}
-		}
-
-		// Account the slot: losses (L + measured v), energy, emissions.
-		losses := make([]float64, len(edges))
-		slotEmission := 0.0
-		for i, rep := range reports {
-			losses[i] = rep.AvgLoss + rep.CompSeconds
-			sum.ObservedLoss += losses[i]
-			slotEmission += c.meter.RecordInference(rep.EnergyKWh)
-			if downloads[i] {
-				sum.Switches++
-				slotEmission += c.meter.RecordTransfer(
-					energy.TransferEnergy(energy.TransferEnergyPerByte, c.source.Meta(arms[i]).SizeBytes))
-			}
-			totalCorrect += rep.Correct
-			totalSamples += rep.Samples
-		}
-
-		q := trading.Quote{Buy: c.cfg.Prices.Buy[t], Sell: c.cfg.Prices.Sell[t]}
-		d, err := c.ctrl.DecideTrade(q)
-		if err != nil {
-			return nil, c.abort(edges, err)
-		}
-		if err := c.ctrl.CompleteSlot(losses, slotEmission); err != nil {
-			return nil, c.abort(edges, err)
-		}
-		sum.TradingCost += d.Cost(q)
-		sum.Emissions[t] = slotEmission
-		sum.Decisions[t] = d
+	res, err := engine.Run(engine.Config{
+		Name:         "deploy",
+		Horizon:      c.cfg.Horizon,
+		NumModels:    c.source.NumModels(),
+		InitialCap:   c.cfg.InitialCap,
+		EmissionRate: c.cfg.EmissionRate,
+		Prices:       c.cfg.Prices,
+		SwitchCosts:  c.cfg.DownloadCosts,
+		Workers:      len(edges),
+	}, c.ctrl, steppers)
+	if err != nil {
+		return nil, c.abort(edges, err)
 	}
 
 	for _, e := range edges {
@@ -281,15 +205,74 @@ func (c *Cloud) run(edges []*edgeConn) (*Summary, error) {
 			return nil, fmt.Errorf("deploy: send done: %w", err)
 		}
 	}
-	fit, err := trading.Fit(sum.Emissions, sum.Decisions, c.cfg.InitialCap)
+	return &Summary{
+		ObservedLoss: res.Cost.InferLoss + res.Cost.Compute,
+		TradingCost:  res.Cost.Trading,
+		Emissions:    res.Emissions,
+		Decisions:    res.Decisions,
+		Fit:          res.Fit,
+		Switches:     res.Switches,
+		Accuracy:     res.OverallAccuracy,
+		Selections:   res.Selections,
+	}, nil
+}
+
+// tcpStepper runs one edge's slot over its connection: ship the assignment
+// (plus checkpoint on a switch), wait for the report, translate it into the
+// engine's observation. The reported average loss stands in for both the
+// bandit feedback and the accounting term — the deployment has no posterior
+// mean, only what the edge measured.
+type tcpStepper struct {
+	cloud *Cloud
+	edge  *edgeConn
+	id    int
+}
+
+// Step implements engine.EdgeStepper.
+func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, error) {
+	c, e, i := s.cloud, s.edge, s.id
+	if c.cfg.SlotTimeout > 0 {
+		if err := e.conn.SetDeadline(time.Now().Add(c.cfg.SlotTimeout)); err != nil {
+			return engine.Observation{}, fmt.Errorf("edge %d deadline: %w", i, err)
+		}
+		defer e.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	assign := &Message{
+		Type:    MsgAssign,
+		Slot:    slot,
+		ModelID: arm,
+		Switch:  download,
+	}
+	if download {
+		ckpt, err := c.source.Checkpoint(arm)
+		if err != nil {
+			return engine.Observation{}, fmt.Errorf("checkpoint model %d: %w", arm, err)
+		}
+		assign.Weights = ckpt
+	}
+	if err := WriteMessage(e.conn, assign); err != nil {
+		return engine.Observation{}, fmt.Errorf("edge %d assign: %w", i, err)
+	}
+	rep, err := ReadMessage(e.conn)
 	if err != nil {
-		return nil, err
+		return engine.Observation{}, fmt.Errorf("edge %d report: %w", i, err)
 	}
-	sum.Fit = fit
-	if totalSamples > 0 {
-		sum.Accuracy = float64(totalCorrect) / float64(totalSamples)
+	if rep.Type == MsgError {
+		return engine.Observation{}, fmt.Errorf("edge %d failed: %s", i, rep.Reason)
 	}
-	return sum, nil
+	if rep.Type != MsgReport || rep.Slot != slot {
+		return engine.Observation{}, fmt.Errorf("edge %d: unexpected reply type %d slot %d", i, rep.Type, rep.Slot)
+	}
+	return engine.Observation{
+		Loss:      rep.AvgLoss + rep.CompSeconds,
+		InferLoss: rep.AvgLoss,
+		Compute:   rep.CompSeconds,
+		Correct:   rep.Correct,
+		Samples:   rep.Samples,
+		InferKWh:  rep.EnergyKWh,
+		TransferKWh: energy.TransferEnergy(
+			energy.TransferEnergyPerByte, c.source.Meta(arm).SizeBytes),
+	}, nil
 }
 
 // abort tells every edge the run failed and returns the error.

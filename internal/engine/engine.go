@@ -1,0 +1,285 @@
+// Package engine owns the paper's per-slot execution protocol — Algorithm 1
+// model placement, inference on the slot's data stream, Algorithm 2
+// allowance trading, and emission accounting — exactly once, for every
+// driver in the repository. The in-process simulator (internal/sim), the
+// clairvoyant Offline scheme, and the TCP cloud server (internal/deploy)
+// all supply their own EdgeStepper implementations and let Run drive the
+// slots; core.Controller remains the single algorithmic brain.
+//
+// Within a slot, edges step concurrently on a bounded worker pool. Results
+// are bit-for-bit deterministic for any worker count because every source
+// of randomness is confined to one edge's stepper (each edge carries its
+// own split RNG streams and scratch buffers) and all cross-edge accounting
+// happens serially, in edge-index order, after a per-slot barrier.
+// Workers=1 reproduces the canonical serial order.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/carbonedge/carbonedge/internal/core"
+	"github.com/carbonedge/carbonedge/internal/energy"
+	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/metrics"
+	"github.com/carbonedge/carbonedge/internal/trading"
+)
+
+// Observation is what one edge reports after serving one slot.
+type Observation struct {
+	// Loss is the bandit feedback for the edge's policy: the observed
+	// average inference loss plus the computation cost (the paper's
+	// L_{i,n}^t + v_{i,n}).
+	Loss float64
+	// InferLoss and Compute are the cost-accounting terms: the expected
+	// inference loss of the served model and the computation cost. The
+	// simulator uses the posterior mean loss (as the paper's accounting
+	// does); the deployment uses the observed loss, the only one it has.
+	InferLoss float64
+	Compute   float64
+	// Correct and Samples feed the accuracy series.
+	Correct int
+	Samples int
+	// InferKWh is the slot's inference energy; TransferKWh is the energy a
+	// model download would cost. TransferKWh is consulted only when the
+	// slot began with a download, so steppers may always fill it in.
+	InferKWh    float64
+	TransferKWh float64
+}
+
+// EdgeStepper serves one edge's traffic for one slot. Each edge has its own
+// stepper instance; Step is never called concurrently on the same instance,
+// but steppers of different edges run concurrently, so implementations must
+// not share mutable state (RNGs, scratch buffers) across edges.
+type EdgeStepper interface {
+	// Step runs slot `slot` with model `arm`; download reports whether the
+	// controller scheduled a model switch for this edge this slot.
+	Step(slot, arm int, download bool) (Observation, error)
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Name labels the run's Result.
+	Name string
+	// Horizon is the number of slots T.
+	Horizon int
+	// NumModels is the zoo size N (sizes the selection counts).
+	NumModels int
+	// InitialCap (grams) seeds the allowance ledger; EmissionRate (g/kWh)
+	// converts energy into emissions.
+	InitialCap   float64
+	EmissionRate float64
+	// Prices is the allowance quote series (length >= Horizon).
+	Prices *market.Prices
+	// SwitchCosts holds the per-edge download cost u_i charged whenever the
+	// controller schedules a switch; length must equal the edge count.
+	SwitchCosts []float64
+	// Workers bounds how many edges step concurrently within a slot.
+	// 0 or 1 runs the canonical serial order; the result is identical for
+	// every value.
+	Workers int
+}
+
+// Result captures everything a run produces.
+type Result struct {
+	Name string
+	Cost metrics.CostBreakdown
+
+	// CumTotal[t] is the cumulative total cost through slot t.
+	CumTotal []float64
+	// Emissions[t] is grams of CO2 emitted in slot t.
+	Emissions []float64
+	// Decisions[t] is the trade executed in slot t.
+	Decisions []trading.Decision
+	// WorkloadTotal[t] is sum_i M_i^t.
+	WorkloadTotal []int
+	// Accuracy[t] is the fraction of correct predictions in slot t.
+	Accuracy []float64
+	// OverallAccuracy aggregates over all samples.
+	OverallAccuracy float64
+	// Fit is the paper's constraint-violation metric.
+	Fit float64
+	// Switches counts model downloads across all edges (including each
+	// edge's initial download).
+	Switches int
+	// Selections[i][n] counts slots edge i spent on model n.
+	Selections [][]int
+	// AvgBuyPrice is spend / allowances bought (0 if none bought).
+	AvgBuyPrice float64
+}
+
+// Run drives the full horizon: per slot it asks the controller for the
+// placement, steps every edge (in parallel up to cfg.Workers), accounts
+// costs and emissions in edge-index order, executes the controller's trade
+// against the ledger, and feeds the observations back.
+func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("engine: nil controller")
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("engine: no edges")
+	}
+	if ctrl.NumEdges() != len(edges) {
+		return nil, fmt.Errorf("engine: controller has %d edges, got %d steppers", ctrl.NumEdges(), len(edges))
+	}
+	for i, e := range edges {
+		if e == nil {
+			return nil, fmt.Errorf("engine: nil stepper for edge %d", i)
+		}
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("engine: Horizon must be positive, got %d", cfg.Horizon)
+	}
+	if cfg.NumModels <= 0 {
+		return nil, fmt.Errorf("engine: NumModels must be positive, got %d", cfg.NumModels)
+	}
+	if len(cfg.SwitchCosts) != len(edges) {
+		return nil, fmt.Errorf("engine: %d switch costs for %d edges", len(cfg.SwitchCosts), len(edges))
+	}
+	if cfg.Prices == nil || cfg.Prices.Horizon() < cfg.Horizon {
+		return nil, fmt.Errorf("engine: price series shorter than horizon")
+	}
+	meter, err := energy.NewMeter(cfg.EmissionRate)
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := market.NewLedger(cfg.InitialCap)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Name:          cfg.Name,
+		CumTotal:      make([]float64, cfg.Horizon),
+		Emissions:     make([]float64, cfg.Horizon),
+		Decisions:     make([]trading.Decision, cfg.Horizon),
+		WorkloadTotal: make([]int, cfg.Horizon),
+		Accuracy:      make([]float64, cfg.Horizon),
+		Selections:    make([][]int, len(edges)),
+	}
+	for i := range res.Selections {
+		res.Selections[i] = make([]int, cfg.NumModels)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+
+	obs := make([]Observation, len(edges))
+	stepErrs := make([]error, len(edges))
+	losses := make([]float64, len(edges))
+	totalCorrect, totalSamples := 0, 0
+
+	for t := 0; t < cfg.Horizon; t++ {
+		arms, err := ctrl.SelectModels()
+		if err != nil {
+			return nil, err
+		}
+		downloads, err := ctrl.Downloads()
+		if err != nil {
+			return nil, err
+		}
+
+		if workers == 1 {
+			for i, e := range edges {
+				obs[i], stepErrs[i] = e.Step(t, arms[i], downloads[i])
+			}
+		} else {
+			var wg sync.WaitGroup
+			jobs := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range jobs {
+						obs[i], stepErrs[i] = edges[i].Step(t, arms[i], downloads[i])
+					}
+				}()
+			}
+			for i := range edges {
+				jobs <- i
+			}
+			close(jobs)
+			wg.Wait()
+		}
+		// Report the first failure in edge order, deterministically.
+		for i, err := range stepErrs {
+			if err != nil {
+				return nil, fmt.Errorf("engine: edge %d slot %d: %w", i, t, err)
+			}
+		}
+
+		// Cross-edge accounting is serial and in edge-index order so the
+		// result is independent of step completion order.
+		var slotCost metrics.CostBreakdown
+		slotEmission := 0.0
+		slotCorrect, slotSamples := 0, 0
+		for i := range edges {
+			o := obs[i]
+			res.Selections[i][arms[i]]++
+			losses[i] = o.Loss
+			slotCost.InferLoss += o.InferLoss
+			slotCost.Compute += o.Compute
+			if downloads[i] {
+				slotCost.Switching += cfg.SwitchCosts[i]
+				res.Switches++
+				slotEmission += meter.RecordTransfer(o.TransferKWh)
+			}
+			slotEmission += meter.RecordInference(o.InferKWh)
+			slotCorrect += o.Correct
+			slotSamples += o.Samples
+		}
+
+		q := trading.Quote{Buy: cfg.Prices.Buy[t], Sell: cfg.Prices.Sell[t]}
+		d, err := ctrl.DecideTrade(q)
+		if err != nil {
+			return nil, err
+		}
+		if err := ledger.Buy(d.Buy, q.Buy); err != nil {
+			return nil, err
+		}
+		if err := ledger.Sell(d.Sell, q.Sell); err != nil {
+			return nil, err
+		}
+		if err := ctrl.CompleteSlot(losses, slotEmission); err != nil {
+			return nil, err
+		}
+		slotCost.Trading = d.Cost(q)
+
+		res.Cost.Add(slotCost)
+		res.CumTotal[t] = res.Cost.Total()
+		res.Emissions[t] = slotEmission
+		res.Decisions[t] = d
+		res.WorkloadTotal[t] = slotSamples
+		if slotSamples > 0 {
+			res.Accuracy[t] = float64(slotCorrect) / float64(slotSamples)
+		}
+		totalCorrect += slotCorrect
+		totalSamples += slotSamples
+	}
+	if totalSamples > 0 {
+		res.OverallAccuracy = float64(totalCorrect) / float64(totalSamples)
+	}
+	fit, err := trading.Fit(res.Emissions, res.Decisions, cfg.InitialCap)
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = fit
+	if ledger.Bought() > 0 {
+		res.AvgBuyPrice = ledger.Spend() / ledger.Bought()
+	}
+	return res, nil
+}
+
+// NetBuySeries returns z^t - w^t for every slot.
+func (r *Result) NetBuySeries() []float64 {
+	out := make([]float64, len(r.Decisions))
+	for t, d := range r.Decisions {
+		out[t] = d.Buy - d.Sell
+	}
+	return out
+}

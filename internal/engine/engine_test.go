@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/core"
+	"github.com/carbonedge/carbonedge/internal/market"
+)
+
+// fakeStepper is a deterministic pure-function edge: every observation is
+// derived from (edge, slot, arm) plus a private RNG stream, mimicking how
+// real steppers confine randomness per edge.
+type fakeStepper struct {
+	edge int
+	rng  *rand.Rand
+	// failAt, when >= 0, makes Step fail at that slot.
+	failAt int
+}
+
+func newFakeStepper(edge int, seed int64) *fakeStepper {
+	return &fakeStepper{edge: edge, rng: rand.New(rand.NewSource(seed + int64(edge))), failAt: -1}
+}
+
+func (f *fakeStepper) Step(slot, arm int, download bool) (Observation, error) {
+	if f.failAt == slot {
+		return Observation{}, fmt.Errorf("injected failure")
+	}
+	m := 3 + (slot+f.edge)%4
+	return Observation{
+		Loss:        0.5 + 0.1*float64(arm) + 0.01*f.rng.Float64(),
+		InferLoss:   0.4 + 0.1*float64(arm),
+		Compute:     0.05 * float64(f.edge+1),
+		Correct:     m - 1,
+		Samples:     m,
+		InferKWh:    1e-4 * float64(m),
+		TransferKWh: 1e-3,
+	}, nil
+}
+
+func testPrices(horizon int) *market.Prices {
+	p := &market.Prices{Buy: make([]float64, horizon), Sell: make([]float64, horizon)}
+	for t := range p.Buy {
+		p.Buy[t] = 8 + math.Sin(float64(t))
+		p.Sell[t] = p.Buy[t] * 0.9
+	}
+	return p
+}
+
+func testController(t *testing.T, edges, models, horizon int) *core.Controller {
+	t.Helper()
+	costs := make([]float64, edges)
+	for i := range costs {
+		costs[i] = 0.5 + 0.1*float64(i)
+	}
+	ctrl, err := core.New(core.Config{
+		NumModels:     models,
+		DownloadCosts: costs,
+		Horizon:       horizon,
+		InitialCap:    2,
+		EmissionScale: 0.01,
+		PriceScale:    8,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+func testConfig(edges, horizon int) Config {
+	costs := make([]float64, edges)
+	for i := range costs {
+		costs[i] = 0.5 + 0.1*float64(i)
+	}
+	return Config{
+		Name:         "test",
+		Horizon:      horizon,
+		NumModels:    4,
+		InitialCap:   2,
+		EmissionRate: 500,
+		Prices:       testPrices(horizon),
+		SwitchCosts:  costs,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	const edges, horizon = 3, 10
+	mkSteppers := func() []EdgeStepper {
+		out := make([]EdgeStepper, edges)
+		for i := range out {
+			out[i] = newFakeStepper(i, 1)
+		}
+		return out
+	}
+	tests := []struct {
+		name string
+		run  func() error
+	}{
+		{"nil controller", func() error {
+			_, err := Run(testConfig(edges, horizon), nil, mkSteppers())
+			return err
+		}},
+		{"no edges", func() error {
+			_, err := Run(testConfig(edges, horizon), testController(t, edges, 4, horizon), nil)
+			return err
+		}},
+		{"edge count mismatch", func() error {
+			_, err := Run(testConfig(edges, horizon), testController(t, edges+1, 4, horizon), mkSteppers())
+			return err
+		}},
+		{"nil stepper", func() error {
+			s := mkSteppers()
+			s[1] = nil
+			_, err := Run(testConfig(edges, horizon), testController(t, edges, 4, horizon), s)
+			return err
+		}},
+		{"zero horizon", func() error {
+			cfg := testConfig(edges, horizon)
+			cfg.Horizon = 0
+			_, err := Run(cfg, testController(t, edges, 4, horizon), mkSteppers())
+			return err
+		}},
+		{"zero models", func() error {
+			cfg := testConfig(edges, horizon)
+			cfg.NumModels = 0
+			_, err := Run(cfg, testController(t, edges, 4, horizon), mkSteppers())
+			return err
+		}},
+		{"switch cost mismatch", func() error {
+			cfg := testConfig(edges, horizon)
+			cfg.SwitchCosts = cfg.SwitchCosts[:1]
+			_, err := Run(cfg, testController(t, edges, 4, horizon), mkSteppers())
+			return err
+		}},
+		{"short prices", func() error {
+			cfg := testConfig(edges, horizon)
+			cfg.Prices = testPrices(horizon - 1)
+			_, err := Run(cfg, testController(t, edges, 4, horizon), mkSteppers())
+			return err
+		}},
+		{"negative rate", func() error {
+			cfg := testConfig(edges, horizon)
+			cfg.EmissionRate = -1
+			_, err := Run(cfg, testController(t, edges, 4, horizon), mkSteppers())
+			return err
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.run(); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	const edges, horizon = 3, 40
+	steppers := make([]EdgeStepper, edges)
+	for i := range steppers {
+		steppers[i] = newFakeStepper(i, 2)
+	}
+	res, err := Run(testConfig(edges, horizon), testController(t, edges, 4, horizon), steppers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CumTotal) != horizon || len(res.Emissions) != horizon || len(res.Decisions) != horizon {
+		t.Fatal("series lengths wrong")
+	}
+	if math.Abs(res.CumTotal[horizon-1]-res.Cost.Total()) > 1e-9 {
+		t.Errorf("CumTotal end %v != Cost.Total %v", res.CumTotal[horizon-1], res.Cost.Total())
+	}
+	for i, row := range res.Selections {
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		if total != horizon {
+			t.Errorf("edge %d selections sum to %d, want %d", i, total, horizon)
+		}
+	}
+	if res.Switches < edges {
+		t.Errorf("Switches = %d, want at least one initial download per edge", res.Switches)
+	}
+	if res.OverallAccuracy <= 0 || res.OverallAccuracy > 1 {
+		t.Errorf("OverallAccuracy = %v", res.OverallAccuracy)
+	}
+	for tt, e := range res.Emissions {
+		if e <= 0 {
+			t.Errorf("slot %d emission %v, want positive", tt, e)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	const edges, horizon = 8, 60
+	runWith := func(workers int) *Result {
+		steppers := make([]EdgeStepper, edges)
+		for i := range steppers {
+			steppers[i] = newFakeStepper(i, 3)
+		}
+		cfg := testConfig(edges, horizon)
+		cfg.Workers = workers
+		res, err := Run(cfg, testController(t, edges, 4, horizon), steppers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := runWith(1)
+	for _, workers := range []int{2, 4, edges, edges + 5} {
+		if got := runWith(workers); !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d diverged from serial result", workers)
+		}
+	}
+}
+
+func TestRunReportsFirstFailingEdge(t *testing.T) {
+	const edges, horizon = 4, 20
+	steppers := make([]EdgeStepper, edges)
+	for i := range steppers {
+		f := newFakeStepper(i, 4)
+		if i == 1 || i == 3 {
+			f.failAt = 5
+		}
+		steppers[i] = f
+	}
+	cfg := testConfig(edges, horizon)
+	cfg.Workers = edges
+	_, err := Run(cfg, testController(t, edges, 4, horizon), steppers)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "edge 1 slot 5") {
+		t.Errorf("err = %v, want deterministic first failure (edge 1 slot 5)", err)
+	}
+}
+
+func TestResultWriteJSONAndNetBuy(t *testing.T) {
+	const edges, horizon = 2, 15
+	steppers := make([]EdgeStepper, edges)
+	for i := range steppers {
+		steppers[i] = newFakeStepper(i, 5)
+	}
+	res, err := Run(testConfig(edges, horizon), testController(t, edges, 4, horizon), steppers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := res.NetBuySeries()
+	if len(nb) != horizon {
+		t.Fatalf("net buy length %d", len(nb))
+	}
+	for t2, v := range nb {
+		if want := res.Decisions[t2].Buy - res.Decisions[t2].Sell; v != want {
+			t.Fatalf("net buy mismatch at %d", t2)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"totalCost"`, `"cumTotal"`, `"selections"`} {
+		if !strings.Contains(sb.String(), key) {
+			t.Errorf("JSON missing %s", key)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"encoding/json"
@@ -49,7 +49,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		return fmt.Errorf("sim: encode result: %w", err)
+		return fmt.Errorf("engine: encode result: %w", err)
 	}
 	return nil
 }

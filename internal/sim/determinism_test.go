@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestRunWorkersDeterministic is the parallel-stepping regression test: the
+// same seed must produce the identical Result — cost series, selections,
+// fit, accuracy, everything — for workers=1 (canonical serial order),
+// workers=4, and workers=GOMAXPROCS. Scenarios are rebuilt per run because
+// the per-edge stream RNGs are stateful.
+func TestRunWorkersDeterministic(t *testing.T) {
+	const edges, horizon, seed = 6, 80, 11
+	runWith := func(workers int) *Result {
+		s := testScenario(t, edges, horizon, seed)
+		res, err := RunWorkers(s, "Ours", PolicyOurs, TraderOurs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := runWith(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := runWith(workers)
+		if !reflect.DeepEqual(serial.CumTotal, got.CumTotal) {
+			t.Errorf("workers=%d: cost series diverged from serial", workers)
+		}
+		if !reflect.DeepEqual(serial.Selections, got.Selections) {
+			t.Errorf("workers=%d: selections diverged from serial", workers)
+		}
+		if serial.Fit != got.Fit {
+			t.Errorf("workers=%d: fit %v != %v", workers, got.Fit, serial.Fit)
+		}
+		if serial.OverallAccuracy != got.OverallAccuracy {
+			t.Errorf("workers=%d: accuracy %v != %v", workers, got.OverallAccuracy, serial.OverallAccuracy)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d: full Result diverged from serial", workers)
+		}
+	}
+	// Run is the workers=1 engine: it must reproduce the canonical order.
+	s := testScenario(t, edges, horizon, seed)
+	viaRun, err := Run(s, "Ours", PolicyOurs, TraderOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, viaRun) {
+		t.Error("Run diverged from RunWorkers(..., 1)")
+	}
+}
+
+// TestOfflineDeterministic pins the clairvoyant scheme's determinism on the
+// rebased engine path.
+func TestOfflineDeterministic(t *testing.T) {
+	r1, err := Offline(testScenario(t, 4, 60, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Offline(testScenario(t, 4, 60, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("Offline is not deterministic for a fixed seed")
+	}
+}

@@ -3,9 +3,9 @@ package sim
 import (
 	"fmt"
 
-	"github.com/carbonedge/carbonedge/internal/energy"
-	"github.com/carbonedge/carbonedge/internal/metrics"
-	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/bandit"
+	"github.com/carbonedge/carbonedge/internal/core"
+	"github.com/carbonedge/carbonedge/internal/engine"
 	"github.com/carbonedge/carbonedge/internal/trading"
 )
 
@@ -15,96 +15,65 @@ import (
 // emissions and prices known in advance (the paper uses Gurobi; our LP has
 // closed form, see trading.OfflineOptimum). The result doubles as the P*
 // comparator for the P0 regret in Fig. 10.
+//
+// The slot protocol itself runs on the shared engine: fixed per-edge
+// policies and a no-op trader produce the realized emission series, then
+// the clairvoyant trade schedule is patched in.
 func Offline(s *Scenario) (*Result, error) {
 	cfg := s.Cfg
-	res := &Result{
-		Name:          "Offline",
-		CumTotal:      make([]float64, cfg.Horizon),
-		Emissions:     make([]float64, cfg.Horizon),
-		WorkloadTotal: make([]int, cfg.Horizon),
-		Accuracy:      make([]float64, cfg.Horizon),
-		Selections:    make([][]int, cfg.Edges),
+	policies := make([]bandit.Policy, cfg.Edges)
+	for i := range policies {
+		p, err := bandit.NewFixed(s.BestArm(i), s.NumModels())
+		if err != nil {
+			return nil, fmt.Errorf("fixed policy for edge %d: %w", i, err)
+		}
+		policies[i] = p
 	}
-	meter, err := energy.NewMeter(cfg.EmissionRate)
+	ctrl, err := core.NewWithComponents(core.Config{
+		NumModels:     s.NumModels(),
+		DownloadCosts: s.Delays,
+		Horizon:       cfg.Horizon,
+		InitialCap:    cfg.InitialCap,
+		Seed:          cfg.Seed,
+	}, policies, trading.NewNullTrader())
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	res, err := engine.Run(engine.Config{
+		Name:         "Offline",
+		Horizon:      cfg.Horizon,
+		NumModels:    s.NumModels(),
+		InitialCap:   cfg.InitialCap,
+		EmissionRate: cfg.EmissionRate,
+		Prices:       s.Prices,
+		SwitchCosts:  s.Delays,
+	}, ctrl, s.steppers("Offline"))
 	if err != nil {
 		return nil, err
 	}
-	best := make([]int, cfg.Edges)
-	for i := range best {
-		best[i] = s.BestArm(i)
-		res.Selections[i] = make([]int, s.NumModels())
-	}
-	lossRNG := numeric.SplitRNG(cfg.Seed, "loss-Offline")
 
-	// Pass 1: inference cost and the emission series under the best models.
-	pool := s.Zoo.PoolSize()
-	perSlot := make([]metrics.CostBreakdown, cfg.Horizon)
-	totalCorrect, totalSamples := 0, 0
-	var batch []int
-	for t := 0; t < cfg.Horizon; t++ {
-		var slotEmission float64
-		slotCorrect, slotSamples := 0, 0
-		for i := 0; i < cfg.Edges; i++ {
-			arm := best[i]
-			res.Selections[i][arm]++
-			info := s.Zoo.Info(arm)
-			m := s.Workload[t][i]
-			if cap(batch) < m {
-				batch = make([]int, m)
-			}
-			batch = batch[:m]
-			for j := range batch {
-				batch[j] = s.streamRNGs[i].Intn(pool)
-			}
-			_, correct := s.Zoo.BatchLoss(arm, batch, lossRNG)
-			slotCorrect += correct
-			slotSamples += m
-
-			perSlot[t].InferLoss += s.Zoo.MeanLoss(arm)
-			perSlot[t].Compute += s.CompCost[i][arm]
-			if t == 0 {
-				perSlot[t].Switching += s.Delays[i]
-				res.Switches++
-				slotEmission += meter.RecordTransfer(
-					energy.TransferEnergy(energy.TransferEnergyPerByte, info.SizeBytes))
-			}
-			slotEmission += meter.RecordInference(energy.InferenceEnergy(info.PhiKWh, m))
-		}
-		res.Emissions[t] = slotEmission
-		res.WorkloadTotal[t] = slotSamples
-		if slotSamples > 0 {
-			res.Accuracy[t] = float64(slotCorrect) / float64(slotSamples)
-		}
-		totalCorrect += slotCorrect
-		totalSamples += slotSamples
-	}
-	if totalSamples > 0 {
-		res.OverallAccuracy = float64(totalCorrect) / float64(totalSamples)
-	}
-
-	// Pass 2: offline-optimal trading against the realized emission series.
-	decisions, tradeCost, err := trading.OfflineOptimum(
+	// Offline-optimal trading against the realized emission series; the
+	// engine ran with the null trader, so trading costs are zero so far.
+	decisions, _, err := trading.OfflineOptimum(
 		res.Emissions, s.Prices.Buy, s.Prices.Sell, cfg.InitialCap)
 	if err != nil {
 		return nil, fmt.Errorf("offline trading: %w", err)
 	}
 	res.Decisions = decisions
-	spend, bought := 0.0, 0.0
+	spend, bought, cumTrade := 0.0, 0.0, 0.0
 	for t, d := range decisions {
-		perSlot[t].Trading = d.Cost(trading.Quote{Buy: s.Prices.Buy[t], Sell: s.Prices.Sell[t]})
+		cumTrade += d.Cost(trading.Quote{Buy: s.Prices.Buy[t], Sell: s.Prices.Sell[t]})
+		res.CumTotal[t] += cumTrade
 		spend += d.Buy * s.Prices.Buy[t]
 		bought += d.Buy
 	}
-	_ = tradeCost
-	for t := range perSlot {
-		res.Cost.Add(perSlot[t])
-		res.CumTotal[t] = res.Cost.Total()
-	}
+	res.Cost.Trading = cumTrade
 	fit, err := trading.Fit(res.Emissions, res.Decisions, cfg.InitialCap)
 	if err != nil {
 		return nil, err
 	}
 	res.Fit = fit
+	res.AvgBuyPrice = 0
 	if bought > 0 {
 		res.AvgBuyPrice = spend / bought
 	}

@@ -5,9 +5,9 @@ import (
 	"math/rand"
 
 	"github.com/carbonedge/carbonedge/internal/bandit"
+	"github.com/carbonedge/carbonedge/internal/core"
 	"github.com/carbonedge/carbonedge/internal/energy"
-	"github.com/carbonedge/carbonedge/internal/market"
-	"github.com/carbonedge/carbonedge/internal/metrics"
+	"github.com/carbonedge/carbonedge/internal/engine"
 	"github.com/carbonedge/carbonedge/internal/numeric"
 	"github.com/carbonedge/carbonedge/internal/trading"
 )
@@ -18,36 +18,22 @@ type PolicyFactory func(s *Scenario, edge int, rng *rand.Rand) (bandit.Policy, e
 // TraderFactory builds the carbon trader for a run.
 type TraderFactory func(s *Scenario, rng *rand.Rand) (trading.Trader, error)
 
-// Result captures everything a run produces.
-type Result struct {
-	Name string
-	Cost metrics.CostBreakdown
+// Result is the shared engine's per-run record (re-exported so every
+// existing caller keeps reading sim.Result).
+type Result = engine.Result
 
-	// CumTotal[t] is the cumulative total cost through slot t.
-	CumTotal []float64
-	// Emissions[t] is grams of CO2 emitted in slot t.
-	Emissions []float64
-	// Decisions[t] is the trade executed in slot t.
-	Decisions []trading.Decision
-	// WorkloadTotal[t] is sum_i M_i^t.
-	WorkloadTotal []int
-	// Accuracy[t] is the fraction of correct predictions in slot t.
-	Accuracy []float64
-	// OverallAccuracy aggregates over all samples.
-	OverallAccuracy float64
-	// Fit is the paper's constraint-violation metric.
-	Fit float64
-	// Switches counts model downloads across all edges (including each
-	// edge's initial download).
-	Switches int
-	// Selections[i][n] counts slots edge i spent on model n.
-	Selections [][]int
-	// AvgBuyPrice is spend / allowances bought (0 if none bought).
-	AvgBuyPrice float64
+// Run plays one policy/trader combination through the scenario on the
+// shared slot engine, stepping edges in the canonical serial order.
+func Run(s *Scenario, name string, pf PolicyFactory, tf TraderFactory) (*Result, error) {
+	return RunWorkers(s, name, pf, tf, 1)
 }
 
-// Run plays one policy/trader combination through the scenario.
-func Run(s *Scenario, name string, pf PolicyFactory, tf TraderFactory) (*Result, error) {
+// RunWorkers is Run with edges stepping concurrently on up to workers
+// goroutines within each slot. The result is bit-for-bit identical for
+// every worker count (each edge owns its RNG streams and scratch buffers;
+// cross-edge accounting is serialized in edge order by the engine), so
+// workers is purely a throughput knob for large edge counts.
+func RunWorkers(s *Scenario, name string, pf PolicyFactory, tf TraderFactory, workers int) (*Result, error) {
 	cfg := s.Cfg
 	policies := make([]bandit.Policy, cfg.Edges)
 	for i := range policies {
@@ -61,113 +47,76 @@ func Run(s *Scenario, name string, pf PolicyFactory, tf TraderFactory) (*Result,
 	if err != nil {
 		return nil, fmt.Errorf("trader: %w", err)
 	}
-	lossRNG := numeric.SplitRNG(cfg.Seed, "loss-"+name)
-	meter, err := energy.NewMeter(cfg.EmissionRate)
+	ctrl, err := core.NewWithComponents(core.Config{
+		NumModels:     s.NumModels(),
+		DownloadCosts: s.Delays,
+		Horizon:       cfg.Horizon,
+		InitialCap:    cfg.InitialCap,
+		Seed:          cfg.Seed,
+	}, policies, trader)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("controller: %w", err)
 	}
-	ledger, err := market.NewLedger(cfg.InitialCap)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &Result{
-		Name:          name,
-		CumTotal:      make([]float64, cfg.Horizon),
-		Emissions:     make([]float64, cfg.Horizon),
-		Decisions:     make([]trading.Decision, cfg.Horizon),
-		WorkloadTotal: make([]int, cfg.Horizon),
-		Accuracy:      make([]float64, cfg.Horizon),
-		Selections:    make([][]int, cfg.Edges),
-	}
-	for i := range res.Selections {
-		res.Selections[i] = make([]int, s.NumModels())
-	}
-	prevArm := make([]int, cfg.Edges)
-	for i := range prevArm {
-		prevArm[i] = -1
-	}
-
-	pool := s.Zoo.PoolSize()
-	totalCorrect, totalSamples := 0, 0
-	var batch []int
-	for t := 0; t < cfg.Horizon; t++ {
-		var slotCost metrics.CostBreakdown
-		var slotEmission float64
-		slotCorrect, slotSamples := 0, 0
-		for i := 0; i < cfg.Edges; i++ {
-			arm := policies[i].SelectArm()
-			switched := arm != prevArm[i]
-			prevArm[i] = arm
-			res.Selections[i][arm]++
-			info := s.Zoo.Info(arm)
-
-			m := s.Workload[t][i]
-			// Draw the slot's data-sample indices for this edge.
-			if cap(batch) < m {
-				batch = make([]int, m)
-			}
-			batch = batch[:m]
-			for j := range batch {
-				batch[j] = s.streamRNGs[i].Intn(pool)
-			}
-			avgLoss, correct := s.Zoo.BatchLoss(arm, batch, lossRNG)
-			policies[i].Update(avgLoss + s.CompCost[i][arm])
-
-			slotCorrect += correct
-			slotSamples += m
-			slotCost.InferLoss += s.Zoo.MeanLoss(arm)
-			slotCost.Compute += s.CompCost[i][arm]
-			if switched {
-				slotCost.Switching += s.Delays[i]
-				res.Switches++
-				slotEmission += meter.RecordTransfer(
-					energy.TransferEnergy(energy.TransferEnergyPerByte, info.SizeBytes))
-			}
-			slotEmission += meter.RecordInference(energy.InferenceEnergy(info.PhiKWh, m))
-		}
-
-		q := trading.Quote{Buy: s.Prices.Buy[t], Sell: s.Prices.Sell[t]}
-		d := trader.Decide(t, q)
-		if err := ledger.Buy(d.Buy, q.Buy); err != nil {
-			return nil, err
-		}
-		if err := ledger.Sell(d.Sell, q.Sell); err != nil {
-			return nil, err
-		}
-		trader.Observe(t, slotEmission, q, d)
-		slotCost.Trading = d.Cost(q)
-
-		res.Cost.Add(slotCost)
-		res.CumTotal[t] = res.Cost.Total()
-		res.Emissions[t] = slotEmission
-		res.Decisions[t] = d
-		res.WorkloadTotal[t] = slotSamples
-		if slotSamples > 0 {
-			res.Accuracy[t] = float64(slotCorrect) / float64(slotSamples)
-		}
-		totalCorrect += slotCorrect
-		totalSamples += slotSamples
-	}
-	if totalSamples > 0 {
-		res.OverallAccuracy = float64(totalCorrect) / float64(totalSamples)
-	}
-	fit, err := trading.Fit(res.Emissions, res.Decisions, cfg.InitialCap)
-	if err != nil {
-		return nil, err
-	}
-	res.Fit = fit
-	if ledger.Bought() > 0 {
-		res.AvgBuyPrice = ledger.Spend() / ledger.Bought()
-	}
-	return res, nil
+	return engine.Run(engine.Config{
+		Name:         name,
+		Horizon:      cfg.Horizon,
+		NumModels:    s.NumModels(),
+		InitialCap:   cfg.InitialCap,
+		EmissionRate: cfg.EmissionRate,
+		Prices:       s.Prices,
+		SwitchCosts:  s.Delays,
+		Workers:      workers,
+	}, ctrl, s.steppers(name))
 }
 
-// NetBuySeries returns z^t - w^t for every slot.
-func (r *Result) NetBuySeries() []float64 {
-	out := make([]float64, len(r.Decisions))
-	for t, d := range r.Decisions {
-		out[t] = d.Buy - d.Sell
+// scenarioStepper serves one edge's slots against the materialized
+// scenario. Every mutable resource — the edge's stream RNG, its loss RNG,
+// and the batch scratch buffer — is private to the edge, so steppers of
+// different edges run concurrently without coordination and the simulation
+// stays deterministic for any worker count.
+type scenarioStepper struct {
+	s       *Scenario
+	edge    int
+	lossRNG *rand.Rand
+	batch   []int
+}
+
+// steppers builds one stepper per edge for a named run. The loss RNG is
+// split per edge (stream "loss-<name>-<i>") so that edge i's loss draws do
+// not depend on how many samples other edges served before it.
+func (s *Scenario) steppers(name string) []engine.EdgeStepper {
+	out := make([]engine.EdgeStepper, s.Cfg.Edges)
+	for i := range out {
+		out[i] = &scenarioStepper{
+			s:       s,
+			edge:    i,
+			lossRNG: numeric.SplitRNG(s.Cfg.Seed, fmt.Sprintf("loss-%s-%d", name, i)),
+		}
 	}
 	return out
+}
+
+// Step implements engine.EdgeStepper.
+func (st *scenarioStepper) Step(slot, arm int, _ bool) (engine.Observation, error) {
+	s, i := st.s, st.edge
+	m := s.Workload[slot][i]
+	if cap(st.batch) < m {
+		st.batch = make([]int, m)
+	}
+	st.batch = st.batch[:m]
+	pool := s.Zoo.PoolSize()
+	for j := range st.batch {
+		st.batch[j] = s.streamRNGs[i].Intn(pool)
+	}
+	avgLoss, correct := s.Zoo.BatchLoss(arm, st.batch, st.lossRNG)
+	info := s.Zoo.Info(arm)
+	return engine.Observation{
+		Loss:        avgLoss + s.CompCost[i][arm],
+		InferLoss:   s.Zoo.MeanLoss(arm),
+		Compute:     s.CompCost[i][arm],
+		Correct:     correct,
+		Samples:     m,
+		InferKWh:    energy.InferenceEnergy(info.PhiKWh, m),
+		TransferKWh: energy.TransferEnergy(energy.TransferEnergyPerByte, info.SizeBytes),
+	}, nil
 }

@@ -182,3 +182,22 @@ func (o *OneShotTrader) Decide(t int, q Quote) Decision {
 
 // Observe implements Trader.
 func (o *OneShotTrader) Observe(int, float64, Quote, Decision) {}
+
+// NullTrader never trades. It lets a slot driver run the full protocol when
+// trading is decided outside the loop — the clairvoyant Offline scheme runs
+// the engine with a NullTrader and patches in the LP optimum afterwards.
+type NullTrader struct{}
+
+var _ Trader = NullTrader{}
+
+// NewNullTrader creates the no-op trader.
+func NewNullTrader() NullTrader { return NullTrader{} }
+
+// Name implements Trader.
+func (NullTrader) Name() string { return "Null" }
+
+// Decide implements Trader.
+func (NullTrader) Decide(int, Quote) Decision { return Decision{} }
+
+// Observe implements Trader.
+func (NullTrader) Observe(int, float64, Quote, Decision) {}
