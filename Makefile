@@ -3,15 +3,17 @@
 #   make build   - compile everything
 #   make test    - tier-1 gate: full test suite
 #   make vet     - go vet across all packages
+#   make lint    - carbonlint: the repo's custom determinism/numeric
+#                  invariant analyzers (see DESIGN.md "Static invariants")
 #   make race    - race-detector pass over the internal packages (the shared
 #                  engine's parallel edge stepping must stay data-race free)
 #   make bench   - the engine's serial-vs-parallel slot-stepping benchmark
-#   make check   - vet + race + full tests: the pre-commit gate
+#   make check   - vet + lint + race + full tests: the pre-commit gate
 #   make sim     - run the default 10-edge scenario comparison
 
 GO ?= go
 
-.PHONY: build test vet race bench check sim
+.PHONY: build test vet lint race bench check sim
 
 build:
 	$(GO) build ./...
@@ -22,13 +24,16 @@ test:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/carbonlint ./...
+
 race:
 	$(GO) test -race ./internal/...
 
 bench:
 	$(GO) test ./internal/sim/ -run XX -bench BenchmarkSlotStepParallel -benchtime 3x
 
-check: vet race test
+check: vet lint race test
 
 sim:
 	$(GO) run ./cmd/carbonsim

@@ -1,0 +1,69 @@
+// Command carbonlint is the repository's invariant gate: a multichecker
+// over the custom analyzers in internal/analysis that encode the engine's
+// determinism and numeric rules as build-breaking checks.
+//
+//	go run ./cmd/carbonlint ./...
+//
+// runs every analyzer over the matched packages (test files excluded) and
+// exits nonzero if any finding survives //lint:allow suppression. See
+// DESIGN.md ("Static invariants") for the analyzer catalogue and the
+// annotation convention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+	"github.com/carbonedge/carbonedge/internal/analysis/floateq"
+	"github.com/carbonedge/carbonedge/internal/analysis/maporder"
+	"github.com/carbonedge/carbonedge/internal/analysis/nodeterm"
+	"github.com/carbonedge/carbonedge/internal/analysis/panicpolicy"
+)
+
+// All is the analyzer suite carbonlint runs, in diagnostic-name order.
+var All = []*analysis.Analyzer{
+	floateq.Analyzer,
+	maporder.Analyzer,
+	nodeterm.Analyzer,
+	panicpolicy.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("l", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: carbonlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repository's determinism and numeric invariant analyzers.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range All {
+			fmt.Printf("%-12s %s\n", a.Name, strings.SplitN(a.Doc, ";", 2)[0])
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s\n", f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "carbonlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// TestSuiteComplete pins the analyzer roster: DESIGN.md's "Static
+// invariants" section documents exactly these four.
+func TestSuiteComplete(t *testing.T) {
+	want := map[string]bool{"floateq": true, "maporder": true, "nodeterm": true, "panicpolicy": true}
+	for _, a := range All {
+		if !want[a.Name] {
+			t.Errorf("undocumented analyzer %q: update DESIGN.md and this test", a.Name)
+		}
+		delete(want, a.Name)
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("analyzer %q missing from the suite", name)
+	}
+}
+
+// TestRepoIsClean makes the invariant gate part of the tier-1 suite: the
+// repository must lint clean, so a violation breaks `go test ./...` too,
+// not just `make lint`. Fix the finding or annotate it with
+// //lint:allow <analyzer> <reason> (see DESIGN.md "Static invariants").
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/numeric"
 	"github.com/carbonedge/carbonedge/internal/trading"
 )
 
@@ -29,7 +30,7 @@ func run() error {
 		horizon    = 320
 		initialCap = 4.0 // grams
 	)
-	rng := rand.New(rand.NewSource(11))
+	rng := numeric.SplitRNG(11, "carbonmarket")
 
 	// Price series with shocks (a volatile compliance period).
 	priceCfg := market.DefaultPriceConfig()

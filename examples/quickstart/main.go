@@ -7,11 +7,11 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 
 	"github.com/carbonedge/carbonedge/internal/core"
 	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/numeric"
 	"github.com/carbonedge/carbonedge/internal/trading"
 )
 
@@ -46,7 +46,7 @@ func run() error {
 	// Synthetic world: model quality and prices.
 	meanLoss := []float64{1.1, 0.7, 0.55, 0.42, 0.38, 0.30}
 	phi := []float64{6e-8, 7e-8, 7.5e-8, 8.2e-8, 9e-8, 1e-7} // kWh/sample
-	rng := rand.New(rand.NewSource(42))
+	rng := numeric.SplitRNG(42, "quickstart")
 	prices, err := market.GeneratePrices(market.DefaultPriceConfig(), horizon, rng)
 	if err != nil {
 		return err

@@ -1,0 +1,84 @@
+// Package analysis is carbonlint's analyzer framework: a minimal,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// API surface that the repository's custom analyzers need. The module has a
+// zero-dependency policy (see DESIGN.md), so instead of importing x/tools
+// we mirror the Analyzer/Pass/Diagnostic shape exactly; every analyzer under
+// internal/analysis/... could be ported to the upstream multichecker by
+// swapping this import and deleting nothing else.
+//
+// The framework differs from upstream in two deliberate ways:
+//
+//   - Packages are loaded whole (syntax + full type information) via
+//     `go list -export`-provided export data, the same mechanism `go vet`
+//     uses, rather than through a driver protocol. See Load in load.go.
+//   - Suppression is first-class: a `//lint:allow <analyzer> <reason>`
+//     comment on the flagged line (or the line above it) silences one
+//     analyzer at that site. The reason is mandatory, and directives that
+//     suppress nothing are themselves reported, so stale annotations rot
+//     loudly. See run.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` directives. Lower-case, no spaces.
+	Name string
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary of the invariant it encodes.
+	Doc string
+	// Run applies the analyzer to one package. Findings are delivered via
+	// pass.Report/Reportf, not the return value; the returned value exists
+	// only for API compatibility with x/tools and is ignored.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the syntax trees and type information
+// of a single package, plus the Report sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset positions every token in Files.
+	Fset *token.FileSet
+	// Files holds the package's parsed non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package; PkgPath is the import path the
+	// package was loaded under (for testdata packages this is the
+	// path relative to the testdata src root, not a real module path).
+	Pkg     *types.Package
+	PkgPath string
+	// TypesInfo has Types, Defs, Uses, Selections, Implicits and Scopes
+	// fully populated.
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// A Diagnostic is one finding, positioned at Pos.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Reportf records a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}

@@ -1,0 +1,159 @@
+// Package analyzertest runs an analyzer over golden testdata packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Testdata layout follows the upstream convention: each package lives at
+// testdata/src/<rel> beside the analyzer's _test.go, and <rel> becomes the
+// package's import path verbatim (so a package at src/internal/numeric
+// exercises a path-based exemption). A line expecting diagnostics carries a
+// trailing comment of one or more quoted regular expressions:
+//
+//	total += v // want `float accumulation`
+//
+// Every finding must be matched by a want and every want by a finding;
+// //lint:allow suppression runs exactly as in carbonlint, so testdata can
+// assert both that directives silence findings and that unused or malformed
+// directives are themselves reported (analyzer name "allow").
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// wantRx extracts the quoted expectation patterns from a want comment.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analyzertest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// parseWants collects the expectations of every loaded file, keyed by
+// filename and line.
+func parseWants(t *testing.T, pkgs []*analysis.Package) map[string]map[int][]*expectation {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := cutWant(c)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					quoted := wantRx.FindAllString(text, -1)
+					if len(quoted) == 0 {
+						t.Errorf("%s: want comment with no quoted patterns", pos)
+						continue
+					}
+					for _, q := range quoted {
+						pattern := strings.Trim(q, "`")
+						if q[0] == '"' {
+							var err error
+							pattern, err = strconv.Unquote(q)
+							if err != nil {
+								t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+								continue
+							}
+						}
+						rx, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+							continue
+						}
+						lines := wants[pos.Filename]
+						if lines == nil {
+							lines = make(map[int][]*expectation)
+							wants[pos.Filename] = lines
+						}
+						lines[pos.Line] = append(lines[pos.Line], &expectation{rx: rx})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// cutWant finds a want clause anywhere in the comment, so expectations can
+// ride inside //lint:allow directives (whose findings point at their own
+// line) as well as stand alone after flagged code.
+func cutWant(c *ast.Comment) (string, bool) {
+	const marker = "// want "
+	idx := strings.Index(c.Text, marker)
+	if idx < 0 {
+		return "", false
+	}
+	return c.Text[idx+len(marker):], true
+}
+
+// Run loads each testdata package under testdata/src/<rel>, applies the
+// analyzer through the same runner carbonlint uses, and reports any
+// mismatch between findings and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, rels ...string) {
+	t.Helper()
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadTestdata(root, "testdata", rels...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, pkgs)
+	for _, f := range findings {
+		exps := wants[f.Pos.Filename][f.Pos.Line]
+		matched := false
+		for _, exp := range exps {
+			if !exp.matched && exp.rx.MatchString(f.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, exp := range exps {
+				if !exp.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, exp.rx)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package floateq flags == and != between floating-point operands.
+//
+// The reproduction's headline numbers (regret curves, the trader's fit
+// bound) are float accumulations; exact equality on such values silently
+// encodes an assumption about rounding that a refactor — or a different
+// worker count, if an invariant elsewhere slips — will violate. Comparisons
+// must go through internal/numeric's approved helpers (ApproxEqual) or an
+// explicit tolerance.
+//
+// Two idioms stay legal because they are exact by IEEE-754 semantics:
+// comparison against a constant zero (the ubiquitous "unset/degenerate"
+// sentinel — 0 is exactly representable and arithmetic never produces a
+// false zero match) and the self-comparison NaN test (x != x).
+// internal/numeric itself is exempt: it implements the helpers.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between floating-point operands outside internal/numeric; " +
+		"use numeric.ApproxEqual or an explicit tolerance (comparisons against " +
+		"constant 0 and the x != x NaN idiom are allowed)",
+	Run: run,
+}
+
+func exempt(pkgPath string) bool {
+	return pkgPath == "internal/numeric" || strings.HasSuffix(pkgPath, "/internal/numeric")
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// constZero reports whether e is a compile-time constant equal to zero.
+func constZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && constant.Sign(tv.Value) == 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exempt(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if tx == nil || ty == nil || !isFloat(tx) || !isFloat(ty) {
+				return true
+			}
+			// Both sides constant: the comparison is decided at compile time.
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			// Exact-zero sentinel checks are well-defined.
+			if constZero(pass, be.X) || constZero(pass, be.Y) {
+				return true
+			}
+			// x != x is the NaN test; x == x its negation.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use numeric.ApproxEqual or an explicit tolerance", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}

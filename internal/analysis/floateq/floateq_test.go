@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis/analyzertest"
+	"github.com/carbonedge/carbonedge/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analyzertest.Run(t, floateq.Analyzer, "a", "internal/numeric")
+}

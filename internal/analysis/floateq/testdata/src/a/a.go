@@ -1,0 +1,38 @@
+// Package a exercises floateq: exact float comparisons are flagged, the
+// zero-sentinel and NaN idioms are not.
+package a
+
+func flagged(x, y float64, f32 float32) bool {
+	if x == y { // want `floating-point == comparison`
+		return true
+	}
+	if x != y+1 { // want `floating-point != comparison`
+		return true
+	}
+	if x == 1.5 { // want `floating-point == comparison`
+		return true
+	}
+	return float32(x) != f32 // want `floating-point != comparison`
+}
+
+func allowed(x, y float64, n, m int) bool {
+	if x == 0 { // exact-zero sentinel
+		return true
+	}
+	if 0.0 != y { // either side
+		return true
+	}
+	if x != x { // NaN idiom
+		return true
+	}
+	if n == m { // ints compare exactly
+		return true
+	}
+	const a, b = 1.5, 2.5
+	return a == b // compile-time constant comparison
+}
+
+func annotated(x, y float64) bool {
+	//lint:allow floateq testdata: bit-exact golden comparison
+	return x == y
+}

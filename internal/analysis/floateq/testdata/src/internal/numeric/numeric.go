@@ -1,0 +1,14 @@
+// Package numeric stands in for the real internal/numeric, which implements
+// the approved comparison helpers and is exempt from floateq.
+package numeric
+
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { // exact fast path: legal here, flagged anywhere else
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

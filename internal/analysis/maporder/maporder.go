@@ -1,0 +1,166 @@
+// Package maporder flags range-over-map bodies whose effect depends on Go's
+// randomized map iteration order.
+//
+// Floating-point addition is not associative, so accumulating floats while
+// ranging a map yields run-to-run different sums — the classic silent
+// nondeterminism hazard the engine's bit-for-bit guarantee cannot survive.
+// The analyzer flags three body shapes:
+//
+//   - compound accumulation (+=, -=, *=, /=, or x = x + ...) into a
+//     float-typed lvalue declared outside the loop,
+//   - append of a float-typed value other than the bare range key (key
+//     collection for sorting is the approved fix and stays legal),
+//   - fmt print calls (output lines in map order).
+//
+// The fix is always the same: collect the keys, sort them, iterate the
+// sorted slice.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags float accumulation, float appends, and printing inside range-over-map " +
+		"bodies; iterate sorted keys instead so results don't depend on map order",
+	Run: run,
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// rootIdent unwraps selectors/indexes to the base identifier: s.total -> s.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rs.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, rs)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// declaredOutside reports whether the object behind e's root identifier was
+// declared outside the loop body (an accumulator that survives iterations).
+func declaredOutside(pass *analysis.Pass, body *ast.BlockStmt, e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}
+
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt) {
+	body := rs.Body
+	keyObj := func() types.Object {
+		if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+			return pass.TypesInfo.ObjectOf(id)
+		}
+		return nil
+	}()
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range s.Lhs {
+					if isFloat(pass.TypeOf(lhs)) && declaredOutside(pass, body, lhs) {
+						pass.Reportf(s.TokPos,
+							"float accumulation in map iteration order; iterate sorted keys instead")
+					}
+				}
+			case token.ASSIGN:
+				// x = x + y spelled out.
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+					return true
+				}
+				be, ok := s.Rhs[0].(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+				default:
+					return true
+				}
+				lhs := types.ExprString(s.Lhs[0])
+				if (types.ExprString(be.X) == lhs || types.ExprString(be.Y) == lhs) &&
+					isFloat(pass.TypeOf(s.Lhs[0])) && declaredOutside(pass, body, s.Lhs[0]) {
+					pass.Reportf(s.TokPos,
+						"float accumulation in map iteration order; iterate sorted keys instead")
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := s.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
+					for _, arg := range s.Args[1:] {
+						if !isFloat(pass.TypeOf(arg)) {
+							continue
+						}
+						if id, ok := arg.(*ast.Ident); ok && keyObj != nil && pass.TypesInfo.ObjectOf(id) == keyObj {
+							continue // collecting keys to sort: the approved fix
+						}
+						pass.Reportf(s.Pos(),
+							"float append in map iteration order; collect and sort the keys, then iterate those")
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+						name := fun.Sel.Name
+						if len(name) >= 5 && (name[:5] == "Print" || name[:5] == "Fprin") {
+							pass.Reportf(s.Pos(),
+								"fmt.%s inside range over map emits output in map iteration order; iterate sorted keys", name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}

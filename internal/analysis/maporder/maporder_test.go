@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis/analyzertest"
+	"github.com/carbonedge/carbonedge/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analyzertest.Run(t, maporder.Analyzer, "a")
+}

@@ -1,0 +1,90 @@
+// Package a exercises maporder: order-sensitive effects inside
+// range-over-map bodies are flagged, the sorted-keys fix and
+// order-insensitive bodies are not.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `float accumulation in map iteration order`
+	}
+	for _, v := range m {
+		total = total + v // want `float accumulation in map iteration order`
+	}
+	for _, v := range m {
+		total = v*2 + total // want `float accumulation in map iteration order`
+	}
+	return total
+}
+
+type acc struct{ sum float64 }
+
+func fieldAccum(m map[string]float64, a *acc) {
+	for _, v := range m {
+		a.sum += v // want `float accumulation in map iteration order`
+	}
+}
+
+func floatAppend(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want `float append in map iteration order`
+	}
+	return vals
+}
+
+func output(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map emits output in map iteration order`
+	}
+}
+
+// sortedKeys is the approved fix: collecting keys (even float keys) for
+// sorting is legal, and iterating the sorted slice is not a map range.
+func sortedKeys(m map[string]float64, fm map[float64]int) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fkeys := make([]float64, 0, len(fm))
+	for k := range fm {
+		fkeys = append(fkeys, k)
+	}
+	sort.Float64s(fkeys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// orderInsensitive bodies: integer sums are exact, local accumulators reset
+// every iteration, and counting does not depend on order.
+func orderInsensitive(m map[string]float64) (int, float64) {
+	n := 0
+	last := 0.0
+	for _, v := range m {
+		n++
+		scaled := 0.0
+		scaled += v * 2 // local accumulator, reset each iteration
+		if scaled > last {
+			last = scaled // max is order-independent; assignment isn't flagged
+		}
+	}
+	return n, last
+}
+
+func annotated(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:allow maporder testdata: Kahan-style compensated sum is order-tolerant here
+		total += v
+	}
+	return total
+}

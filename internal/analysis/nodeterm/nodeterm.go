@@ -1,0 +1,86 @@
+// Package nodeterm forbids the nondeterminism primitives that would break
+// the engine's bit-for-bit reproducibility guarantee: wall-clock reads and
+// ad-hoc randomness.
+//
+// The shared engine (internal/engine) promises identical results for any
+// worker count. That holds only while every package in the slot-stepping
+// call graph — engine, sim, core, bandit, trading, market, workload — draws
+// randomness exclusively from RNG streams derived through
+// internal/numeric.SplitRNG and never consults the wall clock. Rather than
+// enumerate the critical packages (and silently miss the next one), the
+// analyzer applies repo-wide to non-test code; the handful of legitimate
+// wall-clock sites (a TCP deadline, the Fig. 14 runtime measurement) carry
+// //lint:allow annotations explaining themselves.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbids wall-clock reads (time.Now/Since/Until) and ad-hoc randomness " +
+		"(global math/rand functions, rand.New/NewSource outside internal/numeric); " +
+		"derive RNGs via numeric.SplitRNG so runs replay bit-for-bit",
+	Run: run,
+}
+
+// wallClock are the time package functions that read the wall clock.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// rngBlessed reports whether pkgPath is internal/numeric, the one package
+// allowed to construct *rand.Rand values (via SplitRNG).
+func rngBlessed(pkgPath string) bool {
+	return pkgPath == "internal/numeric" || strings.HasSuffix(pkgPath, "/internal/numeric")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	blessed := rngBlessed(pass.PkgPath)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			// Only function references matter: *rand.Rand in a signature or
+			// time.Duration in a struct field are fine.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClock[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; inject a clock or keep timing out of deterministic code", name)
+				}
+			case "math/rand", "math/rand/v2":
+				switch {
+				case name == "New" || name == "NewSource" || name == "NewPCG" || name == "NewChaCha8":
+					if !blessed {
+						pass.Reportf(sel.Pos(),
+							"ad-hoc RNG construction (rand.%s); derive seeded streams via numeric.SplitRNG", name)
+					}
+				default:
+					pass.Reportf(sel.Pos(),
+						"global math/rand.%s draws from process-wide state; use an injected *rand.Rand from numeric.SplitRNG", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis/analyzertest"
+	"github.com/carbonedge/carbonedge/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analyzertest.Run(t, nodeterm.Analyzer, "a", "internal/numeric", "allowdir")
+}

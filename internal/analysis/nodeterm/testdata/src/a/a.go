@@ -1,0 +1,42 @@
+// Package a exercises every nodeterm rule: wall-clock reads, global
+// math/rand functions, and ad-hoc RNG construction.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	_ = time.Until(start)       // want `time\.Until reads the wall clock`
+	return time.Since(start).Seconds() // want `time\.Since reads the wall clock`
+}
+
+func globalRand() {
+	_ = rand.Intn(10)   // want `global math/rand\.Intn draws from process-wide state`
+	_ = rand.Float64()  // want `global math/rand\.Float64 draws from process-wide state`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle draws from process-wide state`
+}
+
+func adHocRNG() *rand.Rand {
+	src := rand.NewSource(42) // want `ad-hoc RNG construction \(rand\.NewSource\)`
+	return rand.New(src)      // want `ad-hoc RNG construction \(rand\.New\)`
+}
+
+// injected randomness and non-function references are fine.
+func ok(rng *rand.Rand, d time.Duration) float64 {
+	var zero time.Time
+	_ = zero
+	_ = d
+	return rng.Float64()
+}
+
+func annotated() time.Time {
+	//lint:allow nodeterm testdata: wall-clock site annotated with a reason
+	return time.Now()
+}
+
+func annotatedTrailing() time.Time {
+	return time.Now() //lint:allow nodeterm testdata: trailing annotation form
+}

@@ -1,0 +1,25 @@
+// Package allowdir exercises the //lint:allow directive hygiene rules the
+// runner enforces for every analyzer: reasons are mandatory and directives
+// must suppress something.
+package allowdir
+
+import "time"
+
+func missingReason() time.Time {
+	//lint:allow nodeterm // want `malformed directive: missing reason`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func missingEverything() {
+	//lint:allow // want `malformed directive: missing analyzer name and reason`
+}
+
+func unused() int {
+	//lint:allow nodeterm nothing here trips it // want `unused directive: nothing here trips "nodeterm"`
+	return 1
+}
+
+func used() time.Time {
+	//lint:allow nodeterm testdata: properly annotated, suppresses and is used
+	return time.Now()
+}

@@ -1,0 +1,73 @@
+// Package panicpolicy restricts panic to constructors and validation paths.
+//
+// The engine recovers stepper panics into errors (internal/engine), but a
+// panic is still a crash for every caller that isn't the worker pool, so the
+// repository's policy is: panic only where the alternative is propagating a
+// programmer error through APIs that cannot express it — constructors
+// (New*), Must* wrappers, init, and validate*/check* guards. Everywhere else
+// return an error. Deliberate API-contract guards (the bandit's
+// SelectArm/Update alternation) carry //lint:allow annotations naming the
+// contract they enforce.
+package panicpolicy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicpolicy",
+	Doc: "restricts panic to constructors (New*/Must*), init, and validate*/check* " +
+		"guards; everywhere else return an error, or annotate a documented API-contract " +
+		"guard with //lint:allow panicpolicy <contract>",
+	Run: run,
+}
+
+// allowedFunc reports whether the enclosing function's name marks a
+// constructor or validation path.
+func allowedFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"new", "must", "init", "validate", "check"} {
+		if strings.HasPrefix(lower, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				// Package-level initializer expressions run once at startup;
+				// a panic there is load-time validation.
+				continue
+			}
+			if allowedFunc(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in %s is outside a constructor/validation path; return an error instead", fn.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package panicpolicy_test
+
+import (
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis/analyzertest"
+	"github.com/carbonedge/carbonedge/internal/analysis/panicpolicy"
+)
+
+func TestPanicpolicy(t *testing.T) {
+	analyzertest.Run(t, panicpolicy.Analyzer, "a")
+}

@@ -1,0 +1,61 @@
+// Package a exercises panicpolicy: panic stays legal in constructors,
+// Must wrappers, init, and validation guards; everywhere else it is
+// flagged unless annotated as a documented API-contract guard.
+package a
+
+import "fmt"
+
+type T struct{ n int }
+
+func NewT(n int) *T {
+	if n <= 0 {
+		panic("constructor validation") // New* may panic
+	}
+	return &T{n: n}
+}
+
+func MustT(t *T, err error) *T {
+	if err != nil {
+		panic(err) // Must* may panic
+	}
+	return t
+}
+
+func init() {
+	if false {
+		panic("load-time validation") // init may panic
+	}
+}
+
+func validateIndex(i, n int) {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("index %d out of range", i)) // validate* may panic
+	}
+}
+
+func checkShape(got, want int) {
+	if got != want {
+		panic("shape mismatch") // check* may panic
+	}
+}
+
+func (t *T) Step() {
+	if t.n == 0 {
+		panic("bad state") // want `panic in Step is outside a constructor/validation path`
+	}
+}
+
+func helper() {
+	defer func() {
+		panic("cleanup") // want `panic in helper is outside a constructor/validation path`
+	}()
+	f := func() {
+		panic("closure") // want `panic in helper is outside a constructor/validation path`
+	}
+	f()
+}
+
+func (t *T) Update() {
+	//lint:allow panicpolicy testdata: documented API-contract guard
+	panic("contract violation")
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The reason
+// is mandatory — an annotation that cannot say why it exists should not
+// exist — and a directive that suppresses nothing is itself reported, so
+// stale annotations surface the next time carbonlint runs.
+const AllowPrefix = "lint:allow"
+
+// A Finding is one positioned diagnostic, attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+	// malformed holds the complaint when the directive failed to parse;
+	// malformed directives never suppress anything.
+	malformed string
+}
+
+// parseAllowDirectives walks every comment in the package and extracts
+// //lint:allow directives, keyed by (filename, line) of the comment.
+func parseAllowDirectives(pkg *Package) map[string]map[int]*allowDirective {
+	byFile := make(map[string]map[int]*allowDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+AllowPrefix)
+				if !ok {
+					continue
+				}
+				// A nested "//" ends the directive, so analyzertest want
+				// expectations can share the comment; reasons therefore
+				// cannot contain "//".
+				text, _, _ = strings.Cut(text, "//")
+				pos := pkg.Fset.Position(c.Pos())
+				d := &allowDirective{pos: pos}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing analyzer name and reason"
+				case len(fields) == 1:
+					d.analyzer = fields[0]
+					d.malformed = "missing reason: write //lint:allow " + fields[0] + " <why this site is exempt>"
+				default:
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*allowDirective)
+					byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+			}
+		}
+	}
+	return byFile
+}
+
+// suppressedBy returns the directive covering a diagnostic from analyzer at
+// pos, or nil. A directive covers its own line and the line below it.
+func suppressedBy(dirs map[string]map[int]*allowDirective, analyzer string, pos token.Position) *allowDirective {
+	lines := dirs[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if d := lines[line]; d != nil && d.malformed == "" && d.analyzer == analyzer {
+			return d
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies every analyzer to every package, resolves
+// //lint:allow suppressions, and returns the surviving findings sorted by
+// position. Malformed and unused directives are reported as findings of the
+// pseudo-analyzer "allow".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs := parseAllowDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.PkgPath,
+				TypesInfo: pkg.Info,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, diag := range pass.diagnostics {
+				pos := pkg.Fset.Position(diag.Pos)
+				if d := suppressedBy(dirs, a.Name, pos); d != nil {
+					d.used = true
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: diag.Message})
+			}
+		}
+		for _, lines := range dirs {
+			for _, d := range lines {
+				switch {
+				case d.malformed != "":
+					findings = append(findings, Finding{
+						Analyzer: "allow",
+						Pos:      d.pos,
+						Message:  "malformed directive: " + d.malformed,
+					})
+				case !d.used:
+					findings = append(findings, Finding{
+						Analyzer: "allow",
+						Pos:      d.pos,
+						Message:  fmt.Sprintf("unused directive: nothing here trips %q; delete the annotation", d.analyzer),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

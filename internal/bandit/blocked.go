@@ -109,6 +109,7 @@ func (b *BlockedTsallisINF) NumArms() int { return b.n }
 // SelectArm implements Policy.
 func (b *BlockedTsallisINF) SelectArm() int {
 	if b.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: SelectArm called twice without Update")
 	}
 	if b.remaining == 0 {
@@ -128,10 +129,12 @@ func (b *BlockedTsallisINF) startBlock() {
 		// The loss estimates are finite by construction, so the solver can
 		// only fail on programmer error; fail loudly rather than silently
 		// biasing exploration.
+		//lint:allow panicpolicy solver failure on by-construction-finite inputs is a programmer error; Policy has no error channel
 		panic(fmt.Sprintf("bandit: tsallis step failed: %v", err))
 	}
 	sampler, err := numeric.NewWeightedSampler(b.probs)
 	if err != nil {
+		//lint:allow panicpolicy solver failure on by-construction-finite inputs is a programmer error; Policy has no error channel
 		panic(fmt.Sprintf("bandit: sampler: %v", err))
 	}
 	arm := sampler.Sample(b.rng)
@@ -150,6 +153,7 @@ func (b *BlockedTsallisINF) startBlock() {
 // Update implements Policy.
 func (b *BlockedTsallisINF) Update(loss float64) {
 	if !b.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: Update called without SelectArm")
 	}
 	b.awaitingUpdate = false

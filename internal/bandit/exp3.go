@@ -69,6 +69,7 @@ func (e *EXP3) NumArms() int { return e.n }
 // SelectArm implements Policy.
 func (e *EXP3) SelectArm() int {
 	if e.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: SelectArm called twice without Update")
 	}
 	total := 0.0
@@ -80,6 +81,7 @@ func (e *EXP3) SelectArm() int {
 	}
 	sampler, err := numeric.NewWeightedSampler(e.probs)
 	if err != nil {
+		//lint:allow panicpolicy solver failure on by-construction-finite inputs is a programmer error; Policy has no error channel
 		panic(fmt.Sprintf("bandit: exp3 sampler: %v", err))
 	}
 	arm := sampler.Sample(e.rng)
@@ -98,6 +100,7 @@ func (e *EXP3) SelectArm() int {
 // the exponential-weight update.
 func (e *EXP3) Update(loss float64) {
 	if !e.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: Update called without SelectArm")
 	}
 	e.awaitingUpdate = false
@@ -170,6 +173,7 @@ func (e *EpsilonGreedy) NumArms() int { return e.n }
 // SelectArm implements Policy.
 func (e *EpsilonGreedy) SelectArm() int {
 	if e.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: SelectArm called twice without Update")
 	}
 	arm := -1
@@ -195,6 +199,7 @@ func (e *EpsilonGreedy) SelectArm() int {
 // Update implements Policy.
 func (e *EpsilonGreedy) Update(loss float64) {
 	if !e.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: Update called without SelectArm")
 	}
 	e.awaitingUpdate = false

@@ -83,6 +83,7 @@ func (u *UCB2) bonus(r int) float64 {
 // SelectArm implements Policy.
 func (u *UCB2) SelectArm() int {
 	if u.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: SelectArm called twice without Update")
 	}
 	if u.remaining == 0 {
@@ -133,6 +134,7 @@ func (u *UCB2) startEpoch() {
 // Update implements Policy.
 func (u *UCB2) Update(loss float64) {
 	if !u.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update must alternate; the interface has no error channel for misuse
 		panic("bandit: Update called without SelectArm")
 	}
 	u.awaitingUpdate = false

@@ -232,6 +232,7 @@ type tcpStepper struct {
 func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, error) {
 	c, e, i := s.cloud, s.edge, s.id
 	if c.cfg.SlotTimeout > 0 {
+		//lint:allow nodeterm real I/O deadline on a live TCP connection; wall time is the only clock the kernel honors
 		if err := e.conn.SetDeadline(time.Now().Add(c.cfg.SlotTimeout)); err != nil {
 			return engine.Observation{}, fmt.Errorf("edge %d deadline: %w", i, err)
 		}

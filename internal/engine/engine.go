@@ -186,7 +186,7 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 
 		if workers == 1 {
 			for i, e := range edges {
-				obs[i], stepErrs[i] = e.Step(t, arms[i], downloads[i])
+				obs[i], stepErrs[i] = safeStep(e, t, arms[i], downloads[i])
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -196,7 +196,7 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 				go func() {
 					defer wg.Done()
 					for i := range jobs {
-						obs[i], stepErrs[i] = edges[i].Step(t, arms[i], downloads[i])
+						obs[i], stepErrs[i] = safeStep(edges[i], t, arms[i], downloads[i])
 					}
 				}()
 			}
@@ -273,6 +273,20 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 		res.AvgBuyPrice = ledger.Spend() / ledger.Bought()
 	}
 	return res, nil
+}
+
+// safeStep runs one stepper call, converting a panic into an error. A
+// panicking stepper must not kill the process (one bad edge in a fleet) or
+// wedge the worker pool: the worker keeps draining jobs, the slot barrier
+// completes, and Run surfaces the failure as the slot's first error in edge
+// order — the same deterministic path an ordinary Step error takes.
+func safeStep(e EdgeStepper, slot, arm int, download bool) (o Observation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("stepper panic: %v", r)
+		}
+	}()
+	return e.Step(slot, arm, download)
 }
 
 // NetBuySeries returns z^t - w^t for every slot.

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/carbonedge/carbonedge/internal/core"
 	"github.com/carbonedge/carbonedge/internal/market"
@@ -268,5 +269,86 @@ func TestResultWriteJSONAndNetBuy(t *testing.T) {
 		if !strings.Contains(sb.String(), key) {
 			t.Errorf("JSON missing %s", key)
 		}
+	}
+}
+
+// panicStepper panics at a chosen slot; other slots delegate to a fake.
+type panicStepper struct {
+	*fakeStepper
+	panicAt int
+}
+
+func (p *panicStepper) Step(slot, arm int, download bool) (Observation, error) {
+	if slot == p.panicAt {
+		panic(fmt.Sprintf("edge %d exploded", p.fakeStepper.edge))
+	}
+	return p.fakeStepper.Step(slot, arm, download)
+}
+
+// TestRunSurvivesStepperPanic is the regression test for the worker pool's
+// panic recovery: a stepper that panics mid-slot must not crash the process
+// or deadlock the pool, and must surface as the slot's first error in edge
+// order, for every worker count.
+func TestRunSurvivesStepperPanic(t *testing.T) {
+	const edges, horizon = 4, 20
+	for _, workers := range []int{1, 2, edges} {
+		steppers := make([]EdgeStepper, edges)
+		for i := range steppers {
+			f := newFakeStepper(i, 4)
+			if i == 2 {
+				steppers[i] = &panicStepper{fakeStepper: f, panicAt: 7}
+			} else {
+				steppers[i] = f
+			}
+		}
+		cfg := testConfig(edges, horizon)
+		cfg.Workers = workers
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(cfg, testController(t, edges, 4, horizon), steppers)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("workers=%d: expected error", workers)
+			}
+			for _, frag := range []string{"edge 2 slot 7", "stepper panic", "exploded"} {
+				if !strings.Contains(err.Error(), frag) {
+					t.Errorf("workers=%d: err = %v, want it to mention %q", workers, err, frag)
+				}
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: Run deadlocked after stepper panic", workers)
+		}
+	}
+}
+
+// TestRunPanicBeatenByEarlierError pins the first-error-in-edge-order rule
+// when a panic and an ordinary error land in the same slot: the lower edge
+// index wins regardless of which goroutine finished first.
+func TestRunPanicBeatenByEarlierError(t *testing.T) {
+	const edges, horizon = 4, 20
+	steppers := make([]EdgeStepper, edges)
+	for i := range steppers {
+		f := newFakeStepper(i, 4)
+		switch i {
+		case 1:
+			f.failAt = 5
+			steppers[i] = f
+		case 3:
+			steppers[i] = &panicStepper{fakeStepper: f, panicAt: 5}
+		default:
+			steppers[i] = f
+		}
+	}
+	cfg := testConfig(edges, horizon)
+	cfg.Workers = edges
+	_, err := Run(cfg, testController(t, edges, 4, horizon), steppers)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "edge 1 slot 5") || strings.Contains(err.Error(), "panic") {
+		t.Errorf("err = %v, want the ordinary edge-1 error to win over edge 3's panic", err)
 	}
 }

@@ -1,8 +1,6 @@
 package figures
 
 import (
-	"time"
-
 	"github.com/carbonedge/carbonedge/internal/bandit"
 	"github.com/carbonedge/carbonedge/internal/sim"
 	"github.com/carbonedge/carbonedge/internal/trading"
@@ -37,14 +35,14 @@ func Fig14AlgRuntime(o Options) (*Figure, error) {
 			}
 			policies[i] = p
 		}
-		start := time.Now()
+		start := o.Clock()
 		for t := 0; t < o.Horizon; t++ {
 			for i := range policies {
 				arm := policies[i].SelectArm()
 				policies[i].Update(s.Zoo.MeanLoss(arm))
 			}
 		}
-		alg1[xi] = time.Since(start).Seconds() / float64(o.Horizon)
+		alg1[xi] = o.Clock().Sub(start).Seconds() / float64(o.Horizon)
 
 		// Algorithm 2: time Decide+Observe per slot.
 		trader, err := sim.TraderOurs(s, newRNG(o.Seed, "fig14-trader"))
@@ -52,13 +50,13 @@ func Fig14AlgRuntime(o Options) (*Figure, error) {
 			return nil, err
 		}
 		emission := s.MeanEmissionPerSlot()
-		start = time.Now()
+		start = o.Clock()
 		for t := 0; t < o.Horizon; t++ {
 			q := trading.Quote{Buy: s.Prices.Buy[t], Sell: s.Prices.Sell[t]}
 			d := trader.Decide(t, q)
 			trader.Observe(t, emission, q, d)
 		}
-		alg2[xi] = time.Since(start).Seconds() / float64(o.Horizon)
+		alg2[xi] = o.Clock().Sub(start).Seconds() / float64(o.Horizon)
 	}
 	return &Figure{
 		ID:     "Fig14",

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/carbonedge/carbonedge/internal/metrics"
 	"github.com/carbonedge/carbonedge/internal/models"
@@ -43,6 +44,10 @@ type Options struct {
 	// Edges and Horizon default to the paper's 10 and 160.
 	Edges   int
 	Horizon int
+	// Clock supplies the timestamps behind Fig. 14's runtime measurement —
+	// the one figure whose y-axis is wall time. It defaults to the system
+	// clock; tests inject a fake to keep the figure harness deterministic.
+	Clock func() time.Time
 }
 
 // DefaultOptions mirrors the paper at a quick-to-run number of repetitions.
@@ -59,6 +64,12 @@ func (o Options) normalized() Options {
 	}
 	if o.Horizon <= 0 {
 		o.Horizon = 160
+	}
+	if o.Clock == nil {
+		// Fig. 14 measures real runtime, so the default clock is the wall
+		// clock; every other figure is seed-deterministic and never ticks it.
+		//lint:allow nodeterm Fig. 14's y-axis is wall-clock seconds; this is the injected default, overridable in tests
+		o.Clock = time.Now
 	}
 	return o
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/carbonedge/carbonedge/internal/dataset"
 	"github.com/carbonedge/carbonedge/internal/models"
@@ -408,4 +409,33 @@ func correlation(a, b []float64) float64 {
 		return 0
 	}
 	return cov / math.Sqrt(va*vb)
+}
+
+// TestFig14InjectedClock pins the clock-injection seam: with a fake clock
+// ticking a fixed step per reading, Fig. 14 is fully deterministic — each
+// per-slot runtime is exactly one tick divided by the horizon.
+func TestFig14InjectedClock(t *testing.T) {
+	const step = time.Millisecond
+	var now time.Time
+	o := Options{Runs: 1, Seed: 1, Edges: 10, Horizon: 40, Clock: func() time.Time {
+		now = now.Add(step)
+		return now
+	}}
+	fig, err := Fig14AlgRuntime(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := step.Seconds() / float64(o.Horizon)
+	series := byLabel(t, fig)
+	for _, name := range []string{"Algorithm1", "Algorithm2"} {
+		s, ok := series[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		for i, v := range s.Y {
+			if v != want {
+				t.Errorf("%s[%d] = %v, want exactly %v (one fake tick per measurement)", name, i, v, want)
+			}
+		}
+	}
 }

@@ -59,6 +59,7 @@ func NewDense(inDim, outDim int, rng *rand.Rand) *Dense {
 // Forward implements Layer.
 func (d *Dense) Forward(in *Tensor) *Tensor {
 	if in.Len() != d.InDim {
+		//lint:allow panicpolicy Layer.Forward hot path: a shape mismatch is a programmer error and the interface has no error channel
 		panic(fmt.Sprintf("nn: Dense expected %d inputs, got %d", d.InDim, in.Len()))
 	}
 	d.lastIn = in
@@ -144,6 +145,7 @@ func (c *Conv2D) gwAdd(oc, ic, ky, kx int, v float64) {
 // Forward implements Layer.
 func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	if len(in.Shape) != 3 || in.Shape[0] != c.InC {
+		//lint:allow panicpolicy Layer.Forward hot path: a shape mismatch is a programmer error and the interface has no error channel
 		panic(fmt.Sprintf("nn: Conv2D expected [%d,H,W], got %v", c.InC, in.Shape))
 	}
 	c.lastIn = in

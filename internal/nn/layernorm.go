@@ -45,6 +45,7 @@ func NewLayerNorm(dim int) (*LayerNorm, error) {
 // Forward implements Layer.
 func (l *LayerNorm) Forward(in *Tensor) *Tensor {
 	if in.Len() != l.dim {
+		//lint:allow panicpolicy Layer.Forward hot path: a shape mismatch is a programmer error and the interface has no error channel
 		panic(fmt.Sprintf("nn: LayerNorm expected %d features, got %d", l.dim, in.Len()))
 	}
 	mean := 0.0

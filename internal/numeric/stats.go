@@ -78,6 +78,30 @@ func (r *RunningMean) Count() int { return r.n }
 // independent subsystems (workload, market, bandit sampling, ...) consume
 // decorrelated streams while the whole simulation stays reproducible from a
 // single seed.
+//
+// SplitRNG is the repository's single blessed RNG constructor: the nodeterm
+// analyzer (internal/analysis/nodeterm, run by cmd/carbonlint) forbids
+// rand.New/rand.NewSource everywhere else, so every random draw in the
+// system is reachable from (seed, label) and replays bit-for-bit.
+//
+// Derivation, in order:
+//
+//  1. an FNV-1a-style hash over the label's bytes. Audit note: the offset
+//     basis 1469598103934665603 is the canonical 64-bit FNV basis
+//     14695981039346656037 with its final digit dropped — nonstandard, but
+//     the SplitMix64 finalizer below makes the choice of basis immaterial
+//     for decorrelation, and the value is load-bearing for every pinned
+//     stream, so it is documented rather than corrected;
+//  2. XOR of that hash into the seed;
+//  3. the SplitMix64 finalizer (Steele et al., "Fast Splittable
+//     Pseudorandom Number Generators") for avalanche, so labels differing
+//     in one bit yield uncorrelated child seeds;
+//  4. rand.NewSource over the mixed value.
+//
+// The mapping from (seed, label) to the child stream is therefore part of
+// the repository's compatibility surface — golden results and pinned test
+// streams depend on it. TestSplitRNGStreamPinned locks the exact values;
+// changing this derivation is a breaking change to every recorded result.
 func SplitRNG(seed int64, stream string) *rand.Rand {
 	h := uint64(seed)
 	// FNV-1a over the stream label, mixed into the seed.
@@ -98,6 +122,30 @@ func SplitRNG(seed int64, stream string) *rand.Rand {
 	h *= 0x94d049bb133111eb
 	h ^= h >> 31
 	return rand.New(rand.NewSource(int64(h)))
+}
+
+// ApproxEqual reports whether a and b agree to within tol, measured
+// relatively for values of magnitude above 1 and absolutely below. It is
+// the repository's approved floating-point comparison: the floateq analyzer
+// (run by cmd/carbonlint) forbids raw ==/!= between floats outside this
+// package. NaN compares unequal to everything, including itself; tol must
+// be non-negative.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		// Covers equal infinities and exact hits.
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		// Unequal when only one side is infinite (or the signs differ);
+		// without this guard the infinite scale below would absorb any
+		// finite difference.
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
 }
 
 // Logistic is the standard logistic sigmoid.
