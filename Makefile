@@ -7,13 +7,16 @@
 #                  invariant analyzers (see DESIGN.md "Static invariants")
 #   make race    - race-detector pass over the internal packages (the shared
 #                  engine's parallel edge stepping must stay data-race free)
+#   make chaos   - fault-tolerance suite under the race detector: deterministic
+#                  fault injection, kill/resume, degradation (see DESIGN.md
+#                  "Failure model")
 #   make bench   - the engine's serial-vs-parallel slot-stepping benchmark
 #   make check   - vet + lint + race + full tests: the pre-commit gate
 #   make sim     - run the default 10-edge scenario comparison
 
 GO ?= go
 
-.PHONY: build test vet lint race bench check sim
+.PHONY: build test vet lint race chaos bench check sim
 
 build:
 	$(GO) build ./...
@@ -29,6 +32,10 @@ lint:
 
 race:
 	$(GO) test -race ./internal/...
+
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestCloud' ./internal/deploy/
+	$(GO) test -race -count=1 ./internal/faults/
 
 bench:
 	$(GO) test ./internal/sim/ -run XX -bench BenchmarkSlotStepParallel -benchtime 3x

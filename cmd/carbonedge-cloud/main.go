@@ -19,6 +19,7 @@ import (
 
 	"github.com/carbonedge/carbonedge/internal/dataset"
 	"github.com/carbonedge/carbonedge/internal/deploy"
+	"github.com/carbonedge/carbonedge/internal/engine"
 	"github.com/carbonedge/carbonedge/internal/market"
 	"github.com/carbonedge/carbonedge/internal/models"
 	"github.com/carbonedge/carbonedge/internal/numeric"
@@ -42,12 +43,23 @@ func run(args []string, stdout io.Writer) error {
 		rate    = fs.Float64("rate", 500, "emission rate g/kWh")
 		trainN  = fs.Int("train", 600, "zoo training-pool size")
 		epochs  = fs.Int("epochs", 2, "zoo training epochs")
+		retries = fs.Int("retries", 0, "per-slot transient-failure retry budget per edge")
+		degrade = fs.Bool("degrade", false, "complete the run without edges that fail beyond their retry budget (default: abort)")
+		hsTO    = fs.Duration("handshake-timeout", 0, "handshake deadline for new connections (0 = 30s default, negative disables)")
+		slotTO  = fs.Duration("slot-timeout", 0, "per-slot exchange deadline per edge (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *edges <= 0 || *horizon <= 0 {
 		return fmt.Errorf("need positive edges/horizon")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("negative retry budget")
+	}
+	policy := engine.FailFast
+	if *degrade {
+		policy = engine.Degrade
 	}
 
 	spec := dataset.MNISTLike
@@ -86,6 +98,11 @@ func run(args []string, stdout io.Writer) error {
 		Prices:        prices,
 		EmissionScale: 2e-4,
 		Seed:          *seed,
+		SlotTimeout:   *slotTO,
+
+		HandshakeTimeout: *hsTO,
+		Retry:            deploy.RetryConfig{Attempts: *retries},
+		Policy:           policy,
 	}, source)
 	if err != nil {
 		return err
@@ -108,5 +125,19 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "run complete: loss=%.2f downloads=%d accuracy=%.3f emissions=%.4fg trade=%.4f fit=%.5fg\n",
 		summary.ObservedLoss, summary.Switches, summary.Accuracy, total, summary.TradingCost, summary.Fit)
+	retriesTotal, resumesTotal := 0, 0
+	for i := range summary.Retries {
+		retriesTotal += summary.Retries[i]
+		resumesTotal += summary.Resumes[i]
+	}
+	if retriesTotal > 0 || resumesTotal > 0 || summary.DroppedSlots > 0 {
+		fmt.Fprintf(stdout, "faults: retries=%d resumes=%d droppedSlots=%d\n",
+			retriesTotal, resumesTotal, summary.DroppedSlots)
+		for i, reason := range summary.DownErrors {
+			if reason != "" {
+				fmt.Fprintf(stdout, "  edge %d down for %d slots: %s\n", i, summary.Downtime[i], reason)
+			}
+		}
+	}
 	return nil
 }

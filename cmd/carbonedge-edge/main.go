@@ -34,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Int64("seed", 1, "random seed (must match the cloud's)")
 		pool    = fs.Int("pool", 300, "local data-pool size")
 		load    = fs.Int("load", 20, "base samples per slot")
+		resumes = fs.Int("resumes", 0, "reconnect-and-resume budget when the cloud connection drops")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,13 +71,37 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	conn, err := net.Dial("tcp", *connect)
-	if err != nil {
-		return err
+	if *resumes < 0 {
+		return fmt.Errorf("negative resume budget")
 	}
-	defer conn.Close()
-	fmt.Fprintf(stdout, "edge %d connected to %s\n", *id, *connect)
-	if err := deploy.RunEdge(conn, *id, rt); err != nil {
+	if *resumes == 0 {
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		fmt.Fprintf(stdout, "edge %d connected to %s\n", *id, *connect)
+		if err := deploy.RunEdge(conn, *id, rt); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "edge %d done\n", *id)
+		return nil
+	}
+	dials := 0
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		if dials == 1 {
+			fmt.Fprintf(stdout, "edge %d connected to %s\n", *id, *connect)
+		} else {
+			fmt.Fprintf(stdout, "edge %d reconnected to %s (resume %d)\n", *id, *connect, dials-1)
+		}
+		return conn, nil
+	}
+	if err := deploy.RunEdgeResumable(dial, *id, rt, *resumes); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "edge %d done\n", *id)

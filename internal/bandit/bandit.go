@@ -34,6 +34,17 @@ type Policy interface {
 	Update(loss float64)
 }
 
+// Skipper is implemented by policies that can acknowledge a selected but
+// never-served slot (an edge that was down produced no loss sample). Skip
+// replaces the Update of the immediately preceding SelectArm: the slot
+// contributes nothing to the policy's loss estimates, so importance-weighted
+// estimators stay unbiased over the slots actually served, while internal
+// block/epoch schedules still advance with real time.
+type Skipper interface {
+	// Skip acknowledges the preceding SelectArm without feeding back a loss.
+	Skip()
+}
+
 // Random selects a uniformly random model each slot (paper baseline
 // "Random").
 type Random struct {
@@ -62,6 +73,9 @@ func (r *Random) SelectArm() int { return r.rng.Intn(r.n) }
 
 // Update implements Policy.
 func (r *Random) Update(float64) {}
+
+// Skip implements Skipper; Random keeps no loss state.
+func (r *Random) Skip() {}
 
 // Greedy always selects the model with the lowest score (the paper's Greedy
 // picks the model with the lowest energy consumption). It never explores.
@@ -99,6 +113,9 @@ func (g *Greedy) SelectArm() int { return g.best }
 // Update implements Policy.
 func (g *Greedy) Update(float64) {}
 
+// Skip implements Skipper; Greedy keeps no loss state.
+func (g *Greedy) Skip() {}
+
 // Fixed always plays one arm; it implements the hindsight-best-arm
 // comparator used for regret accounting and the Offline scheme.
 type Fixed struct {
@@ -127,3 +144,6 @@ func (f *Fixed) SelectArm() int { return f.arm }
 
 // Update implements Policy.
 func (f *Fixed) Update(float64) {}
+
+// Skip implements Skipper; Fixed keeps no loss state.
+func (f *Fixed) Skip() {}

@@ -352,3 +352,124 @@ func TestBlockedDeterministicGivenSeed(t *testing.T) {
 		}
 	}
 }
+
+// mustPanic asserts fn panics (the policies' protocol-misuse contract).
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestSkipContract: every policy implements Skipper; Skip replaces the
+// Update of the preceding SelectArm, and for stateful policies it obeys the
+// same alternation contract Update does.
+func TestSkipContract(t *testing.T) {
+	rng := func(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+	blocked, err := NewBlockedTsallisINF(3, 1, rng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp3, err := NewEXP3(3, 0.1, 1, rng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucb2, err := NewUCB2(3, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, err := NewEpsilonGreedy(3, 0.1, rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{blocked, exp3, ucb2, eps} {
+		s, ok := p.(Skipper)
+		if !ok {
+			t.Fatalf("%s does not implement Skipper", p.Name())
+		}
+		mustPanic(t, p.Name()+" skip-before-select", s.Skip)
+		for slot := 0; slot < 20; slot++ {
+			arm := p.SelectArm()
+			if arm < 0 || arm >= p.NumArms() {
+				t.Fatalf("%s: arm %d out of range", p.Name(), arm)
+			}
+			if slot%3 == 0 {
+				s.Skip()
+			} else {
+				p.Update(0.4)
+			}
+		}
+		mustPanic(t, p.Name()+" double-skip", func() { _ = p.SelectArm(); s.Skip(); s.Skip() })
+	}
+
+	// Stateless baselines tolerate Skip at any time.
+	random, err := NewRandom(3, rng(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := NewGreedy([]float64{0.3, 0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := NewFixed(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{random, greedy, fixed} {
+		s, ok := p.(Skipper)
+		if !ok {
+			t.Fatalf("%s does not implement Skipper", p.Name())
+		}
+		s.Skip() // no-op, never panics
+		_ = p.SelectArm()
+		s.Skip()
+	}
+}
+
+// TestBlockedSkipKeepsEstimatorUnbiased pins Algorithm 1's degraded-mode
+// semantics: skipped slots advance the block schedule but contribute no loss,
+// so a fully-skipped block leaves the importance-weighted estimates
+// untouched, while served slots keep feeding them.
+func TestBlockedSkipKeepsEstimatorUnbiased(t *testing.T) {
+	p, err := NewBlockedTsallisINF(3, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the entire first block.
+	_ = p.SelectArm()
+	firstBlock := p.Blocks()
+	for {
+		p.Skip()
+		if p.Blocks() != firstBlock {
+			t.Fatal("Blocks advanced without SelectArm")
+		}
+		// The next SelectArm starts a new block once the current is spent.
+		_ = p.SelectArm()
+		if p.Blocks() != firstBlock {
+			break
+		}
+	}
+	for _, e := range p.EstimatedLosses() {
+		if e != 0 {
+			t.Fatalf("skipped block leaked into the estimator: %v", p.EstimatedLosses())
+		}
+	}
+	// Serve the current block normally: the estimator must move.
+	p.Update(0.9)
+	for block := p.Blocks(); p.Blocks() == block; {
+		_ = p.SelectArm()
+		p.Update(0.9)
+	}
+	moved := false
+	for _, e := range p.EstimatedLosses() {
+		if e != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("served block did not feed the estimator")
+	}
+}

@@ -165,6 +165,22 @@ func (b *BlockedTsallisINF) Update(loss float64) {
 	}
 }
 
+// Skip implements Skipper: the slot counts against the current block (the
+// block schedule tracks real time slots), but contributes no loss to the
+// block's estimate, so the end-of-block importance-weighted estimator sums
+// only the losses of slots actually served and stays unbiased for them.
+func (b *BlockedTsallisINF) Skip() {
+	if !b.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update-or-Skip must alternate; the interface has no error channel for misuse
+		panic("bandit: Skip called without SelectArm")
+	}
+	b.awaitingUpdate = false
+	b.remaining--
+	if b.remaining == 0 {
+		b.estLoss[b.currentArm] += b.blockLoss / b.currentP
+	}
+}
+
 // Switches returns the number of arm changes so far, counting the initial
 // download (matching the paper's switching-cost accounting, which charges
 // the first block).

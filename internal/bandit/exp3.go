@@ -120,6 +120,15 @@ func (e *EXP3) Update(loss float64) {
 	}
 }
 
+// Skip implements Skipper: the unserved slot leaves the weights untouched.
+func (e *EXP3) Skip() {
+	if !e.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update-or-Skip must alternate; the interface has no error channel for misuse
+		panic("bandit: Skip called without SelectArm")
+	}
+	e.awaitingUpdate = false
+}
+
 // Switches returns arm changes so far (counting the first pick).
 func (e *EXP3) Switches() int { return e.switches }
 
@@ -206,4 +215,13 @@ func (e *EpsilonGreedy) Update(loss float64) {
 	j := e.currentArm
 	e.counts[j]++
 	e.means[j] += (loss - e.means[j]) / float64(e.counts[j])
+}
+
+// Skip implements Skipper: the unserved slot leaves means and counts alone.
+func (e *EpsilonGreedy) Skip() {
+	if !e.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update-or-Skip must alternate; the interface has no error channel for misuse
+		panic("bandit: Skip called without SelectArm")
+	}
+	e.awaitingUpdate = false
 }

@@ -152,6 +152,18 @@ func (u *UCB2) Update(loss float64) {
 	u.remaining--
 }
 
+// Skip implements Skipper: the unserved slot still consumes one slot of the
+// current epoch (epochs track real time) but is not counted as a play, so
+// the arm's mean reward reflects only served slots.
+func (u *UCB2) Skip() {
+	if !u.awaitingUpdate {
+		//lint:allow panicpolicy Policy contract: SelectArm/Update-or-Skip must alternate; the interface has no error channel for misuse
+		panic("bandit: Skip called without SelectArm")
+	}
+	u.awaitingUpdate = false
+	u.remaining--
+}
+
 // Switches returns the number of arm changes (including the first pick).
 func (u *UCB2) Switches() int { return u.switches }
 

@@ -255,17 +255,38 @@ func (c *Controller) DecideTrade(q trading.Quote) (trading.Decision, error) {
 // L_{i,n}^t + v_{i,n}) and the slot's total emission, then advances to the
 // next slot.
 func (c *Controller) CompleteSlot(losses []float64, emission float64) error {
+	return c.CompleteSlotServed(losses, nil, emission)
+}
+
+// CompleteSlotServed is CompleteSlot with a per-edge served mask for
+// degraded runs: an edge whose slot was never served (served[i] == false)
+// gives its policy no loss feedback — the policy's bandit.Skipper hook is
+// invoked instead, so importance-weighted estimators stay unbiased over the
+// slots actually served. A nil mask means every edge served. Policies that
+// do not implement bandit.Skipper receive the fallback loss via Update, so
+// callers should pass 0 for unserved edges (every policy in this repository
+// implements Skipper, making the fallback moot in practice).
+func (c *Controller) CompleteSlotServed(losses []float64, served []bool, emission float64) error {
 	if c.state != phaseComplete {
 		return fmt.Errorf("core: CompleteSlot called out of order (state %d)", c.state)
 	}
 	if len(losses) != len(c.policies) {
 		return fmt.Errorf("core: got %d losses for %d edges", len(losses), len(c.policies))
 	}
+	if served != nil && len(served) != len(c.policies) {
+		return fmt.Errorf("core: got %d served flags for %d edges", len(served), len(c.policies))
+	}
 	if emission < 0 {
 		return fmt.Errorf("core: negative emission %g", emission)
 	}
 	for i, p := range c.policies {
-		p.Update(losses[i])
+		if served == nil || served[i] {
+			p.Update(losses[i])
+		} else if s, ok := p.(bandit.Skipper); ok {
+			s.Skip()
+		} else {
+			p.Update(losses[i])
+		}
 		if c.current[i] != c.prev[i] {
 			c.switches++
 		}

@@ -270,3 +270,65 @@ func TestControllerDeterministic(t *testing.T) {
 		t.Errorf("non-deterministic: %v vs %v", a, b)
 	}
 }
+
+// TestCompleteSlotServedMask drives the controller through the full protocol
+// with a down edge: the served mask must be accepted, validated for length,
+// and leave the protocol in a clean state for the next slot; the whole run
+// must stay deterministic under a fixed mask pattern.
+func TestCompleteSlotServedMask(t *testing.T) {
+	run := func() []int {
+		c, err := New(validConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var armsSeen []int
+		for slot := 0; slot < 60; slot++ {
+			arms, err := c.SelectModels()
+			if err != nil {
+				t.Fatal(err)
+			}
+			armsSeen = append(armsSeen, arms...)
+			if _, err := c.DecideTrade(trading.Quote{Buy: 80, Sell: 72}); err != nil {
+				t.Fatal(err)
+			}
+			losses := []float64{0.2, 0.3, 0.4}
+			served := []bool{true, slot < 20, true} // edge 1 down from slot 20
+			if !served[1] {
+				losses[1] = 0 // down edges report the zero fallback
+			}
+			if err := c.CompleteSlotServed(losses, served, 0.02); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return armsSeen
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic selections under served mask at %d", i)
+		}
+	}
+}
+
+func TestCompleteSlotServedValidation(t *testing.T) {
+	c, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SelectModels(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecideTrade(trading.Quote{Buy: 80, Sell: 72}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CompleteSlotServed([]float64{0.1, 0.1, 0.1}, []bool{true}, 0.01); err == nil {
+		t.Error("expected error for short served mask")
+	}
+	// The protocol state survives the rejected call.
+	if err := c.CompleteSlotServed([]float64{0.1, 0.1, 0.1}, nil, 0.01); err != nil {
+		t.Fatalf("clean completion after rejected mask: %v", err)
+	}
+}

@@ -1,14 +1,19 @@
 package deploy
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/carbonedge/carbonedge/internal/core"
 	"github.com/carbonedge/carbonedge/internal/energy"
 	"github.com/carbonedge/carbonedge/internal/engine"
 	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/numeric"
 	"github.com/carbonedge/carbonedge/internal/trading"
 )
 
@@ -23,6 +28,11 @@ type ModelSource interface {
 	// actually downloads). May be empty for surrogate sources.
 	Checkpoint(n int) ([]byte, error)
 }
+
+// DefaultHandshakeTimeout bounds the Hello/Welcome exchange of a new
+// connection when CloudConfig.HandshakeTimeout is zero: a client that
+// connects and never speaks must not wedge admission.
+const DefaultHandshakeTimeout = 30 * time.Second
 
 // CloudConfig parameterizes a cloud server.
 type CloudConfig struct {
@@ -40,12 +50,26 @@ type CloudConfig struct {
 	// EmissionScale hints the expected per-slot emission for Algorithm 2's
 	// step sizes (0 = 1).
 	EmissionScale float64
-	// Seed drives the controller's sampling.
+	// Seed drives the controller's sampling, the resume-token issue, and the
+	// deterministic backoff jitter streams.
 	Seed int64
 	// SlotTimeout bounds each per-edge exchange (assign + report). Zero
 	// disables deadlines. A slow or hung edge then fails its slot instead
 	// of stalling the whole fleet.
 	SlotTimeout time.Duration
+	// HandshakeTimeout bounds each connection's Hello/Welcome exchange.
+	// Zero selects DefaultHandshakeTimeout; negative disables the deadline.
+	HandshakeTimeout time.Duration
+	// Retry is the per-slot transient-failure budget: how many times an
+	// edge's exchange is retried (under deterministic capped-exponential
+	// backoff) and how long each try waits for a dropped edge to redial and
+	// resume. The zero value disables retries.
+	Retry RetryConfig
+	// Policy selects the engine's reaction to an edge that fails beyond its
+	// retry budget: engine.FailFast (zero value, historical behavior) aborts
+	// the run; engine.Degrade marks the edge down and completes the run on
+	// the surviving fleet with exact accounting over the slots served.
+	Policy engine.ErrorPolicy
 }
 
 // Summary is what a completed distributed run reports.
@@ -66,6 +90,18 @@ type Summary struct {
 	Accuracy float64
 	// Selections[i][n] counts slots edge i spent on model n.
 	Selections [][]int
+
+	// Fault-tolerance accounting (all zero on a fault-free run).
+	//
+	// Downtime[i] counts slots edge i did not serve; DroppedSlots is their
+	// sum. Retries[i] counts transient-failure retries burned for edge i.
+	// Resumes[i] counts accepted session resumes. DownErrors[i] records why
+	// edge i was marked down ("" while up).
+	Downtime     []int
+	DroppedSlots int
+	Retries      []int
+	Resumes      []int
+	DownErrors   []string
 }
 
 // Cloud hosts the models and the online controller.
@@ -73,6 +109,12 @@ type Cloud struct {
 	cfg    CloudConfig
 	source ModelSource
 	ctrl   *core.Controller
+	links  []*edgeLink
+	// sleep performs retry backoff; injectable so chaos tests replay with
+	// zero wall time. Defaults to time.Sleep.
+	sleep func(time.Duration)
+	// done flips once the run is over: the acceptor stops admitting.
+	done atomic.Bool
 }
 
 // NewCloud validates the configuration and builds the controller.
@@ -88,6 +130,15 @@ func NewCloud(cfg CloudConfig, source ModelSource) (*Cloud, error) {
 	}
 	if cfg.Prices == nil || cfg.Prices.Horizon() < cfg.Horizon {
 		return nil, fmt.Errorf("deploy: price series shorter than horizon")
+	}
+	if cfg.Retry.Attempts < 0 {
+		return nil, fmt.Errorf("deploy: negative retry budget %d", cfg.Retry.Attempts)
+	}
+	if cfg.Retry.BaseDelay < 0 || cfg.Retry.MaxDelay < 0 || cfg.Retry.ResumeWait < 0 {
+		return nil, fmt.Errorf("deploy: negative retry delays")
+	}
+	if cfg.Policy != engine.FailFast && cfg.Policy != engine.Degrade {
+		return nil, fmt.Errorf("deploy: unknown error policy %d", cfg.Policy)
 	}
 	avgPrice := 0.0
 	for t := 0; t < cfg.Horizon; t++ {
@@ -113,79 +164,240 @@ func NewCloud(cfg CloudConfig, source ModelSource) (*Cloud, error) {
 	if _, err := energy.NewMeter(cfg.EmissionRate); err != nil {
 		return nil, err
 	}
-	return &Cloud{cfg: cfg, source: source, ctrl: ctrl}, nil
-}
-
-// edgeConn is one connected edge after the handshake.
-type edgeConn struct {
-	id   int
-	conn net.Conn
-}
-
-// Serve accepts exactly cfg.Edges connections from ln, runs the full
-// horizon, and returns the summary. The listener is not closed.
-func (c *Cloud) Serve(ln net.Listener) (*Summary, error) {
-	edges := make([]*edgeConn, c.cfg.Edges)
-	for i := 0; i < c.cfg.Edges; i++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("deploy: accept: %w", err)
+	// Resume tokens are deterministic from the seed: they bind a redialing
+	// connection to the session it claims (mis-binding protection inside a
+	// trusted deployment), not an authentication secret.
+	tokenRNG := numeric.SplitRNG(cfg.Seed, "deploy-resume-token")
+	links := make([]*edgeLink, cfg.Edges)
+	for i := range links {
+		links[i] = &edgeLink{
+			id:       i,
+			token:    fmt.Sprintf("%016x-%02d", tokenRNG.Uint64(), i),
+			incoming: make(chan net.Conn, 1),
 		}
-		ec, err := c.handshake(conn)
-		if err != nil {
-			conn.Close()
-			return nil, err
-		}
-		if ec.id < 0 || ec.id >= c.cfg.Edges || edges[ec.id] != nil {
-			conn.Close()
-			return nil, fmt.Errorf("deploy: bad or duplicate edge id %d", ec.id)
-		}
-		edges[ec.id] = ec
 	}
-	defer func() {
-		for _, e := range edges {
-			if e != nil {
-				e.conn.Close()
+	return &Cloud{cfg: cfg, source: source, ctrl: ctrl, links: links, sleep: time.Sleep}, nil
+}
+
+// edgeLink is the cloud-side connection slot of one edge: the acceptor
+// delivers handshaken connections (initial and resumed) into incoming, and
+// the edge's stepper consumes them. A dropped edge leaves its link empty
+// until a resume arrives.
+type edgeLink struct {
+	id       int
+	token    string
+	incoming chan net.Conn
+
+	mu      sync.Mutex
+	claimed bool // initial connection admitted
+	resumes int
+}
+
+// deliver hands a fresh connection to the stepper, replacing any stale one
+// that was never consumed (latest connection wins).
+func (l *edgeLink) deliver(conn net.Conn) {
+	for {
+		select {
+		case l.incoming <- conn:
+			return
+		default:
+			select {
+			case stale := <-l.incoming:
+				stale.Close()
+			default:
 			}
 		}
-	}()
-	return c.run(edges)
+	}
 }
 
-// handshake reads Hello and answers Welcome.
-func (c *Cloud) handshake(conn net.Conn) (*edgeConn, error) {
+// Serve admits cfg.Edges edge sessions from ln, runs the full horizon, and
+// returns the summary. The listener stays open for the whole run so dropped
+// edges can redial and resume their session mid-run; it is not closed (the
+// caller owns it), but Serve unblocks its own acceptor on return when the
+// listener supports deadlines (as TCP listeners do).
+func (c *Cloud) Serve(ln net.Listener) (*Summary, error) {
+	initial := make(chan int, c.cfg.Edges)
+	acceptErr := make(chan error, 1)
+	go c.acceptLoop(ln, initial, acceptErr)
+	defer func() {
+		c.done.Store(true)
+		// Unblock a blocked Accept without closing the caller's listener: a
+		// deadline in the distant past forces an immediate timeout.
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // best-effort unblock
+		}
+	}()
+
+	connected := 0
+	for connected < c.cfg.Edges {
+		select {
+		case <-initial:
+			connected++
+		case err := <-acceptErr:
+			// The acceptor is gone; drain admissions that completed before
+			// it died, then fail if the fleet is still short.
+			for {
+				select {
+				case <-initial:
+					connected++
+					continue
+				default:
+				}
+				break
+			}
+			if connected < c.cfg.Edges {
+				return nil, fmt.Errorf("deploy: accept: %w", err)
+			}
+		}
+	}
+	return c.run()
+}
+
+// acceptLoop admits connections for the whole run: initial handshakes first,
+// session resumes once the run is underway. Admissions run concurrently so
+// one slow (or silent) client cannot wedge the fleet.
+func (c *Cloud) acceptLoop(ln net.Listener, initial chan<- int, acceptErr chan<- error) {
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait() // let in-flight admissions finish before reporting
+			if !c.done.Load() {
+				select {
+				case acceptErr <- err:
+				default:
+				}
+			}
+			return
+		}
+		if c.done.Load() {
+			conn.Close()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.admit(conn, initial)
+		}()
+	}
+}
+
+// admit performs one connection's handshake under the handshake deadline and
+// delivers the connection to its edge's link. Bad clients are rejected and
+// closed without disturbing the fleet.
+func (c *Cloud) admit(conn net.Conn, initial chan<- int) {
+	admitted := false
+	defer func() {
+		if !admitted {
+			conn.Close()
+		}
+	}()
+	timeout := c.cfg.HandshakeTimeout
+	if timeout == 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	if timeout > 0 {
+		//lint:allow nodeterm real I/O deadline on a live connection; wall time is the only clock the kernel honors
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return
+		}
+	}
 	m, err := ReadMessage(conn)
 	if err != nil {
-		return nil, fmt.Errorf("deploy: handshake read: %w", err)
+		return
 	}
 	if m.Type != MsgHello {
-		return nil, fmt.Errorf("deploy: expected Hello, got type %d", m.Type)
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "expected Hello"})
+		return
 	}
+	if m.EdgeID < 0 || m.EdgeID >= len(c.links) {
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("bad edge id %d", m.EdgeID)})
+		return
+	}
+	link := c.links[m.EdgeID]
+
+	if m.Resume {
+		if m.ResumeToken != link.token {
+			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "bad resume token"})
+			return
+		}
+		if m.DoneSlots < 0 || m.DoneSlots > c.cfg.Horizon {
+			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("implausible resume position %d", m.DoneSlots)})
+			return
+		}
+		// The resume Welcome intentionally omits the zoo metadata: the edge
+		// already holds it (and its loaded checkpoints) from the session.
+		if err := WriteMessage(conn, &Message{Type: MsgWelcome, EdgeID: m.EdgeID, Resume: true}); err != nil {
+			return
+		}
+		if timeout > 0 {
+			conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+		}
+		link.mu.Lock()
+		link.resumes++
+		link.mu.Unlock()
+		link.deliver(conn)
+		admitted = true
+		return
+	}
+
+	link.mu.Lock()
+	if link.claimed {
+		link.mu.Unlock()
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("duplicate edge id %d", m.EdgeID)})
+		return
+	}
+	link.claimed = true
+	link.mu.Unlock()
 	metas := make([]ModelMeta, c.source.NumModels())
 	for n := range metas {
 		metas[n] = c.source.Meta(n)
 	}
 	welcome := &Message{
-		Type:      MsgWelcome,
-		EdgeID:    m.EdgeID,
-		NumModels: len(metas),
-		Models:    metas,
+		Type:        MsgWelcome,
+		EdgeID:      m.EdgeID,
+		NumModels:   len(metas),
+		Models:      metas,
+		ResumeToken: link.token,
 	}
 	if err := WriteMessage(conn, welcome); err != nil {
-		return nil, fmt.Errorf("deploy: handshake write: %w", err)
+		link.mu.Lock()
+		link.claimed = false
+		link.mu.Unlock()
+		return
 	}
-	return &edgeConn{id: m.EdgeID, conn: conn}, nil
+	if timeout > 0 {
+		conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	link.deliver(conn)
+	initial <- m.EdgeID
+	admitted = true
 }
 
 // run drives all slots through the shared engine: the TCP exchange with
 // each edge is one EdgeStepper, so the distributed deployment executes the
 // exact protocol the in-process simulator does. One worker per edge keeps
-// every edge's assign/report exchange in flight concurrently, as before.
-func (c *Cloud) run(edges []*edgeConn) (*Summary, error) {
-	steppers := make([]engine.EdgeStepper, len(edges))
-	for i, e := range edges {
-		steppers[i] = &tcpStepper{cloud: c, edge: e, id: i}
+// every edge's assign/report exchange in flight concurrently, as before;
+// the retry layer and the error policy decide what a failed exchange means.
+func (c *Cloud) run() (*Summary, error) {
+	tcp := make([]*tcpStepper, len(c.links))
+	steppers := make([]engine.EdgeStepper, len(c.links))
+	for i, link := range c.links {
+		tcp[i] = &tcpStepper{
+			cloud: c,
+			link:  link,
+			id:    i,
+			rng:   numeric.SplitRNG(c.cfg.Seed, fmt.Sprintf("deploy-retry-%d", i)),
+		}
+		steppers[i] = tcp[i]
 	}
+	defer func() {
+		for _, s := range tcp {
+			if conn := s.liveConn(); conn != nil {
+				conn.Close()
+			}
+		}
+	}()
 	res, err := engine.Run(engine.Config{
 		Name:         "deploy",
 		Horizon:      c.cfg.Horizon,
@@ -194,16 +406,21 @@ func (c *Cloud) run(edges []*edgeConn) (*Summary, error) {
 		EmissionRate: c.cfg.EmissionRate,
 		Prices:       c.cfg.Prices,
 		SwitchCosts:  c.cfg.DownloadCosts,
-		Workers:      len(edges),
+		Workers:      len(c.links),
+		Policy:       c.cfg.Policy,
 	}, c.ctrl, steppers)
 	if err != nil {
-		return nil, c.abort(edges, err)
+		return nil, c.abort(tcp, err)
 	}
 
-	for _, e := range edges {
-		if err := WriteMessage(e.conn, &Message{Type: MsgDone}); err != nil {
-			return nil, fmt.Errorf("deploy: send done: %w", err)
-		}
+	if err := c.finish(tcp); err != nil && c.cfg.Policy == engine.FailFast {
+		return nil, err
+	}
+	resumes := make([]int, len(c.links))
+	for i, link := range c.links {
+		link.mu.Lock()
+		resumes[i] = link.resumes
+		link.mu.Unlock()
 	}
 	return &Summary{
 		ObservedLoss: res.Cost.InferLoss + res.Cost.Compute,
@@ -214,29 +431,139 @@ func (c *Cloud) run(edges []*edgeConn) (*Summary, error) {
 		Switches:     res.Switches,
 		Accuracy:     res.OverallAccuracy,
 		Selections:   res.Selections,
+		Downtime:     res.Downtime,
+		DroppedSlots: res.DroppedSlots,
+		Retries:      res.Retries,
+		Resumes:      resumes,
+		DownErrors:   res.DownErrors,
 	}, nil
 }
 
-// tcpStepper runs one edge's slot over its connection: ship the assignment
-// (plus checkpoint on a switch), wait for the report, translate it into the
-// engine's observation. The reported average loss stands in for both the
-// bandit feedback and the accounting term — the deployment has no posterior
-// mean, only what the edge measured.
+// finish notifies every still-connected edge that the run is over. The loop
+// is best-effort by design: one dead edge must not leave the others hanging
+// until their read deadlines, so every edge is attempted and the failures
+// are reported joined (and ignored entirely under Degrade).
+func (c *Cloud) finish(steppers []*tcpStepper) error {
+	var errs []error
+	for _, s := range steppers {
+		conn := s.liveConn()
+		if conn == nil {
+			continue // edge is down; nobody to notify
+		}
+		if err := WriteMessage(conn, &Message{Type: MsgDone}); err != nil {
+			errs = append(errs, fmt.Errorf("deploy: send done to edge %d: %w", s.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// abort tells every still-connected edge the run failed and returns the
+// error. Like finish, it attempts every edge before returning.
+func (c *Cloud) abort(steppers []*tcpStepper, err error) error {
+	msg := &Message{Type: MsgError, Reason: err.Error()}
+	for _, s := range steppers {
+		if conn := s.liveConn(); conn != nil {
+			_ = WriteMessage(conn, msg) // best effort; we are already failing
+		}
+	}
+	return err
+}
+
+// tcpStepper runs one edge's slot over its current connection: ship the
+// assignment (plus checkpoint on a switch), wait for the report, translate
+// it into the engine's observation. The reported average loss stands in for
+// both the bandit feedback and the accounting term — the deployment has no
+// posterior mean, only what the edge measured.
+//
+// Transient failures (resets, timeouts, mid-frame EOFs) consume the
+// per-slot retry budget: each retry backs off deterministically and waits
+// for the edge to redial and resume before re-running the exchange. Fatal
+// failures (protocol violations, invalid report numbers, edge application
+// errors) fail the slot immediately.
 type tcpStepper struct {
 	cloud *Cloud
-	edge  *edgeConn
+	link  *edgeLink
 	id    int
+	rng   *rand.Rand // deterministic backoff jitter stream
+	conn  net.Conn   // current connection; nil while the edge is down
 }
 
 // Step implements engine.EdgeStepper.
 func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, error) {
-	c, e, i := s.cloud, s.edge, s.id
+	retry := s.cloud.cfg.Retry.withDefaults()
+	attempts := 0
+	var lastErr error
+	for {
+		if s.conn == nil {
+			if conn := s.await(retry.ResumeWait); conn != nil {
+				s.conn = conn
+			} else {
+				lastErr = fmt.Errorf("edge %d: no live connection within %v", s.id, retry.ResumeWait)
+			}
+		}
+		if s.conn != nil {
+			obs, err := s.exchange(s.conn, slot, arm, download)
+			if err == nil {
+				obs.Retries = attempts
+				return obs, nil
+			}
+			s.conn.Close()
+			s.conn = nil
+			if !Transient(err) {
+				return engine.Observation{Retries: attempts}, err
+			}
+			lastErr = err
+		}
+		if attempts >= s.cloud.cfg.Retry.Attempts {
+			return engine.Observation{Retries: attempts},
+				fmt.Errorf("edge %d slot %d: retry budget exhausted after %d retries: %w", s.id, slot, attempts, lastErr)
+		}
+		attempts++
+		s.cloud.sleep(backoffDelay(retry, attempts, s.rng))
+	}
+}
+
+// await waits up to d for the acceptor to deliver a (re)connection.
+func (s *tcpStepper) await(d time.Duration) net.Conn {
+	select {
+	case conn := <-s.link.incoming:
+		return conn
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case conn := <-s.link.incoming:
+		return conn
+	case <-t.C:
+		return nil
+	}
+}
+
+// liveConn returns the stepper's current connection, consuming a freshly
+// resumed one if the acceptor delivered it after the last step. Callers
+// must not race Step (the engine has returned, or never started).
+func (s *tcpStepper) liveConn() net.Conn {
+	select {
+	case conn := <-s.link.incoming:
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.conn = conn
+	default:
+	}
+	return s.conn
+}
+
+// exchange runs one assign/report round trip on conn.
+func (s *tcpStepper) exchange(conn net.Conn, slot, arm int, download bool) (engine.Observation, error) {
+	c, i := s.cloud, s.id
 	if c.cfg.SlotTimeout > 0 {
 		//lint:allow nodeterm real I/O deadline on a live TCP connection; wall time is the only clock the kernel honors
-		if err := e.conn.SetDeadline(time.Now().Add(c.cfg.SlotTimeout)); err != nil {
+		if err := conn.SetDeadline(time.Now().Add(c.cfg.SlotTimeout)); err != nil {
 			return engine.Observation{}, fmt.Errorf("edge %d deadline: %w", i, err)
 		}
-		defer e.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
 	}
 	assign := &Message{
 		Type:    MsgAssign,
@@ -251,18 +578,21 @@ func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, err
 		}
 		assign.Weights = ckpt
 	}
-	if err := WriteMessage(e.conn, assign); err != nil {
+	if err := WriteMessage(conn, assign); err != nil {
 		return engine.Observation{}, fmt.Errorf("edge %d assign: %w", i, err)
 	}
-	rep, err := ReadMessage(e.conn)
+	rep, err := ReadMessage(conn)
 	if err != nil {
 		return engine.Observation{}, fmt.Errorf("edge %d report: %w", i, err)
 	}
 	if rep.Type == MsgError {
-		return engine.Observation{}, fmt.Errorf("edge %d failed: %s", i, rep.Reason)
+		return engine.Observation{}, &EdgeError{EdgeID: i, Reason: rep.Reason}
 	}
-	if rep.Type != MsgReport || rep.Slot != slot {
-		return engine.Observation{}, fmt.Errorf("edge %d: unexpected reply type %d slot %d", i, rep.Type, rep.Slot)
+	if err := ValidateReport(rep); err != nil {
+		return engine.Observation{}, fmt.Errorf("edge %d: %w", i, err)
+	}
+	if rep.Slot != slot {
+		return engine.Observation{}, protocolErrorf("edge %d: report for slot %d, want %d", i, rep.Slot, slot)
 	}
 	return engine.Observation{
 		Loss:      rep.AvgLoss + rep.CompSeconds,
@@ -274,13 +604,4 @@ func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, err
 		TransferKWh: energy.TransferEnergy(
 			energy.TransferEnergyPerByte, c.source.Meta(arm).SizeBytes),
 	}, nil
-}
-
-// abort tells every edge the run failed and returns the error.
-func (c *Cloud) abort(edges []*edgeConn, err error) error {
-	msg := &Message{Type: MsgError, Reason: err.Error()}
-	for _, e := range edges {
-		_ = WriteMessage(e.conn, msg) // best effort; we are already failing
-	}
-	return err
 }

@@ -31,50 +31,91 @@ type SlotReport struct {
 }
 
 // RunEdge connects an edge agent: handshake, then serve Assign frames until
-// Done. It returns nil on a clean Done and an error otherwise.
+// Done. It returns nil on a clean Done and an error otherwise. It makes a
+// single attempt on a single connection; fault-tolerant agents use an
+// EdgeSession (or RunEdgeResumable) to survive connection loss.
 func RunEdge(conn net.Conn, edgeID int, rt Runtime) error {
-	if rt == nil {
-		return fmt.Errorf("deploy: nil runtime")
-	}
-	if err := WriteMessage(conn, &Message{Type: MsgHello, EdgeID: edgeID}); err != nil {
-		return fmt.Errorf("deploy: hello: %w", err)
-	}
-	welcome, err := ReadMessage(conn)
+	s, err := NewEdgeSession(edgeID, rt)
 	if err != nil {
-		return fmt.Errorf("deploy: welcome: %w", err)
+		return err
 	}
-	if welcome.Type != MsgWelcome {
-		return fmt.Errorf("deploy: expected Welcome, got type %d", welcome.Type)
+	_, err = s.Run(conn)
+	return err
+}
+
+// EdgeSession is the resumable edge-side state of one cloud run: the zoo
+// metadata and resume token from the initial Welcome, plus a cache of the
+// last completed report. The session outlives any single connection — when a
+// connection drops, redial and call Run again; the session re-handshakes
+// with Resume set (skipping the zoo metadata) and answers a duplicate Assign
+// from its report cache instead of re-serving the slot, so the edge's
+// stochastic serving stream is never double-drawn and the cloud never
+// double-counts a slot whose report was lost in flight.
+type EdgeSession struct {
+	edgeID int
+	rt     Runtime
+
+	welcomed  bool
+	token     string
+	doneSlots int      // completed slots (reports produced, possibly unacked)
+	last      *Message // cached report of slot doneSlots-1
+}
+
+// NewEdgeSession builds a fresh session for one run.
+func NewEdgeSession(edgeID int, rt Runtime) (*EdgeSession, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("deploy: nil runtime")
 	}
-	if err := rt.Welcome(welcome.Models); err != nil {
-		return fmt.Errorf("deploy: runtime welcome: %w", err)
+	if edgeID < 0 {
+		return nil, fmt.Errorf("deploy: negative edge id %d", edgeID)
+	}
+	return &EdgeSession{edgeID: edgeID, rt: rt}, nil
+}
+
+// Run serves the session over one connection until it ends. done reports
+// whether the session is over: a clean Done (err == nil), a cloud abort, or
+// a fatal local/protocol failure. done == false means the connection itself
+// failed (err is the transient cause) and the caller may redial and call Run
+// again to resume the session.
+func (s *EdgeSession) Run(conn net.Conn) (done bool, err error) {
+	if err := s.handshake(conn); err != nil {
+		return !Transient(err), err
 	}
 	for {
 		m, err := ReadMessage(conn)
 		if err != nil {
-			return fmt.Errorf("deploy: read: %w", err)
+			return !Transient(err), fmt.Errorf("deploy: read: %w", err)
 		}
 		switch m.Type {
 		case MsgDone:
-			return nil
+			return true, nil
 		case MsgError:
-			return fmt.Errorf("deploy: cloud aborted: %s", m.Reason)
+			return true, fmt.Errorf("deploy: cloud aborted: %s", m.Reason)
 		case MsgAssign:
+			if s.last != nil && m.Slot == s.last.Slot {
+				// Duplicate assign: the cloud never saw our report for this
+				// slot. Answer from the cache — re-serving would double-draw
+				// the edge's stochastic stream and double-count the slot.
+				if err := WriteMessage(conn, s.last); err != nil {
+					return !Transient(err), fmt.Errorf("deploy: report (resend): %w", err)
+				}
+				continue
+			}
 			if m.Switch {
-				if err := rt.LoadModel(m.ModelID, m.Weights); err != nil {
+				if err := s.rt.LoadModel(m.ModelID, m.Weights); err != nil {
 					_ = WriteMessage(conn, &Message{Type: MsgError, Reason: err.Error()})
-					return fmt.Errorf("deploy: load model %d: %w", m.ModelID, err)
+					return true, fmt.Errorf("deploy: load model %d: %w", m.ModelID, err)
 				}
 			}
-			rep, err := rt.RunSlot(m.Slot, m.ModelID)
+			rep, err := s.rt.RunSlot(m.Slot, m.ModelID)
 			if err != nil {
 				_ = WriteMessage(conn, &Message{Type: MsgError, Reason: err.Error()})
-				return fmt.Errorf("deploy: run slot %d: %w", m.Slot, err)
+				return true, fmt.Errorf("deploy: run slot %d: %w", m.Slot, err)
 			}
 			out := &Message{
 				Type:        MsgReport,
 				Slot:        m.Slot,
-				EdgeID:      edgeID,
+				EdgeID:      s.edgeID,
 				ModelID:     m.ModelID,
 				AvgLoss:     rep.AvgLoss,
 				Correct:     rep.Correct,
@@ -82,12 +123,81 @@ func RunEdge(conn net.Conn, edgeID int, rt Runtime) error {
 				EnergyKWh:   rep.EnergyKWh,
 				CompSeconds: rep.CompSeconds,
 			}
+			// Cache before writing: if the write dies mid-frame the slot is
+			// still completed, and the resumed connection resends it.
+			s.last = out
+			s.doneSlots++
 			if err := WriteMessage(conn, out); err != nil {
-				return fmt.Errorf("deploy: report: %w", err)
+				return !Transient(err), fmt.Errorf("deploy: report: %w", err)
 			}
 		default:
-			return fmt.Errorf("deploy: unexpected message type %d", m.Type)
+			return true, fmt.Errorf("deploy: unexpected message type %d", m.Type)
 		}
+	}
+}
+
+// handshake performs the initial or resume Hello/Welcome exchange.
+func (s *EdgeSession) handshake(conn net.Conn) error {
+	hello := &Message{Type: MsgHello, EdgeID: s.edgeID}
+	if s.welcomed {
+		hello.Resume = true
+		hello.ResumeToken = s.token
+		hello.DoneSlots = s.doneSlots
+	}
+	if err := WriteMessage(conn, hello); err != nil {
+		return fmt.Errorf("deploy: hello: %w", err)
+	}
+	welcome, err := ReadMessage(conn)
+	if err != nil {
+		return fmt.Errorf("deploy: welcome: %w", err)
+	}
+	if welcome.Type == MsgError {
+		return protocolErrorf("cloud rejected handshake: %s", welcome.Reason)
+	}
+	if welcome.Type != MsgWelcome {
+		return protocolErrorf("expected Welcome, got type %d", welcome.Type)
+	}
+	if s.welcomed {
+		return nil // resume Welcome carries no zoo metadata
+	}
+	if err := s.rt.Welcome(welcome.Models); err != nil {
+		return fmt.Errorf("deploy: runtime welcome: %w", err)
+	}
+	s.token = welcome.ResumeToken
+	s.welcomed = true
+	return nil
+}
+
+// RunEdgeResumable runs a full edge session with automatic reconnect: when a
+// connection fails transiently, it redials and resumes, up to maxResumes
+// times. dial is also what paces reconnection — a dialer may sleep or back
+// off internally; RunEdgeResumable itself never waits, so deterministic
+// harnesses stay in control of time.
+func RunEdgeResumable(dial func() (net.Conn, error), edgeID int, rt Runtime, maxResumes int) error {
+	if dial == nil {
+		return fmt.Errorf("deploy: nil dialer")
+	}
+	s, err := NewEdgeSession(edgeID, rt)
+	if err != nil {
+		return err
+	}
+	resumes := 0
+	var lastErr error
+	for {
+		conn, err := dial()
+		if err == nil {
+			var done bool
+			done, err = s.Run(conn)
+			conn.Close()
+			if done {
+				return err
+			}
+		}
+		lastErr = err
+		if resumes >= maxResumes {
+			return fmt.Errorf("deploy: edge %d: resume budget exhausted after %d resumes: %w", edgeID, resumes, lastErr)
+		}
+		resumes++
 	}
 }
 

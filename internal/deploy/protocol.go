@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // MsgType discriminates protocol messages.
@@ -53,6 +54,18 @@ type Message struct {
 	NumModels int         `json:"numModels,omitempty"`
 	Models    []ModelMeta `json:"models,omitempty"`
 
+	// Session resume (Hello / Welcome). A first Hello carries neither field;
+	// the Welcome answers with the session's ResumeToken. A reconnecting
+	// edge sends Hello with Resume set, the token it was issued, and
+	// DoneSlots = number of slots it has completed reports for — so the
+	// cloud can re-assign the in-flight slot without re-shipping zoo
+	// metadata (the resume Welcome omits Models) and without double-counting
+	// a slot whose report was lost in flight (the edge answers a duplicate
+	// assign from its report cache instead of re-serving it).
+	Resume      bool   `json:"resume,omitempty"`
+	ResumeToken string `json:"resumeToken,omitempty"`
+	DoneSlots   int    `json:"doneSlots,omitempty"`
+
 	// Assign.
 	Slot    int    `json:"slot,omitempty"`
 	ModelID int    `json:"modelId,omitempty"`
@@ -84,7 +97,7 @@ func WriteMessage(w io.Writer, m *Message) error {
 		return fmt.Errorf("deploy: marshal: %w", err)
 	}
 	if len(body) > maxFrame {
-		return fmt.Errorf("deploy: frame of %d bytes exceeds limit", len(body))
+		return protocolErrorf("frame of %d bytes exceeds limit", len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -97,7 +110,11 @@ func WriteMessage(w io.Writer, m *Message) error {
 	return nil
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message. Failures follow the error taxonomy
+// in errors.go: truncated reads are transient I/O errors (the connection
+// died, possibly mid-frame — a resume can heal it), while an impossible
+// frame length, undecodable JSON, or an unknown message type is a fatal
+// *ProtocolError (the peer is broken; retrying cannot help).
 func ReadMessage(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -105,7 +122,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("deploy: frame of %d bytes exceeds limit", n)
+		return nil, protocolErrorf("frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -113,10 +130,42 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, fmt.Errorf("deploy: unmarshal: %w", err)
+		return nil, protocolErrorf("unmarshal: %v", err)
 	}
 	if m.Type < MsgHello || m.Type > MsgError {
-		return nil, fmt.Errorf("deploy: unknown message type %d", m.Type)
+		return nil, protocolErrorf("unknown message type %d", m.Type)
 	}
 	return &m, nil
+}
+
+// ValidateReport defensively checks a MsgReport before its numbers reach
+// the engine's accounting: non-finite or negative losses, energies, and
+// counts would silently poison the carbon ledger and the bandit state, so
+// they are rejected as fatal protocol errors at the wire boundary.
+func ValidateReport(m *Message) error {
+	if m.Type != MsgReport {
+		return protocolErrorf("expected Report, got type %d", m.Type)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"avgLoss", m.AvgLoss},
+		{"energyKwh", m.EnergyKWh},
+		{"compSeconds", m.CompSeconds},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return protocolErrorf("report slot %d: %s is not finite (%v)", m.Slot, f.name, f.v)
+		}
+		if f.v < 0 {
+			return protocolErrorf("report slot %d: negative %s (%v)", m.Slot, f.name, f.v)
+		}
+	}
+	if m.Samples < 0 {
+		return protocolErrorf("report slot %d: negative sample count %d", m.Slot, m.Samples)
+	}
+	if m.Correct < 0 || m.Correct > m.Samples {
+		return protocolErrorf("report slot %d: %d correct of %d samples", m.Slot, m.Correct, m.Samples)
+	}
+	return nil
 }

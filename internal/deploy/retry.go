@@ -1,0 +1,67 @@
+package deploy
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryConfig bounds the per-slot retry behavior of one edge's assign/report
+// exchange. The zero value disables retries entirely, which preserves the
+// historical fail-fast deployment semantics (and sim/deploy parity).
+type RetryConfig struct {
+	// Attempts is the retry budget per slot per edge: after the initial try
+	// fails transiently, up to Attempts further tries are made before the
+	// edge's Step reports failure. 0 disables retries.
+	Attempts int
+	// BaseDelay seeds the capped exponential backoff between tries: retry k
+	// sleeps a jittered min(BaseDelay«(k-1), MaxDelay). Zero defaults to
+	// 10ms (only when Attempts > 0).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero defaults to 1s.
+	MaxDelay time.Duration
+	// ResumeWait bounds how long each try waits for a live connection when
+	// the edge's link is down (i.e. for the edge to redial and resume).
+	// Zero defaults to 1s.
+	ResumeWait time.Duration
+}
+
+// Default backoff parameters applied by withDefaults when Attempts > 0.
+const (
+	DefaultBaseDelay  = 10 * time.Millisecond
+	DefaultMaxDelay   = time.Second
+	DefaultResumeWait = time.Second
+)
+
+// withDefaults fills zero fields.
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = DefaultBaseDelay
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = DefaultMaxDelay
+	}
+	if r.ResumeWait <= 0 {
+		r.ResumeWait = DefaultResumeWait
+	}
+	return r
+}
+
+// backoffDelay returns the jittered backoff before 1-based retry attempt k:
+// half the capped exponential delay plus a uniformly random half, drawn from
+// the caller's SplitRNG stream so the sleep sequence replays bit-for-bit.
+// The sleep itself is performed through the cloud's injectable sleeper, so
+// tests compress chaos runs to zero wall time without touching the delays.
+func backoffDelay(cfg RetryConfig, attempt int, rng *rand.Rand) time.Duration {
+	d := cfg.BaseDelay
+	for k := 1; k < attempt && d < cfg.MaxDelay; k++ {
+		d *= 2
+	}
+	if d > cfg.MaxDelay {
+		d = cfg.MaxDelay
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}

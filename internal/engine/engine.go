@@ -45,6 +45,10 @@ type Observation struct {
 	// slot began with a download, so steppers may always fill it in.
 	InferKWh    float64
 	TransferKWh float64
+	// Retries counts transport-level retries the stepper burned to produce
+	// this observation (0 for in-process steppers). Steppers may report it
+	// alongside an error; the engine accumulates it either way.
+	Retries int
 }
 
 // EdgeStepper serves one edge's traffic for one slot. Each edge has its own
@@ -78,7 +82,29 @@ type Config struct {
 	// 0 or 1 runs the canonical serial order; the result is identical for
 	// every value.
 	Workers int
+	// Policy selects how the run reacts to a failing edge stepper. The zero
+	// value (FailFast) aborts on the first error, preserving historical
+	// sim/deploy parity semantics.
+	Policy ErrorPolicy
+	// OnEdgeDown, when non-nil and Policy is Degrade, is invoked serially in
+	// edge-index order each time an edge is marked down (once per edge).
+	OnEdgeDown func(edge, slot int, err error)
 }
+
+// ErrorPolicy selects how Run treats a failing edge stepper.
+type ErrorPolicy int
+
+const (
+	// FailFast aborts the run on the first stepper error, reported
+	// deterministically as the slot's lowest-indexed failure.
+	FailFast ErrorPolicy = iota
+	// Degrade marks a failing edge down and completes the run without it:
+	// every remaining slot of a down edge contributes a fallback observation
+	// (zero samples served, zero energy, no bandit feedback for the selected
+	// arm), so the carbon accounting stays exact over the slots actually
+	// served and the surviving edges are undisturbed.
+	Degrade
+)
 
 // Result captures everything a run produces.
 type Result struct {
@@ -102,10 +128,23 @@ type Result struct {
 	// Switches counts model downloads across all edges (including each
 	// edge's initial download).
 	Switches int
-	// Selections[i][n] counts slots edge i spent on model n.
+	// Selections[i][n] counts slots edge i spent on model n. Under Degrade
+	// a down edge's slots are not counted, so row i sums to
+	// Horizon - Downtime[i].
 	Selections [][]int
 	// AvgBuyPrice is spend / allowances bought (0 if none bought).
 	AvgBuyPrice float64
+
+	// Fault-tolerance accounting (all zero under FailFast).
+	//
+	// Downtime[i] counts slots edge i did not serve (including the slot in
+	// which it was marked down); DroppedSlots is their sum. Retries[i]
+	// accumulates the transport retries edge i's stepper reported.
+	// DownErrors[i] is the error that took edge i down ("" while up).
+	Downtime     []int
+	DroppedSlots int
+	Retries      []int
+	DownErrors   []string
 }
 
 // Run drives the full horizon: per slot it asks the controller for the
@@ -156,6 +195,9 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 		WorkloadTotal: make([]int, cfg.Horizon),
 		Accuracy:      make([]float64, cfg.Horizon),
 		Selections:    make([][]int, len(edges)),
+		Downtime:      make([]int, len(edges)),
+		Retries:       make([]int, len(edges)),
+		DownErrors:    make([]string, len(edges)),
 	}
 	for i := range res.Selections {
 		res.Selections[i] = make([]int, cfg.NumModels)
@@ -172,6 +214,8 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 	obs := make([]Observation, len(edges))
 	stepErrs := make([]error, len(edges))
 	losses := make([]float64, len(edges))
+	served := make([]bool, len(edges))
+	down := make([]bool, len(edges))
 	totalCorrect, totalSamples := 0, 0
 
 	for t := 0; t < cfg.Horizon; t++ {
@@ -186,6 +230,10 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 
 		if workers == 1 {
 			for i, e := range edges {
+				if down[i] {
+					obs[i], stepErrs[i] = Observation{}, nil
+					continue
+				}
 				obs[i], stepErrs[i] = safeStep(e, t, arms[i], downloads[i])
 			}
 		} else {
@@ -201,27 +249,55 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 				}()
 			}
 			for i := range edges {
+				if down[i] {
+					obs[i], stepErrs[i] = Observation{}, nil
+					continue
+				}
 				jobs <- i
 			}
 			close(jobs)
 			wg.Wait()
 		}
-		// Report the first failure in edge order, deterministically.
+		// Failures are handled serially in edge-index order, so the outcome
+		// (the aborting error under FailFast, the down-marking order under
+		// Degrade) is deterministic regardless of step completion order.
 		for i, err := range stepErrs {
-			if err != nil {
+			if err == nil {
+				continue
+			}
+			if cfg.Policy == FailFast {
 				return nil, fmt.Errorf("engine: edge %d slot %d: %w", i, t, err)
+			}
+			// Degrade: keep the retries the stepper burned, zero the rest of
+			// the failed observation, and mark the edge down for the
+			// remainder of the run.
+			down[i] = true
+			res.DownErrors[i] = err.Error()
+			obs[i] = Observation{Retries: obs[i].Retries}
+			stepErrs[i] = nil
+			if cfg.OnEdgeDown != nil {
+				cfg.OnEdgeDown(i, t, err)
 			}
 		}
 
 		// Cross-edge accounting is serial and in edge-index order so the
-		// result is independent of step completion order.
+		// result is independent of step completion order. A down edge
+		// contributes the well-defined fallback: zero samples, zero energy,
+		// no switch charge (nothing was shipped), and no bandit feedback.
 		var slotCost metrics.CostBreakdown
 		slotEmission := 0.0
 		slotCorrect, slotSamples := 0, 0
 		for i := range edges {
 			o := obs[i]
-			res.Selections[i][arms[i]]++
 			losses[i] = o.Loss
+			served[i] = !down[i]
+			res.Retries[i] += o.Retries
+			if down[i] {
+				res.Downtime[i]++
+				res.DroppedSlots++
+				continue
+			}
+			res.Selections[i][arms[i]]++
 			slotCost.InferLoss += o.InferLoss
 			slotCost.Compute += o.Compute
 			if downloads[i] {
@@ -245,7 +321,7 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 		if err := ledger.Sell(d.Sell, q.Sell); err != nil {
 			return nil, err
 		}
-		if err := ctrl.CompleteSlot(losses, slotEmission); err != nil {
+		if err := ctrl.CompleteSlotServed(losses, served, slotEmission); err != nil {
 			return nil, err
 		}
 		slotCost.Trading = d.Cost(q)

@@ -352,3 +352,175 @@ func TestRunPanicBeatenByEarlierError(t *testing.T) {
 		t.Errorf("err = %v, want the ordinary edge-1 error to win over edge 3's panic", err)
 	}
 }
+
+// retryStepper reports transport retries alongside success or failure.
+type retryStepper struct {
+	*fakeStepper
+	retriesPerSlot int
+}
+
+func (r *retryStepper) Step(slot, arm int, download bool) (Observation, error) {
+	obs, err := r.fakeStepper.Step(slot, arm, download)
+	obs.Retries = r.retriesPerSlot
+	return obs, err
+}
+
+// TestRunDegradeMarksEdgeDown pins graceful degradation: a failing edge is
+// marked down once, serves nothing afterwards, and contributes exactly the
+// documented fallback — no selections, no emissions, no switch charges —
+// while the surviving edges and the run's determinism are untouched.
+func TestRunDegradeMarksEdgeDown(t *testing.T) {
+	const edges, horizon, failAt = 4, 30, 5
+	type downEvent struct{ edge, slot int }
+	runWith := func(workers int) (*Result, []downEvent) {
+		steppers := make([]EdgeStepper, edges)
+		for i := range steppers {
+			f := newFakeStepper(i, 6)
+			if i == 1 {
+				f.failAt = failAt
+				steppers[i] = &retryStepper{fakeStepper: f, retriesPerSlot: 2}
+			} else {
+				steppers[i] = f
+			}
+		}
+		cfg := testConfig(edges, horizon)
+		cfg.Workers = workers
+		cfg.Policy = Degrade
+		var events []downEvent
+		cfg.OnEdgeDown = func(edge, slot int, err error) {
+			events = append(events, downEvent{edge, slot})
+		}
+		res, err := Run(cfg, testController(t, edges, 4, horizon), steppers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, events
+	}
+
+	res, events := runWith(1)
+	if got, want := res.Downtime[1], horizon-failAt; got != want {
+		t.Errorf("Downtime[1] = %d, want %d", got, want)
+	}
+	if got, want := res.DroppedSlots, horizon-failAt; got != want {
+		t.Errorf("DroppedSlots = %d, want %d", got, want)
+	}
+	if !strings.Contains(res.DownErrors[1], "injected failure") {
+		t.Errorf("DownErrors[1] = %q, want the stepper's error", res.DownErrors[1])
+	}
+	// The down slot keeps the retries the stepper burned; served slots add
+	// theirs: failAt slots at 2 retries each plus the failing one.
+	if got, want := res.Retries[1], (failAt+1)*2; got != want {
+		t.Errorf("Retries[1] = %d, want %d", got, want)
+	}
+	if len(events) != 1 || events[0] != (downEvent{1, failAt}) {
+		t.Errorf("OnEdgeDown events = %v, want exactly [{1 %d}]", events, failAt)
+	}
+	for i, row := range res.Selections {
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		want := horizon
+		if i == 1 {
+			want = failAt
+		}
+		if total != want {
+			t.Errorf("edge %d selections sum to %d, want %d", i, total, want)
+		}
+	}
+	for i := range res.Downtime {
+		if i != 1 && (res.Downtime[i] != 0 || res.DownErrors[i] != "") {
+			t.Errorf("healthy edge %d shows fault accounting", i)
+		}
+	}
+
+	// The degraded result is deterministic across worker counts.
+	for _, workers := range []int{2, edges} {
+		if got, _ := runWith(workers); !reflect.DeepEqual(res, got) {
+			t.Errorf("workers=%d degraded run diverged from serial", workers)
+		}
+	}
+
+	// The JSON export surfaces the fault counters on faulted runs.
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"downtime"`, `"droppedSlots"`, `"retries"`, `"downErrors"`} {
+		if !strings.Contains(sb.String(), key) {
+			t.Errorf("faulted JSON export missing %s", key)
+		}
+	}
+}
+
+// TestRunDegradeSurvivesPanic extends the panic-recovery contract to the
+// Degrade policy: a panicking stepper is marked down like any failing one —
+// the process survives, the pool drains, and the run completes without it.
+func TestRunDegradeSurvivesPanic(t *testing.T) {
+	const edges, horizon, panicAt = 4, 20, 7
+	for _, workers := range []int{1, 2, edges} {
+		steppers := make([]EdgeStepper, edges)
+		for i := range steppers {
+			f := newFakeStepper(i, 4)
+			if i == 2 {
+				steppers[i] = &panicStepper{fakeStepper: f, panicAt: panicAt}
+			} else {
+				steppers[i] = f
+			}
+		}
+		cfg := testConfig(edges, horizon)
+		cfg.Workers = workers
+		cfg.Policy = Degrade
+		done := make(chan *Result, 1)
+		go func() {
+			res, err := Run(cfg, testController(t, edges, 4, horizon), steppers)
+			if err != nil {
+				t.Errorf("workers=%d: %v", workers, err)
+			}
+			done <- res
+		}()
+		select {
+		case res := <-done:
+			if res == nil {
+				return // error already reported
+			}
+			if got, want := res.Downtime[2], horizon-panicAt; got != want {
+				t.Errorf("workers=%d: Downtime[2] = %d, want %d", workers, got, want)
+			}
+			if !strings.Contains(res.DownErrors[2], "stepper panic") {
+				t.Errorf("workers=%d: DownErrors[2] = %q, want the recovered panic", workers, res.DownErrors[2])
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: Run deadlocked after stepper panic under Degrade", workers)
+		}
+	}
+}
+
+// TestRunDegradeAllEdgesDown drives every edge down and checks the run still
+// completes with a fully-dropped tail instead of wedging or dividing by zero.
+func TestRunDegradeAllEdgesDown(t *testing.T) {
+	const edges, horizon, failAt = 2, 10, 3
+	steppers := make([]EdgeStepper, edges)
+	for i := range steppers {
+		f := newFakeStepper(i, 8)
+		f.failAt = failAt
+		steppers[i] = f
+	}
+	cfg := testConfig(edges, horizon)
+	cfg.Policy = Degrade
+	res, err := Run(cfg, testController(t, edges, 4, horizon), steppers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.DroppedSlots, edges*(horizon-failAt); got != want {
+		t.Errorf("DroppedSlots = %d, want %d", got, want)
+	}
+	for t2 := failAt; t2 < horizon; t2++ {
+		if res.WorkloadTotal[t2] != 0 {
+			t.Errorf("slot %d served %d samples with all edges down", t2, res.WorkloadTotal[t2])
+		}
+		if res.Emissions[t2] != 0 {
+			t.Errorf("slot %d emitted %v with all edges down", t2, res.Emissions[t2])
+		}
+	}
+}

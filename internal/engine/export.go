@@ -24,6 +24,10 @@ type resultJSON struct {
 	WorkloadTotal   []int     `json:"workloadTotal"`
 	Accuracy        []float64 `json:"accuracy"`
 	Selections      [][]int   `json:"selections"`
+	Downtime        []int     `json:"downtime,omitempty"`
+	DroppedSlots    int       `json:"droppedSlots,omitempty"`
+	Retries         []int     `json:"retries,omitempty"`
+	DownErrors      []string  `json:"downErrors,omitempty"`
 }
 
 // WriteJSON serializes the result (indented) for downstream analysis.
@@ -45,6 +49,18 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		WorkloadTotal:   r.WorkloadTotal,
 		Accuracy:        r.Accuracy,
 		Selections:      r.Selections,
+	}
+	// Fault counters are emitted only when the run saw faults, keeping
+	// historical result files byte-identical for fault-free runs.
+	faulted := r.DroppedSlots > 0
+	for _, n := range r.Retries {
+		faulted = faulted || n > 0
+	}
+	if faulted {
+		out.Downtime = r.Downtime
+		out.DroppedSlots = r.DroppedSlots
+		out.Retries = r.Retries
+		out.DownErrors = r.DownErrors
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,240 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+func noSleep(time.Duration) {}
+
+func newPair(t *testing.T, sched Schedule, label string) (*Conn, net.Conn, *[]time.Duration) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	slept := &[]time.Duration{}
+	fc, err := New(a, sched, numeric.SplitRNG(1, label), func(d time.Duration) { *slept = append(*slept, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fc, b, slept
+}
+
+// readAll drains n bytes from conn into a fresh buffer on a goroutine.
+func readN(conn net.Conn, n int) chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			out <- nil
+			return
+		}
+		out <- buf
+	}()
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	rng := numeric.SplitRNG(1, "faults-valid")
+	if _, err := New(nil, nil, rng, nil); err == nil {
+		t.Error("expected error for nil conn")
+	}
+	if _, err := New(a, nil, nil, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+	if _, err := New(a, Schedule{{Slot: 0, Kind: Kind(99)}}, rng, nil); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if _, err := New(a, Schedule{{Slot: -1, Kind: Latency}}, rng, nil); err == nil {
+		t.Error("expected error for negative slot")
+	}
+	if _, err := New(a, Schedule{{Slot: 0, Kind: Latency, Delay: -time.Second}}, rng, nil); err == nil {
+		t.Error("expected error for negative delay")
+	}
+}
+
+func TestEventsWaitForTheirSlot(t *testing.T) {
+	fc, peer, _ := newPair(t, Schedule{{Slot: 2, Kind: CutWrite}}, "faults-slot")
+	// Slot 0: the slot-2 event must not fire.
+	fc.SetSlot(0)
+	got := readN(peer, 2)
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatalf("write before the event's slot: %v", err)
+	}
+	if b := <-got; !bytes.Equal(b, []byte("ok")) {
+		t.Fatalf("peer read %q", b)
+	}
+	// Slot 2: armed; the next write is suppressed and the conn is cut.
+	fc.SetSlot(2)
+	_, err := fc.Write([]byte("xx"))
+	var inj *ErrInjected
+	if !errors.As(err, &inj) || inj.Event.Kind != CutWrite {
+		t.Fatalf("err = %v, want injected cut-write", err)
+	}
+	if _, err := fc.Write([]byte("yy")); err == nil {
+		t.Fatal("writes after a cut must keep failing")
+	}
+	if fc.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", fc.Pending())
+	}
+}
+
+func TestSetSlotIsMonotonic(t *testing.T) {
+	fc, peer, _ := newPair(t, Schedule{{Slot: 1, Kind: CutWrite}}, "faults-mono")
+	fc.SetSlot(3)
+	fc.SetSlot(0) // must not rewind below 3
+	got := readN(peer, 1)
+	if _, err := fc.Write([]byte("a")); err == nil {
+		t.Fatal("slot-1 event should still be armed at slot 3")
+	}
+	<-got
+}
+
+func TestCutReadOnlyFiresOnReads(t *testing.T) {
+	fc, peer, _ := newPair(t, Schedule{{Slot: 0, Kind: CutRead}}, "faults-cutread")
+	fc.SetSlot(0)
+	// A write passes through: the event is read-targeted.
+	got := readN(peer, 2)
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	<-got
+	// The read is suppressed, and classified as a non-timeout net.Error.
+	_, err := fc.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || ne.Timeout() {
+		t.Fatalf("err = %v, want a non-timeout net.Error", err)
+	}
+	// The inner conn was closed: the peer sees EOF.
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer should see the cut")
+	}
+}
+
+func TestLatencyDelegatesToSleeper(t *testing.T) {
+	const d = 123 * time.Millisecond
+	fc, peer, slept := newPair(t, Schedule{{Slot: 0, Kind: Latency, Delay: d}}, "faults-latency")
+	fc.SetSlot(0)
+	got := readN(peer, 2)
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if b := <-got; !bytes.Equal(b, []byte("ok")) {
+		t.Fatalf("peer read %q", b)
+	}
+	if !reflect.DeepEqual(*slept, []time.Duration{d}) {
+		t.Fatalf("slept %v, want [%v]", *slept, d)
+	}
+}
+
+func TestTruncateWritesStrictPrefixOfBody(t *testing.T) {
+	// Frame discipline: a 4-byte header write, then the body write. The
+	// truncation must skip the header and cut the body mid-frame.
+	runOnce := func() []byte {
+		fc, peer, _ := newPair(t, Schedule{{Slot: 0, Kind: Truncate}}, "faults-trunc")
+		fc.SetSlot(0)
+		header := []byte{0, 0, 0, 16}
+		body := bytes.Repeat([]byte("b"), 16)
+		received := make(chan []byte, 1)
+		go func() {
+			var buf bytes.Buffer
+			io.Copy(&buf, peer) //nolint:errcheck // drained until the cut
+			received <- buf.Bytes()
+		}()
+		if _, err := fc.Write(header); err != nil {
+			t.Fatalf("header write: %v", err)
+		}
+		n, err := fc.Write(body)
+		var inj *ErrInjected
+		if !errors.As(err, &inj) || inj.Event.Kind != Truncate {
+			t.Fatalf("err = %v, want injected truncate", err)
+		}
+		if n <= 0 || n >= len(body) {
+			t.Fatalf("wrote %d of %d bytes, want a strict non-empty prefix", n, len(body))
+		}
+		return <-received
+	}
+	first := runOnce()
+	if len(first) <= len([]byte{0, 0, 0, 16}) {
+		t.Fatalf("peer got %d bytes, want header plus partial body", len(first))
+	}
+	// Identical (seed, schedule) must replay the identical truncation point.
+	if second := runOnce(); !bytes.Equal(first, second) {
+		t.Errorf("truncation not deterministic: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+func TestCorruptFlipsExactlyOneBodyByte(t *testing.T) {
+	fc, peer, _ := newPair(t, Schedule{{Slot: 0, Kind: Corrupt}}, "faults-corrupt")
+	fc.SetSlot(0)
+	header := []byte{0, 0, 0, 8}
+	body := []byte("12345678")
+	gotHeader := readN(peer, len(header))
+	if _, err := fc.Write(header); err != nil {
+		t.Fatalf("header write: %v", err)
+	}
+	if b := <-gotHeader; !bytes.Equal(b, header) {
+		t.Fatalf("header corrupted: %v", b)
+	}
+	gotBody := readN(peer, len(body))
+	if _, err := fc.Write(body); err != nil {
+		t.Fatalf("body write: %v", err)
+	}
+	recv := <-gotBody
+	diff := 0
+	for i := range body {
+		if recv[i] != body[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1 (got %q)", diff, recv)
+	}
+	// The caller's buffer must be untouched.
+	if !bytes.Equal(body, []byte("12345678")) {
+		t.Error("corrupt mutated the caller's buffer")
+	}
+}
+
+func TestSameSlotEventsFireInScheduleOrder(t *testing.T) {
+	fc, peer, slept := newPair(t, Schedule{
+		{Slot: 0, Kind: Latency, Delay: time.Millisecond},
+		{Slot: 0, Kind: CutWrite},
+	}, "faults-order")
+	fc.SetSlot(0)
+	got := readN(peer, 1)
+	if _, err := fc.Write([]byte("a")); err != nil {
+		t.Fatalf("latency write: %v", err)
+	}
+	<-got
+	if len(*slept) != 1 {
+		t.Fatalf("slept %v, want one delay", *slept)
+	}
+	if _, err := fc.Write([]byte("b")); err == nil {
+		t.Fatal("second write should hit the cut")
+	}
+}
+
+func TestErrInjectedTaxonomy(t *testing.T) {
+	e := &ErrInjected{Event{Slot: 3, Kind: CutRead}}
+	if e.Timeout() {
+		t.Error("injected faults are not timeouts")
+	}
+	var ne net.Error = e
+	_ = ne
+	for _, k := range []Kind{Latency, CutWrite, CutRead, Truncate, Corrupt, Kind(42)} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	_ = noSleep
+}
