@@ -10,7 +10,9 @@
 #   make chaos   - fault-tolerance suite under the race detector: deterministic
 #                  fault injection, kill/resume, degradation (see DESIGN.md
 #                  "Failure model")
-#   make bench   - the engine's serial-vs-parallel slot-stepping benchmark
+#   make bench   - refresh the machine-readable NN perf baseline
+#                  (BENCH_nn.json) plus the engine's serial-vs-parallel
+#                  slot-stepping benchmark
 #   make check   - vet + lint + race + full tests: the pre-commit gate
 #   make sim     - run the default 10-edge scenario comparison
 
@@ -38,6 +40,7 @@ chaos:
 	$(GO) test -race -count=1 ./internal/faults/
 
 bench:
+	$(GO) run ./cmd/nnbench -out BENCH_nn.json
 	$(GO) test ./internal/sim/ -run XX -bench BenchmarkSlotStepParallel -benchtime 3x
 
 check: vet lint race test

@@ -8,6 +8,8 @@
 //	benchgen -runs 10        # average over 10 seeds (the paper's setting)
 //	benchgen -edges 10 -horizon 160 -seed 1
 //	benchgen -out results.txt
+//	benchgen -workers 8          # parallel generation, identical output
+//	benchgen -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/carbonedge/carbonedge/internal/figures"
+	"github.com/carbonedge/carbonedge/internal/profiling"
 )
 
 func main() {
@@ -27,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
 	var (
 		fig      = fs.Int("fig", 0, "figure number (3-14); 0 runs all")
@@ -37,11 +40,23 @@ func run(args []string, stdout io.Writer) error {
 		horizon  = fs.Int("horizon", 160, "number of time slots")
 		seed     = fs.Int64("seed", 1, "base random seed")
 		outPath  = fs.String("out", "", "also write output to this file")
+		workers  = fs.Int("workers", 1, "simulation workers (1 = serial; output is byte-identical for any count)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocs heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := figures.Options{Runs: *runs, Seed: *seed, Edges: *edges, Horizon: *horizon}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	opts := figures.Options{Runs: *runs, Seed: *seed, Edges: *edges, Horizon: *horizon, Workers: *workers}
 
 	var rendered string
 	switch {

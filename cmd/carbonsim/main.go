@@ -24,6 +24,7 @@ import (
 	"github.com/carbonedge/carbonedge/internal/market"
 	"github.com/carbonedge/carbonedge/internal/models"
 	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/profiling"
 	"github.com/carbonedge/carbonedge/internal/sim"
 	"github.com/carbonedge/carbonedge/internal/trace"
 )
@@ -35,7 +36,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("carbonsim", flag.ContinueOnError)
 	var (
 		edges        = fs.Int("edges", 10, "number of edges")
@@ -51,10 +52,21 @@ func run(args []string, stdout io.Writer) error {
 		workloadCSV  = fs.String("workload-csv", "", "load the workload trace from this CSV instead of generating it")
 		pricesCSV    = fs.String("prices-csv", "", "load the allowance price trace from this CSV instead of generating it")
 		exportTraces = fs.String("export-traces", "", "write the scenario's workload.csv and prices.csv into this directory")
+		cpuProf      = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = fs.String("memprofile", "", "write an allocs heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	cfg := sim.DefaultConfig(*edges)
 	cfg.Horizon = *horizon

@@ -1,0 +1,227 @@
+// Command nnbench records the NN hot path's performance baseline as
+// machine-readable JSON. It runs the kernel, forward-pass, slot-step, and
+// figure-regeneration benchmarks via testing.Benchmark and writes one entry
+// per benchmark with ns/op, B/op, and allocs/op, so the perf trajectory is
+// tracked in-repo (`make bench` refreshes BENCH_nn.json).
+//
+// Usage:
+//
+//	nnbench                      # print the JSON to stdout
+//	nnbench -out BENCH_nn.json   # also write it to a file
+//	nnbench -benchtime 10x       # longer runs for stabler numbers
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/deploy"
+	"github.com/carbonedge/carbonedge/internal/figures"
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/nn"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+// entry is one benchmark's recorded result.
+type entry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nnbench", flag.ContinueOnError)
+	outPath := fs.String("out", "", "also write the JSON baseline to this file")
+	benchtime := fs.String("benchtime", "", "forwarded to testing (e.g. 10x or 2s); empty keeps the default 1s")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchtime != "" {
+		testing.Init() // registers the test.* flags outside `go test`
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return err
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"GEMM", benchGEMM},
+		{"ConvForward", benchConvForward},
+		{"SlotStep", benchSlotStep},
+		{"Fig3Regen", benchFig3},
+		{"Fig12Regen", benchFig12},
+	}
+	entries := make([]entry, 0, len(benches))
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		entries = append(entries, entry{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if _, err := stdout.Write(blob); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *outPath, err)
+		}
+	}
+	return nil
+}
+
+// benchGEMM mirrors internal/nn's BenchmarkGEMM: the blocked kernel on a
+// Dense-sized problem.
+func benchGEMM(b *testing.B) {
+	const m, n, k = 64, 64, 256
+	rng := numeric.SplitRNG(3, "nnbench-gemm")
+	a := randSlice(rng, m*k)
+	w := randSlice(rng, n*k)
+	bias := randSlice(rng, n)
+	out := make([]float64, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.GemmNTBiasJ(out, a, w, bias, m, n, k)
+	}
+}
+
+// benchConvForward mirrors internal/nn's BenchmarkConvForward: the im2col
+// conv layer at the CNN family's mid-layer shape.
+func benchConvForward(b *testing.B) {
+	rng := numeric.SplitRNG(4, "nnbench-conv")
+	conv := nn.NewConv2D(6, 16, 5, rng)
+	in := nn.NewTensor(6, 14, 14)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(in)
+	}
+}
+
+// benchSlotStep mirrors internal/deploy's BenchmarkNNRuntimeSlot: one
+// steady-state RunSlot on a warmed runtime (the zero-alloc path).
+func benchSlotStep(b *testing.B) {
+	rt, err := benchRuntime()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.RunSlot(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.RunSlot(i+1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRuntime builds the same one-model runtime as the deploy benchmark.
+func benchRuntime() (*deploy.NNRuntime, error) {
+	spec := dataset.MNISTLike
+	rng := numeric.SplitRNG(7, "bench-runtime")
+	dist, err := dataset.NewDistribution(spec, rng)
+	if err != nil {
+		return nil, err
+	}
+	pool := dist.Pool(64, rng)
+	build := func(modelID int) (*nn.Network, error) {
+		return models.NewFamilyNetwork(spec, modelID, numeric.SplitRNG(9, "bench-arch"))
+	}
+	rt, err := deploy.NewNNRuntime(
+		build,
+		pool,
+		func(int) int { return 20 },
+		func(int) float64 { return 0.03 },
+		rng,
+	)
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]deploy.ModelMeta, models.FamilySize())
+	for i := range metas {
+		metas[i] = deploy.ModelMeta{Name: "bench", PhiKWh: 0.001}
+	}
+	if err := rt.Welcome(metas); err != nil {
+		return nil, err
+	}
+	net, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := nn.WriteWeights(&buf, net); err != nil {
+		return nil, err
+	}
+	if err := rt.LoadModel(0, buf.Bytes()); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// benchFig3 regenerates Fig. 3 at the root bench suite's reduced options.
+func benchFig3(b *testing.B) {
+	o := figures.Options{Runs: 1, Seed: 1, Edges: 5, Horizon: 80}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig3CumulativeCost(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFig12 regenerates the trained-zoo accuracy figure end to end (zoo
+// training + streams + all five schemes) at the root suite's tiny settings.
+func benchFig12(b *testing.B) {
+	o := figures.Options{Runs: 1, Seed: 1, Edges: 2, Horizon: 40}
+	zooCfg := models.DefaultTrainedZooConfig(dataset.MNISTLike)
+	zooCfg.TrainN, zooCfg.TestN, zooCfg.Epochs = 200, 200, 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig12At(o, zooCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/nn"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+// benchRuntime builds an NNRuntime with one loaded model, ready to serve
+// slots.
+func benchRuntime(b testing.TB) *NNRuntime {
+	b.Helper()
+	spec := dataset.MNISTLike
+	rng := numeric.SplitRNG(7, "bench-runtime")
+	dist, err := dataset.NewDistribution(spec, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := dist.Pool(64, rng)
+	build := func(modelID int) (*nn.Network, error) {
+		return models.NewFamilyNetwork(spec, modelID, numeric.SplitRNG(9, "bench-arch"))
+	}
+	rt, err := NewNNRuntime(
+		build,
+		pool,
+		func(int) int { return 20 },
+		func(int) float64 { return 0.03 },
+		rng,
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	metas := make([]ModelMeta, models.FamilySize())
+	for i := range metas {
+		metas[i] = ModelMeta{Name: "bench", PhiKWh: 0.001}
+	}
+	if err := rt.Welcome(metas); err != nil {
+		b.Fatal(err)
+	}
+	net, err := build(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nn.WriteWeights(&buf, net); err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.LoadModel(0, buf.Bytes()); err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// BenchmarkNNRuntimeSlot gates the zero-alloc claim: after one warm-up
+// slot, a steady-state RunSlot must report 0 allocs/op — all NN scratch
+// comes from the runtime-owned arena.
+func BenchmarkNNRuntimeSlot(b *testing.B) {
+	rt := benchRuntime(b)
+	if _, err := rt.RunSlot(0, 0); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.RunSlot(i+1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestNNRuntimeSlotZeroAllocs enforces the 0 allocs/op gate in the regular
+// test run (benchmarks only execute under -bench).
+func TestNNRuntimeSlotZeroAllocs(t *testing.T) {
+	rt := benchRuntime(t)
+	if _, err := rt.RunSlot(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := rt.RunSlot(1, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state RunSlot allocates %v times per slot, want 0", allocs)
+	}
+}

@@ -201,6 +201,12 @@ func RunEdgeResumable(dial func() (net.Conn, error), edgeID int, rt Runtime, max
 	}
 }
 
+// slotChunk bounds how many of a slot's M_i^t samples go through one
+// batched forward pass, so peak activation scratch is one chunk's worth
+// regardless of slot size. Chunking does not affect results: samples are
+// independent and the loss accumulates in draw order either way.
+const slotChunk = 64
+
 // NNRuntime is a full-fidelity edge runtime: it holds the edge's local
 // labeled data pool, rebuilds each model's architecture locally, installs
 // checkpoints shipped by the cloud via nn.ReadWeights, and runs genuine
@@ -221,6 +227,14 @@ type NNRuntime struct {
 	rng    *rand.Rand
 	metas  []ModelMeta
 	loaded map[int]*nn.Network
+
+	// Batched-inference scratch, owned by this runtime (one runtime per
+	// edge, never shared across goroutines). All three are grow-only, so a
+	// steady-state RunSlot performs zero heap allocations
+	// (BenchmarkNNRuntimeSlot's ReportAllocs gate).
+	arena      *nn.Arena
+	idx        []int
+	batchShape []int
 }
 
 var _ Runtime = (*NNRuntime)(nil)
@@ -241,6 +255,7 @@ func NewNNRuntime(build func(int) (*nn.Network, error), pool []nn.Sample,
 		CompSecondsPerSample: compSeconds,
 		rng:                  rng,
 		loaded:               make(map[int]*nn.Network),
+		arena:                nn.NewArena(),
 	}, nil
 }
 
@@ -287,14 +302,42 @@ func (r *NNRuntime) RunSlot(slot, modelID int) (SlotReport, error) {
 	}
 	var rep SlotReport
 	rep.Samples = m
+	// Draw all sample indices up front — the same RNG call sequence as the
+	// old per-sample loop, so the stream each edge sees is unchanged — then
+	// serve them in fixed-size batched forward passes. All scratch comes
+	// from the runtime-owned grow-only arena: steady state is 0 allocs/op.
+	if cap(r.idx) < m {
+		r.idx = make([]int, m)
+	}
+	idx := r.idx[:m]
+	for j := range idx {
+		idx[j] = r.rng.Intn(len(r.Pool))
+	}
+	sampleLen := r.Pool[0].X.Len()
 	totalLoss := 0.0
-	for j := 0; j < m; j++ {
-		s := r.Pool[r.rng.Intn(len(r.Pool))]
-		logits := net.Forward(s.X)
-		loss, _ := nn.SquaredLoss(logits, s.Label)
-		totalLoss += loss
-		if logits.MaxIndex() == s.Label {
-			rep.Correct++
+	for start := 0; start < m; start += slotChunk {
+		end := start + slotChunk
+		if end > m {
+			end = m
+		}
+		b := end - start
+		r.arena.Reset()
+		r.batchShape = append(r.batchShape[:0], b)
+		r.batchShape = append(r.batchShape, r.Pool[0].X.Shape...)
+		in := r.arena.Tensor(r.batchShape...)
+		for j := 0; j < b; j++ {
+			copy(in.Data[j*sampleLen:(j+1)*sampleLen], r.Pool[idx[start+j]].X.Data)
+		}
+		logits := net.ForwardBatch(in, r.arena)
+		classes := logits.Shape[1]
+		scratch := r.arena.Floats(classes)
+		for j := 0; j < b; j++ {
+			row := logits.Data[j*classes : (j+1)*classes]
+			label := r.Pool[idx[start+j]].Label
+			totalLoss += nn.SquaredLossRow(row, label, scratch)
+			if nn.ArgmaxRow(row) == label {
+				rep.Correct++
+			}
 		}
 	}
 	if m > 0 {

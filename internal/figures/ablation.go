@@ -51,31 +51,38 @@ func AblationBlocking(o Options) (*Figure, error) {
 		XLabel: "switch weight",
 		YLabel: "cumulative switching cost",
 	}
-	for _, entry := range []struct {
+	entries := []struct {
 		label  string
 		policy sim.PolicyFactory
 	}{
 		{"Blocked", sim.PolicyOurs},
 		{"Unblocked", sim.PolicyTsallisINF},
-	} {
+	}
+	vals := make([]float64, len(entries)*len(weights)*o.Runs)
+	err := runJobs(o.Workers, len(vals), func(idx int) error {
+		ei := idx / (len(weights) * o.Runs)
+		xi := idx / o.Runs % len(weights)
+		r := idx % o.Runs
+		s, err := surrogateScenario(runScenarioCfg(o, r, func(c *sim.Config) { c.SwitchWeight = weights[xi] }))
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(s, entries[ei].label, entries[ei].policy, sim.TraderOurs)
+		if err != nil {
+			return err
+		}
+		vals[idx] = res.Cost.Switching
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, entry := range entries {
 		ys := make([]float64, len(weights))
-		for xi, w := range weights {
-			weight := w
+		for xi := range weights {
 			var sum float64
 			for r := 0; r < o.Runs; r++ {
-				cfg := sim.DefaultConfig(o.Edges)
-				cfg.Horizon = o.Horizon
-				cfg.Seed = o.Seed + int64(r)
-				cfg.SwitchWeight = weight
-				s, err := surrogateScenario(cfg)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(s, entry.label, entry.policy, sim.TraderOurs)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.Cost.Switching
+				sum += vals[(ei*len(weights)+xi)*o.Runs+r]
 			}
 			ys[xi] = sum / float64(o.Runs)
 		}
@@ -91,22 +98,28 @@ func AblationBlocking(o Options) (*Figure, error) {
 func AblationStepSizes(o Options) (*Figure, error) {
 	o = o.normalized()
 	multipliers := []float64{0.25, 0.5, 1, 2, 4}
+	results := make([]*sim.Result, len(multipliers)*o.Runs)
+	err := runJobs(o.Workers, len(results), func(idx int) error {
+		xi, r := idx/o.Runs, idx%o.Runs
+		s, err := surrogateScenario(runScenarioCfg(o, r, nil))
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(s, "Ours", sim.PolicyOurs, sim.TraderOursScaled(multipliers[xi]))
+		if err != nil {
+			return err
+		}
+		results[idx] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	costs := make([]float64, len(multipliers))
 	fits := make([]float64, len(multipliers))
-	for xi, m := range multipliers {
-		trader := sim.TraderOursScaled(m)
+	for xi := range multipliers {
 		for r := 0; r < o.Runs; r++ {
-			cfg := sim.DefaultConfig(o.Edges)
-			cfg.Horizon = o.Horizon
-			cfg.Seed = o.Seed + int64(r)
-			s, err := surrogateScenario(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(s, "Ours", sim.PolicyOurs, trader)
-			if err != nil {
-				return nil, err
-			}
+			res := results[xi*o.Runs+r]
 			costs[xi] += res.Cost.Trading / float64(o.Runs)
 			fits[xi] += res.Fit / float64(o.Runs)
 		}
@@ -162,24 +175,35 @@ func AblationSubstrate(o Options) (*Figure, error) {
 		return totals, nil
 	}
 
-	// Surrogate substrate.
-	surrogate := make([]float64, len(baselines))
-	for r := 0; r < o.Runs; r++ {
+	// Surrogate substrate: one job per run, each owning its zoo and
+	// scenario (the combos within a run stay sequential — they consume
+	// consecutive windows of the run's streams).
+	surrogateTotals := make([]map[string]float64, o.Runs)
+	err := runJobs(o.Workers, o.Runs, func(r int) error {
 		zoo, err := models.DefaultSurrogateZoo(numeric.SplitRNG(o.Seed+int64(r), "zoo"))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		totals, err := run(zoo, o.Seed+int64(r))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		surrogateTotals[r] = totals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	surrogate := make([]float64, len(baselines))
+	for r := 0; r < o.Runs; r++ {
 		for i, name := range baselines {
-			surrogate[i] += metrics.Reduction(totals["Ours"], totals[name]) / float64(o.Runs)
+			surrogate[i] += metrics.Reduction(surrogateTotals[r]["Ours"], surrogateTotals[r][name]) / float64(o.Runs)
 		}
 	}
 	fig.Series = append(fig.Series, Series{Label: "Surrogate", X: x, Y: surrogate})
 
-	// Trained-NN substrate (one zoo, kept small; workload/seeds vary).
+	// Trained-NN substrate (one zoo, kept small; workload/seeds vary). The
+	// zoo is shared across run jobs — read-only during simulation.
 	zooCfg := models.TrainedZooConfig{
 		Dataset: dataset.MNISTLike,
 		TrainN:  500, TestN: 500, Epochs: 2, LR: 0.05, BatchSize: 16,
@@ -188,14 +212,22 @@ func AblationSubstrate(o Options) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	trained := make([]float64, len(baselines))
-	for r := 0; r < o.Runs; r++ {
+	trainedTotals := make([]map[string]float64, o.Runs)
+	err = runJobs(o.Workers, o.Runs, func(r int) error {
 		totals, err := run(zoo, o.Seed+int64(r))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		trainedTotals[r] = totals
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	trained := make([]float64, len(baselines))
+	for r := 0; r < o.Runs; r++ {
 		for i, name := range baselines {
-			trained[i] += metrics.Reduction(totals["Ours"], totals[name]) / float64(o.Runs)
+			trained[i] += metrics.Reduction(trainedTotals[r]["Ours"], trainedTotals[r][name]) / float64(o.Runs)
 		}
 	}
 	fig.Series = append(fig.Series, Series{Label: "TrainedNN", X: x, Y: trained})
@@ -216,36 +248,45 @@ func AblationPricePrediction(o Options) (*Figure, error) {
 		XLabel: "price volatility",
 		YLabel: "trading cost",
 	}
-	for _, entry := range []struct {
+	entries := []struct {
 		label  string
 		trader sim.TraderFactory
 	}{
 		{"Vanilla", sim.TraderOurs},
 		{"Predictive", sim.TraderPredictive},
-	} {
+	}
+	vals := make([]float64, len(entries)*len(volatilities)*o.Runs)
+	err := runJobs(o.Workers, len(vals), func(idx int) error {
+		ei := idx / (len(volatilities) * o.Runs)
+		xi := idx / o.Runs % len(volatilities)
+		r := idx % o.Runs
+		s, err := surrogateScenario(runScenarioCfg(o, r, func(c *sim.Config) {
+			c.Prices = market.DefaultPriceConfig()
+			c.Prices.Reversion = 0.25 // predictable regime
+			c.Prices.Volatility = volatilities[xi]
+			// A tight cap forces sustained buying so price timing
+			// matters.
+			c.InitialCap = 0.5
+		}))
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(s, entries[ei].label, sim.PolicyOurs, entries[ei].trader)
+		if err != nil {
+			return err
+		}
+		vals[idx] = res.Cost.Trading
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, entry := range entries {
 		ys := make([]float64, len(volatilities))
-		for xi, vol := range volatilities {
-			volatility := vol
+		for xi := range volatilities {
 			var sum float64
 			for r := 0; r < o.Runs; r++ {
-				cfg := sim.DefaultConfig(o.Edges)
-				cfg.Horizon = o.Horizon
-				cfg.Seed = o.Seed + int64(r)
-				cfg.Prices = market.DefaultPriceConfig()
-				cfg.Prices.Reversion = 0.25 // predictable regime
-				cfg.Prices.Volatility = volatility
-				// A tight cap forces sustained buying so price timing
-				// matters.
-				cfg.InitialCap = 0.5
-				s, err := surrogateScenario(cfg)
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(s, entry.label, sim.PolicyOurs, entry.trader)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.Cost.Trading
+				sum += vals[(ei*len(volatilities)+xi)*o.Runs+r]
 			}
 			ys[xi] = sum / float64(o.Runs)
 		}

@@ -28,11 +28,11 @@ func figAccuracy(o Options, id, title string, zooCfg models.TrainedZooConfig) (*
 	}
 	x := slotAxis(o.Horizon)
 	// Average per-slot accuracy over runs. The zoo (trained models) is
-	// shared; workload and streams vary with the seed.
-	acc := make(map[string][]float64, len(accuracyCombos))
-	for _, name := range accuracyCombos {
-		acc[name] = make([]float64, o.Horizon)
-	}
+	// shared and read-only during runs; workload and streams vary with the
+	// seed. Each run's combos get ComboViews of that run's scenario, so
+	// the (run, combo) grid fans out over o.Workers with stream draws
+	// identical to the sequential order.
+	views := make([][]*sim.Scenario, o.Runs)
 	for r := 0; r < o.Runs; r++ {
 		cfg := sim.DefaultConfig(o.Edges)
 		cfg.Horizon = o.Horizon
@@ -41,12 +41,28 @@ func figAccuracy(o Options, id, title string, zooCfg models.TrainedZooConfig) (*
 		if err != nil {
 			return nil, err
 		}
-		for _, name := range accuracyCombos {
-			res, err := runCombo(s, name)
-			if err != nil {
-				return nil, err
-			}
-			for t, a := range res.Accuracy {
+		views[r] = s.ComboViews(len(accuracyCombos))
+	}
+	results := make([]*sim.Result, o.Runs*len(accuracyCombos))
+	err = runJobs(o.Workers, len(results), func(idx int) error {
+		r, c := idx/len(accuracyCombos), idx%len(accuracyCombos)
+		res, err := runCombo(views[r][c], accuracyCombos[c])
+		if err != nil {
+			return err
+		}
+		results[idx] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := make(map[string][]float64, len(accuracyCombos))
+	for _, name := range accuracyCombos {
+		acc[name] = make([]float64, o.Horizon)
+	}
+	for r := 0; r < o.Runs; r++ {
+		for c, name := range accuracyCombos {
+			for t, a := range results[r*len(accuracyCombos)+c].Accuracy {
 				acc[name][t] += a / float64(o.Runs)
 			}
 		}
@@ -60,8 +76,13 @@ func figAccuracy(o Options, id, title string, zooCfg models.TrainedZooConfig) (*
 // Fig12AccuracyMNIST reproduces Fig. 12: per-slot inference accuracy over
 // the MNIST-like streams.
 func Fig12AccuracyMNIST(o Options) (*Figure, error) {
-	return figAccuracy(o, "Fig12", "Inference accuracy over MNIST-like streams",
-		models.DefaultTrainedZooConfig(dataset.MNISTLike))
+	return Fig12At(o, models.DefaultTrainedZooConfig(dataset.MNISTLike))
+}
+
+// Fig12At generates Fig. 12 with an explicit zoo configuration, so
+// benchmarks can shrink the training stage without changing the pipeline.
+func Fig12At(o Options, zooCfg AccuracyZooConfig) (*Figure, error) {
+	return figAccuracy(o, "Fig12", "Inference accuracy over MNIST-like streams", zooCfg)
 }
 
 // Fig13AccuracyCIFAR reproduces Fig. 13: per-slot inference accuracy over

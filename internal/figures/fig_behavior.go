@@ -31,14 +31,27 @@ func Fig8SelectionHistogram(o Options) (*Figure, error) {
 	for n := range x {
 		x[n] = s.Zoo.MeanLoss(n)
 	}
-	for _, name := range []string{"Ours", "Greedy-LY", "Offline"} {
-		res, err := runCombo(s, name)
+	// The three combos share the scenario; ComboViews hands each a
+	// pre-drawn stream window so they can run concurrently with draws
+	// identical to the sequential order.
+	names := []string{"Ours", "Greedy-LY", "Offline"}
+	views := s.ComboViews(len(names))
+	results := make([]*sim.Result, len(names))
+	err = runJobs(o.Workers, len(names), func(idx int) error {
+		res, err := runCombo(views[idx], names[idx])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[idx] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
 		ys := make([]float64, s.NumModels())
 		for n := range ys {
-			ys[n] = float64(res.Selections[edge][n])
+			ys[n] = float64(results[ni].Selections[edge][n])
 		}
 		fig.Series = append(fig.Series, Series{Label: name, X: x, Y: ys})
 	}
@@ -99,22 +112,28 @@ func Fig9TradingVolume(o Options) (*Figure, error) {
 	return fig, nil
 }
 
-// avgUnitBuyPrice averages Result.AvgBuyPrice over runs.
+// avgUnitBuyPrice averages Result.AvgBuyPrice over runs, one independent
+// (fresh-scenario) job per run, reduced in run order.
 func avgUnitBuyPrice(o Options, name string) (float64, error) {
 	o = o.normalized()
-	total, counted := 0.0, 0
-	for r := 0; r < o.Runs; r++ {
-		cfg := sim.DefaultConfig(o.Edges)
-		cfg.Horizon = o.Horizon
-		cfg.Seed = o.Seed + int64(r)
-		s, err := surrogateScenario(cfg)
+	results := make([]*sim.Result, o.Runs)
+	err := runJobs(o.Workers, o.Runs, func(r int) error {
+		s, err := surrogateScenario(runScenarioCfg(o, r, nil))
 		if err != nil {
-			return 0, err
+			return err
 		}
 		res, err := runCombo(s, name)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total, counted := 0.0, 0
+	for _, res := range results {
 		if res.AvgBuyPrice > 0 {
 			total += res.AvgBuyPrice
 			counted++

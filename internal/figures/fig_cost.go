@@ -59,22 +59,29 @@ func Fig4CostVsEdges(o Options) (*Figure, error) {
 		XLabel: "edges",
 		YLabel: "normalized total cost",
 	}
-	raw := make([][]float64, len(fig4Combos))
-	for i := range raw {
-		raw[i] = make([]float64, len(edgeCounts))
-	}
-	for xi, edges := range edgeCounts {
-		for ci, name := range fig4Combos {
-			v, err := avgTotalCost(o, name, func(c *sim.Config) {
+	specs := make([]costSpec, 0, len(edgeCounts)*len(fig4Combos))
+	for _, edges := range edgeCounts {
+		edges := edges
+		for _, name := range fig4Combos {
+			specs = append(specs, costSpec{name: name, mutate: func(c *sim.Config) {
 				c.Edges = edges
 				// Cap scales with system size so the trading subproblem
 				// keeps the same character at every scale.
 				c.InitialCap = sim.DefaultConfig(10).InitialCap * float64(edges) / 10
-			})
-			if err != nil {
-				return nil, err
-			}
-			raw[ci][xi] = v
+			}})
+		}
+	}
+	vals, err := avgTotalCosts(o, specs)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([][]float64, len(fig4Combos))
+	for i := range raw {
+		raw[i] = make([]float64, len(edgeCounts))
+	}
+	for xi := range edgeCounts {
+		for ci := range fig4Combos {
+			raw[ci][xi] = vals[xi*len(fig4Combos)+ci]
 		}
 	}
 	norm := metrics.Normalize(raw...)
@@ -103,17 +110,19 @@ func Fig5SwitchWeight(o Options) (*Figure, error) {
 		XLabel: "weight",
 		YLabel: "total cost",
 	}
+	specs := make([]costSpec, 0, len(fig5Combos)*len(weights))
 	for _, name := range fig5Combos {
-		ys := make([]float64, len(weights))
-		for xi, w := range weights {
+		for _, w := range weights {
 			weight := w
-			v, err := avgTotalCost(o, name, func(c *sim.Config) { c.SwitchWeight = weight })
-			if err != nil {
-				return nil, err
-			}
-			ys[xi] = v
+			specs = append(specs, costSpec{name: name, mutate: func(c *sim.Config) { c.SwitchWeight = weight }})
 		}
-		fig.Series = append(fig.Series, Series{Label: name, X: weights, Y: ys})
+	}
+	vals, err := avgTotalCosts(o, specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, name := range fig5Combos {
+		fig.Series = append(fig.Series, Series{Label: name, X: weights, Y: vals[ci*len(weights) : (ci+1)*len(weights)]})
 	}
 	return fig, nil
 }
@@ -134,17 +143,19 @@ func Fig6EmissionRate(o Options) (*Figure, error) {
 		XLabel: "rate multiplier",
 		YLabel: "total cost",
 	}
+	specs := make([]costSpec, 0, len(combos)*len(multipliers))
 	for _, name := range combos {
-		ys := make([]float64, len(multipliers))
-		for xi, m := range multipliers {
+		for _, m := range multipliers {
 			mult := m
-			v, err := avgTotalCost(o, name, func(c *sim.Config) { c.EmissionRate *= mult })
-			if err != nil {
-				return nil, err
-			}
-			ys[xi] = v
+			specs = append(specs, costSpec{name: name, mutate: func(c *sim.Config) { c.EmissionRate *= mult }})
 		}
-		fig.Series = append(fig.Series, Series{Label: name, X: multipliers, Y: ys})
+	}
+	vals, err := avgTotalCosts(o, specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, name := range combos {
+		fig.Series = append(fig.Series, Series{Label: name, X: multipliers, Y: vals[ci*len(multipliers) : (ci+1)*len(multipliers)]})
 	}
 	return fig, nil
 }
@@ -164,17 +175,19 @@ func Fig7CarbonCap(o Options) (*Figure, error) {
 		XLabel: "cap (g)",
 		YLabel: "total cost",
 	}
+	specs := make([]costSpec, 0, len(combos)*len(caps))
 	for _, name := range combos {
-		ys := make([]float64, len(caps))
-		for xi, r := range caps {
+		for _, r := range caps {
 			cap := r
-			v, err := avgTotalCost(o, name, func(c *sim.Config) { c.InitialCap = cap })
-			if err != nil {
-				return nil, err
-			}
-			ys[xi] = v
+			specs = append(specs, costSpec{name: name, mutate: func(c *sim.Config) { c.InitialCap = cap }})
 		}
-		fig.Series = append(fig.Series, Series{Label: name, X: caps, Y: ys})
+	}
+	vals, err := avgTotalCosts(o, specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, name := range combos {
+		fig.Series = append(fig.Series, Series{Label: name, X: caps, Y: vals[ci*len(caps) : (ci+1)*len(caps)]})
 	}
 	return fig, nil
 }

@@ -25,30 +25,45 @@ func Fig10Regret(o Options) (*Figure, error) {
 	for i, h := range horizonSweep {
 		x[i] = float64(h)
 	}
-	for _, name := range combos {
+	// One job per (combo, horizon, run): the job owns its scenario and
+	// runs Offline then the combo on it sequentially (the pair consumes
+	// consecutive stream windows, as in the serial loop).
+	regrets := make([]float64, len(combos)*len(horizonSweep)*o.Runs)
+	err := runJobs(o.Workers, len(regrets), func(idx int) error {
+		ni := idx / (len(horizonSweep) * o.Runs)
+		xi := idx / o.Runs % len(horizonSweep)
+		r := idx % o.Runs
+		horizon := horizonSweep[xi]
+		cfg := sim.DefaultConfig(o.Edges)
+		cfg.Horizon = horizon
+		// Scale the cap with T so the trading subproblem stays
+		// comparable across horizons.
+		cfg.InitialCap = cfg.InitialCap * float64(horizon) / 160
+		cfg.Seed = o.Seed + int64(r)
+		s, err := surrogateScenario(cfg)
+		if err != nil {
+			return err
+		}
+		off, err := sim.Offline(s)
+		if err != nil {
+			return err
+		}
+		res, err := runCombo(s, combos[ni])
+		if err != nil {
+			return err
+		}
+		regrets[idx] = sim.RegretP0(res, off)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range combos {
 		ys := make([]float64, len(horizonSweep))
-		for xi, horizon := range horizonSweep {
+		for xi := range horizonSweep {
 			var sum float64
 			for r := 0; r < o.Runs; r++ {
-				cfg := sim.DefaultConfig(o.Edges)
-				cfg.Horizon = horizon
-				// Scale the cap with T so the trading subproblem stays
-				// comparable across horizons.
-				cfg.InitialCap = cfg.InitialCap * float64(horizon) / 160
-				cfg.Seed = o.Seed + int64(r)
-				s, err := surrogateScenario(cfg)
-				if err != nil {
-					return nil, err
-				}
-				off, err := sim.Offline(s)
-				if err != nil {
-					return nil, err
-				}
-				res, err := runCombo(s, name)
-				if err != nil {
-					return nil, err
-				}
-				sum += sim.RegretP0(res, off)
+				sum += regrets[(ni*len(horizonSweep)+xi)*o.Runs+r]
 			}
 			ys[xi] = sum / float64(o.Runs)
 		}
@@ -72,24 +87,36 @@ func Fig11Fit(o Options) (*Figure, error) {
 	for i, h := range horizonSweep {
 		x[i] = float64(h)
 	}
-	for _, name := range combos {
+	fits := make([]float64, len(combos)*len(horizonSweep)*o.Runs)
+	err := runJobs(o.Workers, len(fits), func(idx int) error {
+		ni := idx / (len(horizonSweep) * o.Runs)
+		xi := idx / o.Runs % len(horizonSweep)
+		r := idx % o.Runs
+		horizon := horizonSweep[xi]
+		cfg := sim.DefaultConfig(o.Edges)
+		cfg.Horizon = horizon
+		cfg.InitialCap = cfg.InitialCap * float64(horizon) / 160
+		cfg.Seed = o.Seed + int64(r)
+		s, err := surrogateScenario(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := runCombo(s, combos[ni])
+		if err != nil {
+			return err
+		}
+		fits[idx] = res.Fit
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range combos {
 		ys := make([]float64, len(horizonSweep))
-		for xi, horizon := range horizonSweep {
+		for xi := range horizonSweep {
 			var sum float64
 			for r := 0; r < o.Runs; r++ {
-				cfg := sim.DefaultConfig(o.Edges)
-				cfg.Horizon = horizon
-				cfg.InitialCap = cfg.InitialCap * float64(horizon) / 160
-				cfg.Seed = o.Seed + int64(r)
-				s, err := surrogateScenario(cfg)
-				if err != nil {
-					return nil, err
-				}
-				res, err := runCombo(s, name)
-				if err != nil {
-					return nil, err
-				}
-				sum += res.Fit
+				sum += fits[(ni*len(horizonSweep)+xi)*o.Runs+r]
 			}
 			ys[xi] = sum / float64(o.Runs)
 		}

@@ -48,6 +48,14 @@ type Options struct {
 	// the one figure whose y-axis is wall time. It defaults to the system
 	// clock; tests inject a fake to keep the figure harness deterministic.
 	Clock func() time.Time
+	// Workers bounds how many independent (scenario, run, scheme)
+	// simulation jobs run concurrently within each figure. Output is
+	// bit-for-bit identical at every worker count: jobs own their RNG
+	// streams (fresh scenarios, or pre-drawn ComboViews of shared ones)
+	// and reductions happen serially in canonical order. Defaults to 1.
+	// Fig. 14 ignores it — its y-axis is wall time, which parallel
+	// interleaving would distort.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper at a quick-to-run number of repetitions.
@@ -64,6 +72,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Horizon <= 0 {
 		o.Horizon = 160
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	if o.Clock == nil {
 		// Fig. 14 measures real runtime, so the default clock is the wall
@@ -96,28 +107,13 @@ func runCombo(s *sim.Scenario, name string) (*sim.Result, error) {
 }
 
 // avgTotalCost averages a combo's total cost over o.Runs seeds for the
-// given config mutation.
+// given config mutation (a one-cell avgTotalCosts grid).
 func avgTotalCost(o Options, name string, mutate func(*sim.Config)) (float64, error) {
-	o = o.normalized()
-	total := 0.0
-	for r := 0; r < o.Runs; r++ {
-		cfg := sim.DefaultConfig(o.Edges)
-		cfg.Horizon = o.Horizon
-		cfg.Seed = o.Seed + int64(r)
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		s, err := surrogateScenario(cfg)
-		if err != nil {
-			return 0, err
-		}
-		res, err := runCombo(s, name)
-		if err != nil {
-			return 0, err
-		}
-		total += res.Cost.Total()
+	vals, err := avgTotalCosts(o, []costSpec{{name: name, mutate: mutate}})
+	if err != nil {
+		return 0, err
 	}
-	return total / float64(o.Runs), nil
+	return vals[0], nil
 }
 
 // Render prints a figure as an aligned text table: the X column followed by
@@ -199,27 +195,38 @@ func RenderAll(o Options) (string, error) {
 	return b.String(), nil
 }
 
-// meanCurves averages per-slot series across runs for several combos.
+// meanCurves averages per-slot series across runs for several combos. The
+// combos of one run share a scenario — sequentially they would consume
+// consecutive windows of its stream RNGs — so each run's scenario is split
+// into per-combo ComboViews and the (run, combo) grid fans out over
+// o.Workers with draws identical to the serial order.
 func meanCurves(o Options, names []string, extract func(*sim.Result) []float64, mutate func(*sim.Config)) (map[string][]float64, error) {
 	o = o.normalized()
-	curves := make(map[string][][]float64, len(names))
+	views := make([][]*sim.Scenario, o.Runs)
 	for r := 0; r < o.Runs; r++ {
-		cfg := sim.DefaultConfig(o.Edges)
-		cfg.Horizon = o.Horizon
-		cfg.Seed = o.Seed + int64(r)
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		s, err := surrogateScenario(cfg)
+		s, err := surrogateScenario(runScenarioCfg(o, r, mutate))
 		if err != nil {
 			return nil, err
 		}
-		for _, name := range names {
-			res, err := runCombo(s, name)
-			if err != nil {
-				return nil, err
-			}
-			curves[name] = append(curves[name], extract(res))
+		views[r] = s.ComboViews(len(names))
+	}
+	results := make([]*sim.Result, o.Runs*len(names))
+	err := runJobs(o.Workers, len(results), func(idx int) error {
+		r, c := idx/len(names), idx%len(names)
+		res, err := runCombo(views[r][c], names[c])
+		if err != nil {
+			return err
+		}
+		results[idx] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	curves := make(map[string][][]float64, len(names))
+	for r := 0; r < o.Runs; r++ {
+		for c, name := range names {
+			curves[name] = append(curves[name], extract(results[r*len(names)+c]))
 		}
 	}
 	out := make(map[string][]float64, len(names))

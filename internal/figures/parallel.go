@@ -1,0 +1,109 @@
+package figures
+
+import (
+	"sync"
+
+	"github.com/carbonedge/carbonedge/internal/sim"
+)
+
+// Parallel figure generation. Every figure decomposes into independent
+// (scenario, run, scheme) simulation jobs: each job owns its scenario (or a
+// pre-drawn ComboView of a shared one) and every RNG it touches, so jobs
+// can run concurrently without coordination. Results land in
+// index-addressed slots and are reduced serially in the canonical order of
+// the old sequential loops, so every float accumulation — and therefore
+// every rendered figure — is bit-for-bit identical at any worker count
+// (TestFiguresWorkerInvariance pins this).
+
+// runJobs executes jobs 0..n-1 on up to workers goroutines. Results must
+// be written to index-addressed slots by the job itself. On failure the
+// first error in index order is returned — the same error the serial loop
+// would have hit first — regardless of completion order.
+func runJobs(workers, n int, job func(idx int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idxCh := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runScenarioCfg builds the run-r config for the normalized options.
+func runScenarioCfg(o Options, r int, mutate func(*sim.Config)) sim.Config {
+	cfg := sim.DefaultConfig(o.Edges)
+	cfg.Horizon = o.Horizon
+	cfg.Seed = o.Seed + int64(r)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+// costSpec is one cell of a total-cost grid: a combo name plus a config
+// mutation.
+type costSpec struct {
+	name   string
+	mutate func(*sim.Config)
+}
+
+// avgTotalCosts evaluates every spec's run-averaged total cost, fanning
+// the (spec, run) grid out over o.Workers. Each job materializes a fresh
+// scenario (seed o.Seed+r) and plays one combo; per-spec sums accumulate
+// in run order, exactly like the serial loop this replaced.
+func avgTotalCosts(o Options, specs []costSpec) ([]float64, error) {
+	o = o.normalized()
+	vals := make([]float64, len(specs)*o.Runs)
+	err := runJobs(o.Workers, len(vals), func(idx int) error {
+		si, r := idx/o.Runs, idx%o.Runs
+		s, err := surrogateScenario(runScenarioCfg(o, r, specs[si].mutate))
+		if err != nil {
+			return err
+		}
+		res, err := runCombo(s, specs[si].name)
+		if err != nil {
+			return err
+		}
+		vals[idx] = res.Cost.Total()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(specs))
+	for si := range specs {
+		total := 0.0
+		for r := 0; r < o.Runs; r++ {
+			total += vals[si*o.Runs+r]
+		}
+		out[si] = total / float64(o.Runs)
+	}
+	return out, nil
+}

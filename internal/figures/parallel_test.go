@@ -1,0 +1,101 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFiguresWorkerInvariance pins the core contract of the parallel
+// generators: the rendered output is byte-identical at any worker count.
+// The set below covers every job-decomposition shape — a single cost cell
+// (Fig3), a (spec, point) grid (Fig5), shared-scenario ComboViews (Fig8),
+// an Offline-then-combo pair per job (Fig10), and per-run fresh scenarios
+// with surrogate/trained substrates (ablation substrate is too slow here;
+// stepsizes covers per-run results reduction).
+func TestFiguresWorkerInvariance(t *testing.T) {
+	o := Options{Runs: 2, Seed: 1, Edges: 3, Horizon: 40}
+	gens := map[string]func(Options) (*Figure, error){
+		"Fig3":         Fig3CumulativeCost,
+		"Fig5":         Fig5SwitchWeight,
+		"Fig8":         Fig8SelectionHistogram,
+		"Fig10":        Fig10Regret,
+		"AblStepSizes": AblationStepSizes,
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			serial := o
+			serial.Workers = 1
+			a, err := gen(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wide := o
+			wide.Workers = 4
+			b, err := gen(wide)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, rb := Render(a), Render(b)
+			if ra != rb {
+				t.Fatalf("workers=1 vs workers=4 rendered output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", ra, rb)
+			}
+		})
+	}
+}
+
+// TestRunJobsFirstErrorInIndexOrder: regardless of which job fails first in
+// wall-clock time, the reported error is the lowest-index failure — what the
+// serial loop would have returned.
+func TestRunJobsFirstErrorInIndexOrder(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := runJobs(workers, 8, func(idx int) error {
+			switch idx {
+			case 2:
+				return errLow
+			case 6:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want first-index error %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestRunJobsRunsEveryIndex: all n jobs run exactly once at any worker
+// count, including workers > n.
+func TestRunJobsRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var counts [10]int32
+		if err := runJobs(workers, len(counts), func(idx int) error {
+			atomic.AddInt32(&counts[idx], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestOptionsWorkersNormalized: non-positive Workers clamp to 1.
+func TestOptionsWorkersNormalized(t *testing.T) {
+	for _, w := range []int{-1, 0} {
+		o := Options{Runs: 1, Seed: 1, Edges: 2, Horizon: 10, Workers: w}
+		if got := o.normalized().Workers; got != 1 {
+			t.Fatalf("Workers=%d normalized to %d, want 1", w, got)
+		}
+	}
+	o := Options{Runs: 1, Seed: 1, Edges: 2, Horizon: 10, Workers: 7}
+	if got := o.normalized().Workers; got != 7 {
+		t.Fatal(fmt.Sprintf("Workers=7 normalized to %d, want 7", got))
+	}
+}

@@ -1,0 +1,62 @@
+package models
+
+import (
+	"github.com/carbonedge/carbonedge/internal/nn"
+)
+
+// evalChunk bounds the batched scorer's working set: chunks of this many
+// samples go through one ForwardBatch each, so peak scratch is one chunk's
+// activations regardless of pool size. The chunk boundary does not affect
+// results — every sample's float operations are independent and replay the
+// per-sample path exactly.
+const evalChunk = 64
+
+// scorePool evaluates net over pool through the chunked batched inference
+// path, returning the per-sample loss/correctness caches plus their means.
+// Results are bit-for-bit identical to the per-sample loop it replaced
+// (losses accumulate in sample order; nn's equivalence suite pins the
+// kernels) — the zoo's cached streams, and every figure derived from them,
+// do not move.
+func scorePool(net *nn.Network, pool []nn.Sample, arena *nn.Arena) (losses []float64, correct []bool, meanLoss, meanAcc float64) {
+	losses = make([]float64, len(pool))
+	correct = make([]bool, len(pool))
+	shape := net.InShape()
+	sampleLen := 1
+	for _, d := range shape {
+		sampleLen *= d
+	}
+	batchShape := append([]int{0}, shape...)
+	sumLoss, nCorrect := 0.0, 0
+	for start := 0; start < len(pool); start += evalChunk {
+		end := start + evalChunk
+		if end > len(pool) {
+			end = len(pool)
+		}
+		b := end - start
+		arena.Reset()
+		batchShape[0] = b
+		in := arena.Tensor(batchShape...)
+		for j := 0; j < b; j++ {
+			copy(in.Data[j*sampleLen:(j+1)*sampleLen], pool[start+j].X.Data)
+		}
+		logits := net.ForwardBatch(in, arena)
+		classes := logits.Shape[1]
+		scratch := arena.Floats(classes)
+		for j := 0; j < b; j++ {
+			row := logits.Data[j*classes : (j+1)*classes]
+			loss := nn.SquaredLossRow(row, pool[start+j].Label, scratch)
+			losses[start+j] = loss
+			ok := nn.ArgmaxRow(row) == pool[start+j].Label
+			correct[start+j] = ok
+			sumLoss += loss
+			if ok {
+				nCorrect++
+			}
+		}
+	}
+	if len(pool) > 0 {
+		meanLoss = sumLoss / float64(len(pool))
+		meanAcc = float64(nCorrect) / float64(len(pool))
+	}
+	return losses, correct, meanLoss, meanAcc
+}

@@ -46,9 +46,11 @@ func NewQuantizedTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, 
 	z.losses = append(z.losses, base.losses...)
 	z.correct = append(z.correct, base.correct...)
 
-	// The quantized variants are scored on the identical test pool, so the
-	// per-sample caches stay aligned across all 2N models.
+	// The quantized variants are scored on the identical test pool through
+	// the shared chunked batched scorer, so the per-sample caches stay
+	// aligned across all 2N models.
 	pool := base.testPool
+	arena := nn.NewArena()
 
 	for i := 0; i < n; i++ {
 		q, err := cloneNetwork(cfg.Dataset, i, base.nets[i], rng)
@@ -58,20 +60,7 @@ func NewQuantizedTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, 
 		nn.QuantizeInPlace(q)
 		q.Name = base.infos[i].Name + "-q8"
 
-		losses := make([]float64, len(pool))
-		correct := make([]bool, len(pool))
-		sumLoss, nCorrect := 0.0, 0
-		for s, sample := range pool {
-			logits := q.Forward(sample.X)
-			loss, _ := nn.SquaredLoss(logits, sample.Label)
-			losses[s] = loss
-			ok := logits.MaxIndex() == sample.Label
-			correct[s] = ok
-			sumLoss += loss
-			if ok {
-				nCorrect++
-			}
-		}
+		losses, correct, meanLoss, meanAcc := scorePool(q, pool, arena)
 		z.nets = append(z.nets, q)
 		z.infos = append(z.infos, Info{
 			Name:           q.Name,
@@ -79,8 +68,8 @@ func NewQuantizedTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, 
 			PhiKWh:         base.infos[i].PhiKWh * quantEnergyFactor,
 			BaseLatencySec: base.infos[i].BaseLatencySec * quantLatencyFactor,
 		})
-		z.meanLoss = append(z.meanLoss, sumLoss/float64(len(pool)))
-		z.meanAcc = append(z.meanAcc, float64(nCorrect)/float64(len(pool)))
+		z.meanLoss = append(z.meanLoss, meanLoss)
+		z.meanAcc = append(z.meanAcc, meanAcc)
 		z.losses = append(z.losses, losses)
 		z.correct = append(z.correct, correct)
 	}

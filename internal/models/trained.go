@@ -137,7 +137,10 @@ func NewTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, error) {
 		correct:  make([][]bool, len(nets)),
 	}
 
-	// Train every model and evaluate it over the full test pool once.
+	// Train every model and evaluate it over the full test pool once,
+	// through the chunked batched scorer (bit-identical to the old
+	// per-sample loop, just faster).
+	arena := nn.NewArena()
 	for n, net := range nets {
 		if _, err := nn.Train(net, ds.Train, nn.TrainConfig{
 			Epochs:    cfg.Epochs,
@@ -147,22 +150,7 @@ func NewTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, error) {
 		}, rng); err != nil {
 			return nil, fmt.Errorf("train %s: %w", net.Name, err)
 		}
-		z.losses[n] = make([]float64, len(ds.Test))
-		z.correct[n] = make([]bool, len(ds.Test))
-		sumLoss, nCorrect := 0.0, 0
-		for s, sample := range ds.Test {
-			logits := net.Forward(sample.X)
-			loss, _ := nn.SquaredLoss(logits, sample.Label)
-			z.losses[n][s] = loss
-			ok := logits.MaxIndex() == sample.Label
-			z.correct[n][s] = ok
-			sumLoss += loss
-			if ok {
-				nCorrect++
-			}
-		}
-		z.meanLoss[n] = sumLoss / float64(len(ds.Test))
-		z.meanAcc[n] = float64(nCorrect) / float64(len(ds.Test))
+		z.losses[n], z.correct[n], z.meanLoss[n], z.meanAcc[n] = scorePool(net, ds.Test, arena)
 	}
 
 	// Derive the paper-calibrated metadata from real parameter/FLOP counts.

@@ -1,0 +1,109 @@
+package nn
+
+// Arena is a grow-only scratch allocator for the batched inference path.
+// One arena belongs to exactly one owner — an edge runtime, an evaluation
+// loop — and is never shared across goroutines (no sync.Pool: pooled
+// buffers migrate between goroutines, which both breaks the engine's
+// per-edge ownership discipline and trips the race detector on the
+// determinism tests).
+//
+// Buffers are keyed by call order: a fixed layer sequence requests the same
+// buffers in the same order every batch, so after the first (warm-up) batch
+// every request is served from the cache and a steady-state slot step
+// performs zero heap allocations (pinned by BenchmarkNNRuntimeSlot's
+// ReportAllocs gate in internal/deploy).
+//
+// Protocol: call Reset once per batch, build the input batch from the
+// arena, run Network.ForwardBatch, consume the outputs, repeat. Reset
+// recycles every buffer handed out since the previous Reset, so values must
+// not be retained across batches.
+type Arena struct {
+	floats  [][]float64
+	nfloats int
+	ints    [][]int
+	nints   int
+	tensors []*Tensor
+	nten    int
+}
+
+// NewArena creates an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Reset recycles every buffer handed out since the previous Reset. The
+// buffers keep their capacity, so a warmed arena serves subsequent batches
+// without allocating.
+func (a *Arena) Reset() {
+	a.nfloats, a.nints, a.nten = 0, 0, 0
+}
+
+// Floats returns a float64 scratch slice of length n. Contents are
+// unspecified: callers must fully overwrite before reading.
+func (a *Arena) Floats(n int) []float64 {
+	if a.nfloats == len(a.floats) {
+		a.floats = append(a.floats, make([]float64, n))
+	} else if cap(a.floats[a.nfloats]) < n {
+		a.floats[a.nfloats] = make([]float64, n)
+	}
+	buf := a.floats[a.nfloats][:n]
+	a.nfloats++
+	return buf
+}
+
+// Ints returns an int scratch slice of length n. Contents are unspecified.
+func (a *Arena) Ints(n int) []int {
+	if a.nints == len(a.ints) {
+		a.ints = append(a.ints, make([]int, n))
+	} else if cap(a.ints[a.nints]) < n {
+		a.ints[a.nints] = make([]int, n)
+	}
+	buf := a.ints[a.nints][:n]
+	a.nints++
+	return buf
+}
+
+// Tensor returns a tensor of the given shape backed by arena scratch.
+// Unlike NewTensor the data is NOT zeroed; every kernel in the batched path
+// writes all of its output elements, and callers building inputs copy over
+// the full extent.
+func (a *Arena) Tensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			//lint:allow panicpolicy mirrors NewTensor: a non-positive dimension is a programmer error on the inference hot path
+			panic("nn: non-positive dimension in arena tensor shape")
+		}
+		n *= d
+	}
+	t := a.header()
+	t.Shape = append(t.Shape[:0], shape...)
+	t.Data = a.Floats(n)
+	return t
+}
+
+// View returns a tensor header over existing data (no copy) — the batched
+// Flatten uses it to reshape without touching the payload. The element
+// count of shape must equal len(data).
+func (a *Arena) View(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		//lint:allow panicpolicy mirrors NewTensor: a shape/payload mismatch is a programmer error on the inference hot path
+		panic("nn: arena view shape does not match data length")
+	}
+	t := a.header()
+	t.Shape = append(t.Shape[:0], shape...)
+	t.Data = data
+	return t
+}
+
+// header hands out a recycled tensor header.
+func (a *Arena) header() *Tensor {
+	if a.nten == len(a.tensors) {
+		a.tensors = append(a.tensors, &Tensor{})
+	}
+	t := a.tensors[a.nten]
+	a.nten++
+	return t
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched inference driver and per-row loss helpers. The contract for the
+// whole file is bit-for-bit agreement with the one-sample-at-a-time path:
+// every helper replays the exact floating-point operation sequence of its
+// per-sample counterpart (Softmax, SquaredLoss, Tensor.MaxIndex), so
+// evaluating a batch produces the same bits as a per-sample loop and every
+// result file stays byte-identical (batch_equiv_test.go pins this).
+
+// ForwardBatch runs all layers on a batch of samples laid out as
+// [B, sampleShape...] and returns the [B, classes] logits. All scratch is
+// drawn from a, which the caller owns and must Reset between batches
+// (ForwardBatch itself does not Reset: callers build the input batch from
+// the same arena). The batched path is inference-only — no layer records
+// backward state.
+func (n *Network) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	out := in
+	for _, l := range n.Layers {
+		out = l.ForwardBatch(out, a)
+	}
+	return out
+}
+
+// ArgmaxRow returns the index of the largest element of one logits row,
+// replicating Tensor.MaxIndex (first maximum wins via strict >).
+func ArgmaxRow(row []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range row {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// SoftmaxRowInto writes the softmax of one logits row into dst, replaying
+// Softmax's operation order exactly (max-subtraction, exponentials summed
+// in index order, then one divide per element). dst must have the row's
+// length; aliasing dst with row is allowed.
+func SoftmaxRowInto(dst, row []float64) {
+	if len(dst) != len(row) {
+		//lint:allow panicpolicy inference hot path: a length mismatch is a programmer error and mirrors the Forward shape guards
+		panic(fmt.Sprintf("nn: softmax dst length %d does not match row length %d", len(dst), len(row)))
+	}
+	maxV := math.Inf(-1)
+	for _, v := range row {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range row {
+		e := math.Exp(v - maxV)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// SquaredLossRow returns the value of SquaredLoss for one logits row using
+// scratch for the softmax probabilities (len(scratch) >= len(row)); it
+// replays the per-sample summation order term for term but skips the
+// gradient, which the inference path never consumes.
+func SquaredLossRow(row []float64, label int, scratch []float64) float64 {
+	p := scratch[:len(row)]
+	SoftmaxRowInto(p, row)
+	loss := 0.0
+	for k, pk := range p {
+		y := 0.0
+		if k == label {
+			y = 1
+		}
+		d := pk - y
+		loss += d * d
+	}
+	return loss
+}

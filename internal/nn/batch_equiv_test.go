@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Golden equivalence suite: the GEMM/im2col kernels and the batched
+// inference path must agree bit for bit with the naive per-sample
+// reference implementations. Comparisons go through math.Float64bits so
+// even sign-of-zero or NaN-payload drift would fail.
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d = %x (%g), want %x (%g)",
+				name, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := NewTensor(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func TestDenseGEMMMatchesNaiveBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dims := range [][2]int{{1, 1}, {3, 4}, {7, 5}, {64, 10}, {129, 33}} {
+		d := NewDense(dims[0], dims[1], rng)
+		in := randTensor(rng, dims[0])
+		bitsEqual(t, "dense", d.Forward(in).Data, d.forwardNaive(in).Data)
+	}
+}
+
+func TestConv2DGEMMMatchesNaiveBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct{ inC, outC, k, h, w int }{
+		{1, 1, 1, 1, 1},
+		{1, 4, 3, 8, 8},
+		{3, 8, 3, 14, 14},
+		{6, 16, 5, 12, 12},
+		{8, 8, 1, 7, 9}, // pointwise, non-square input
+		{2, 5, 3, 5, 11},
+	}
+	for _, c := range cases {
+		conv := NewConv2D(c.inC, c.outC, c.k, rng)
+		in := randTensor(rng, c.inC, c.h, c.w)
+		bitsEqual(t, "conv", conv.Forward(in).Data, conv.forwardNaive(in).Data)
+	}
+}
+
+// networkForwardNaive runs the per-sample reference path over a whole
+// network: naive Dense/Conv2D kernels, regular Forward for the rest.
+func networkForwardNaive(n *Network, in *Tensor) *Tensor {
+	out := in
+	for _, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			layer.lastIn = out
+			out = layer.forwardNaive(out)
+		case *Conv2D:
+			layer.lastIn = out
+			out = layer.forwardNaive(out)
+		default:
+			out = l.Forward(out)
+		}
+	}
+	return out
+}
+
+func zooForTest(rng *rand.Rand) []*Network {
+	in := []int{1, 14, 14}
+	return []*Network{
+		BuildCNN("cnn", in, 4, 8, 32, 10, rng),
+		BuildLeNet5("lenet", []int{1, 28, 28}, 1, 10, rng),
+		BuildMobileCNN("mobile", in, 6, 8, 10, rng),
+		BuildMLP("mlp", in, 32, 16, 10, rng),
+	}
+}
+
+func TestNetworkForwardMatchesNaiveBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, net := range zooForTest(rng) {
+		for s := 0; s < 5; s++ {
+			in := randTensor(rng, net.InShape()...)
+			got := net.Forward(in)
+			want := networkForwardNaive(net, in)
+			bitsEqual(t, net.Name, got.Data, want.Data)
+		}
+	}
+}
+
+func TestForwardBatchMatchesPerSampleBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, net := range zooForTest(rng) {
+		arena := NewArena()
+		classes, err := net.OutDim()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape := net.InShape()
+		sampleLen := 1
+		for _, d := range shape {
+			sampleLen *= d
+		}
+		for _, batch := range []int{1, 2, 3, 7, 16} {
+			samples := make([]*Tensor, batch)
+			for s := range samples {
+				samples[s] = randTensor(rng, shape...)
+			}
+			// Run the batch twice on the same arena: the second pass reuses
+			// warmed buffers and must produce the same bits.
+			var first []float64
+			for pass := 0; pass < 2; pass++ {
+				arena.Reset()
+				in := arena.Tensor(append([]int{batch}, shape...)...)
+				for s, smp := range samples {
+					copy(in.Data[s*sampleLen:(s+1)*sampleLen], smp.Data)
+				}
+				logits := net.ForwardBatch(in, arena)
+				if logits.Shape[0] != batch || logits.Shape[1] != classes {
+					t.Fatalf("%s: batch logits shape %v, want [%d %d]", net.Name, logits.Shape, batch, classes)
+				}
+				for s, smp := range samples {
+					want := net.Forward(smp)
+					bitsEqual(t, net.Name, logits.Data[s*classes:(s+1)*classes], want.Data)
+				}
+				if pass == 0 {
+					first = append([]float64(nil), logits.Data...)
+				} else {
+					bitsEqual(t, net.Name+" warm-arena pass", logits.Data, first)
+				}
+			}
+		}
+	}
+}
+
+func TestRowHelpersMatchPerSampleBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	scratch := make([]float64, 16)
+	for i := 0; i < 50; i++ {
+		logits := randTensor(rng, 10)
+		label := rng.Intn(10)
+
+		wantLoss, _ := SquaredLoss(logits, label)
+		gotLoss := SquaredLossRow(logits.Data, label, scratch)
+		if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+			t.Fatalf("loss %v, want %v", gotLoss, wantLoss)
+		}
+		if got, want := ArgmaxRow(logits.Data), logits.MaxIndex(); got != want {
+			t.Fatalf("argmax %d, want %d", got, want)
+		}
+		sm := Softmax(logits)
+		dst := make([]float64, 10)
+		SoftmaxRowInto(dst, logits.Data)
+		bitsEqual(t, "softmax", dst, sm.Data)
+	}
+}
+
+func TestLayerNormForwardBatchMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	ln, err := NewLayerNorm(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ln.gain.Data {
+		ln.gain.Data[i] = rng.NormFloat64()
+		ln.bias.Data[i] = rng.NormFloat64()
+	}
+	arena := NewArena()
+	const batch = 5
+	in := arena.Tensor(batch, 12)
+	samples := make([]*Tensor, batch)
+	for s := range samples {
+		samples[s] = randTensor(rng, 12)
+		copy(in.Data[s*12:(s+1)*12], samples[s].Data)
+	}
+	out := ln.ForwardBatch(in, arena)
+	for s, smp := range samples {
+		bitsEqual(t, "layernorm", out.Data[s*12:(s+1)*12], ln.Forward(smp).Data)
+	}
+}
+
+func TestArenaReuseIsGrowOnly(t *testing.T) {
+	a := NewArena()
+	f1 := a.Floats(8)
+	a.Reset()
+	f2 := a.Floats(4)
+	if &f1[0] != &f2[0] {
+		t.Fatal("arena did not reuse the first float buffer after Reset")
+	}
+	a.Reset()
+	f3 := a.Floats(16) // larger: must grow, not alias a stale smaller cap
+	if len(f3) != 16 {
+		t.Fatalf("grown buffer has length %d", len(f3))
+	}
+	tn := a.Tensor(2, 3)
+	if tn.Len() != 6 {
+		t.Fatalf("arena tensor length %d", tn.Len())
+	}
+	v := a.View(tn.Data, 3, 2)
+	if &v.Data[0] != &tn.Data[0] {
+		t.Fatal("view copied data")
+	}
+}
+
+func TestDropoutForwardBatchPanicsInTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	d, err := NewDropout(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetTraining(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for training-mode batched dropout")
+		}
+	}()
+	a := NewArena()
+	d.ForwardBatch(a.Tensor(1, 4), a)
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel-level benchmarks. BenchmarkConvForwardNaive is the retained
+// pre-GEMM implementation, so the ConvForward/ConvForwardNaive ratio is the
+// kernel speedup on this host; cmd/nnbench snapshots both into
+// BENCH_nn.json.
+
+func BenchmarkGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n, k = 64, 64, 256
+	a := make([]float64, m*k)
+	bm := make([]float64, n*k)
+	bias := make([]float64, n)
+	out := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range bm {
+		bm[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmNTBiasJ(out, a, bm, bias, m, n, k)
+	}
+}
+
+func benchConv(b *testing.B, naive bool) {
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D(6, 16, 5, rng)
+	in := randTensor(rng, 6, 14, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			conv.forwardNaive(in)
+		} else {
+			conv.Forward(in)
+		}
+	}
+}
+
+func BenchmarkConvForward(b *testing.B)      { benchConv(b, false) }
+func BenchmarkConvForwardNaive(b *testing.B) { benchConv(b, true) }
+
+func BenchmarkNetworkForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := BuildCNN("bench-cnn", []int{1, 14, 14}, 8, 16, 64, 10, rng)
+	arena := NewArena()
+	const batch = 32
+	in := arena.Tensor(batch, 1, 14, 14)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	// Warm the arena so the measured loop is the steady state.
+	net.ForwardBatch(in, arena)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		in := arena.Tensor(batch, 1, 14, 14)
+		net.ForwardBatch(in, arena)
+	}
+}

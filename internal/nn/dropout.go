@@ -57,6 +57,17 @@ func (d *Dropout) Forward(in *Tensor) *Tensor {
 	return out
 }
 
+// ForwardBatch implements Layer. The batched path is inference-only, where
+// dropout is the identity; a training-mode call would need per-sample RNG
+// draws that the batched path deliberately does not support.
+func (d *Dropout) ForwardBatch(in *Tensor, _ *Arena) *Tensor {
+	if d.training && d.p != 0 {
+		//lint:allow panicpolicy batched inference path: training-mode dropout here is a programmer error and the interface has no error channel
+		panic("nn: Dropout.ForwardBatch called in training mode")
+	}
+	return in
+}
+
 // Backward implements Layer.
 func (d *Dropout) Backward(gradOut *Tensor) *Tensor {
 	if d.mask == nil {

@@ -1,0 +1,156 @@
+package nn
+
+// Deterministic blocked GEMM kernels. These are the single inference hot
+// path of the repository: Dense and Conv2D (via im2col) both lower to a
+// "NT" matrix product — dot products of two row-major matrices that share a
+// contiguous K dimension.
+//
+// The kernels are blocked over the *output* coordinates only (eight columns
+// of C per pass, so each element of A is loaded once per eight outputs);
+// the K dimension is never split. That restriction is load-bearing: every
+// output element accumulates its K products strictly in index order, one
+// accumulator per element, which makes the float summation sequence — and
+// therefore every result file derived from it — bit-for-bit identical to
+// the naive loops these kernels replaced (batch_equiv_test.go pins this
+// against the retained naive references).
+
+// GemmNTBiasJ computes out[i*n+j] = bias[j] + sum_k a[i*k+p]*b[j*k+p] for
+// an m-by-k matrix a and an n-by-k matrix b, both row-major. It is the
+// batched Dense kernel: a holds one sample per row, b one output unit's
+// weights per row. bias must have length n.
+func GemmNTBiasJ(out, a, b, bias []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : i*k+k]
+		orow := out[i*n : i*n+n]
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			b4 := b[(j+4)*k : (j+4)*k+k]
+			b5 := b[(j+5)*k : (j+5)*k+k]
+			b6 := b[(j+6)*k : (j+6)*k+k]
+			b7 := b[(j+7)*k : (j+7)*k+k]
+			s0, s1, s2, s3 := bias[j], bias[j+1], bias[j+2], bias[j+3]
+			s4, s5, s6, s7 := bias[j+4], bias[j+5], bias[j+6], bias[j+7]
+			for p, av := range ar {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+				s4 += av * b4[p]
+				s5 += av * b5[p]
+				s6 += av * b6[p]
+				s7 += av * b7[p]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			orow[j+4], orow[j+5], orow[j+6], orow[j+7] = s4, s5, s6, s7
+		}
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			s0, s1, s2, s3 := bias[j], bias[j+1], bias[j+2], bias[j+3]
+			for p, av := range ar {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			br := b[j*k : j*k+k]
+			s := bias[j]
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// GemmNTBiasI is GemmNTBiasJ with the bias indexed by the row instead of
+// the column: out[i*n+j] = bias[i] + sum_k a[i*k+p]*b[j*k+p]. It is the
+// convolution kernel: a holds one output channel's weights per row, b one
+// output pixel's im2col patch per row. bias must have length m.
+func GemmNTBiasI(out, a, b, bias []float64, m, n, k int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : i*k+k]
+		orow := out[i*n : i*n+n]
+		bi := bias[i]
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			b4 := b[(j+4)*k : (j+4)*k+k]
+			b5 := b[(j+5)*k : (j+5)*k+k]
+			b6 := b[(j+6)*k : (j+6)*k+k]
+			b7 := b[(j+7)*k : (j+7)*k+k]
+			s0, s1, s2, s3 := bi, bi, bi, bi
+			s4, s5, s6, s7 := bi, bi, bi, bi
+			for p, av := range ar {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+				s4 += av * b4[p]
+				s5 += av * b5[p]
+				s6 += av * b6[p]
+				s7 += av * b7[p]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			orow[j+4], orow[j+5], orow[j+6], orow[j+7] = s4, s5, s6, s7
+		}
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			s0, s1, s2, s3 := bi, bi, bi, bi
+			for p, av := range ar {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			br := b[j*k : j*k+k]
+			s := bi
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// im2col lowers one CHW sample to the patch matrix the convolution GEMM
+// consumes: dst[p*kk+c] = the c-th element of output pixel p's receptive
+// field, where p walks the output pixels row-major (y, then x) and c walks
+// the patch in (ic, ky, kx) order — the exact accumulation order of the
+// naive convolution loop, so the GEMM's K-sequential dot products replay
+// the naive float summation term for term. dst must have oh*ow*inC*kh*kh
+// elements.
+func im2col(dst, src []float64, inC, h, w, kh, oh, ow int) {
+	di := 0
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for ic := 0; ic < inC; ic++ {
+				for ky := 0; ky < kh; ky++ {
+					srow := src[(ic*h+y+ky)*w+x : (ic*h+y+ky)*w+x+kh]
+					for kx := 0; kx < kh; kx++ {
+						dst[di] = srow[kx]
+						di++
+					}
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,12 @@ import (
 type Layer interface {
 	// Forward runs the layer on one sample.
 	Forward(in *Tensor) *Tensor
+	// ForwardBatch runs the layer on a batch laid out [B, d...], one sample
+	// per contiguous row, writing output to arena scratch. It is
+	// inference-only: no state is recorded for Backward. Per sample the
+	// float operations replay Forward exactly, so batched and per-sample
+	// inference agree bit for bit at every batch size.
+	ForwardBatch(in *Tensor, a *Arena) *Tensor
 	// Backward back-propagates the output gradient from the most recent
 	// Forward call and returns the input gradient.
 	Backward(gradOut *Tensor) *Tensor
@@ -64,6 +70,15 @@ func (d *Dense) Forward(in *Tensor) *Tensor {
 	}
 	d.lastIn = in
 	out := NewTensor(d.OutDim)
+	GemmNTBiasJ(out.Data, in.Data, d.w.Data, d.b.Data, 1, d.OutDim, d.InDim)
+	return out
+}
+
+// forwardNaive is the pre-GEMM reference implementation, retained so the
+// equivalence tests can pin the kernel's float summation sequence to it bit
+// for bit.
+func (d *Dense) forwardNaive(in *Tensor) *Tensor {
+	out := NewTensor(d.OutDim)
 	for o := 0; o < d.OutDim; o++ {
 		row := d.w.Data[o*d.InDim : (o+1)*d.InDim]
 		sum := d.b.Data[o]
@@ -75,17 +90,64 @@ func (d *Dense) Forward(in *Tensor) *Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// ForwardBatch implements Layer: one GEMM over the whole batch.
+func (d *Dense) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	batch := in.Shape[0]
+	if in.Len() != batch*d.InDim {
+		//lint:allow panicpolicy Layer.ForwardBatch hot path: a shape mismatch is a programmer error and the interface has no error channel
+		panic(fmt.Sprintf("nn: Dense expected %d inputs per sample, got shape %v", d.InDim, in.Shape))
+	}
+	out := a.Tensor(batch, d.OutDim)
+	GemmNTBiasJ(out.Data, in.Data, d.w.Data, d.b.Data, batch, d.OutDim, d.InDim)
+	return out
+}
+
+// Backward implements Layer, blocked four output units per pass so each
+// input activation and each gradIn element is loaded once per four o's.
+// Every accumulator still receives its terms as separate adds in strictly
+// increasing o order — the chained s += g*row[i] statements round exactly
+// like the unblocked loop — so gradients are bit-identical.
 func (d *Dense) Backward(gradOut *Tensor) *Tensor {
 	gradIn := NewTensor(d.InDim)
-	for o := 0; o < d.OutDim; o++ {
+	gi := gradIn.Data
+	in := d.lastIn.Data
+	n := d.InDim
+	o := 0
+	for ; o+4 <= d.OutDim; o += 4 {
+		g0, g1, g2, g3 := gradOut.Data[o], gradOut.Data[o+1], gradOut.Data[o+2], gradOut.Data[o+3]
+		d.gb.Data[o] += g0
+		d.gb.Data[o+1] += g1
+		d.gb.Data[o+2] += g2
+		d.gb.Data[o+3] += g3
+		row0 := d.w.Data[(o+0)*n : (o+1)*n]
+		row1 := d.w.Data[(o+1)*n : (o+2)*n]
+		row2 := d.w.Data[(o+2)*n : (o+3)*n]
+		row3 := d.w.Data[(o+3)*n : (o+4)*n]
+		grow0 := d.gw.Data[(o+0)*n : (o+1)*n]
+		grow1 := d.gw.Data[(o+1)*n : (o+2)*n]
+		grow2 := d.gw.Data[(o+2)*n : (o+3)*n]
+		grow3 := d.gw.Data[(o+3)*n : (o+4)*n]
+		for i, x := range in {
+			grow0[i] += g0 * x
+			grow1[i] += g1 * x
+			grow2[i] += g2 * x
+			grow3[i] += g3 * x
+			s := gi[i]
+			s += g0 * row0[i]
+			s += g1 * row1[i]
+			s += g2 * row2[i]
+			s += g3 * row3[i]
+			gi[i] = s
+		}
+	}
+	for ; o < d.OutDim; o++ {
 		g := gradOut.Data[o]
 		d.gb.Data[o] += g
-		row := d.w.Data[o*d.InDim : (o+1)*d.InDim]
-		grow := d.gw.Data[o*d.InDim : (o+1)*d.InDim]
-		for i, x := range d.lastIn.Data {
+		row := d.w.Data[o*n : (o+1)*n]
+		grow := d.gw.Data[o*n : (o+1)*n]
+		for i, x := range in {
 			grow[i] += g * x
-			gradIn.Data[i] += g * row[i]
+			gi[i] += g * row[i]
 		}
 	}
 	return gradIn
@@ -111,6 +173,10 @@ type Conv2D struct {
 	w, b   *Tensor // w: [OutC, InC, K, K]
 	gw, gb *Tensor
 	lastIn *Tensor
+	// col is the layer-owned im2col scratch for single-sample Forward
+	// (training shares a network per caller, never across goroutines);
+	// grow-only, so steady-state forwards do not reallocate it.
+	col []float64
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -142,13 +208,33 @@ func (c *Conv2D) gwAdd(oc, ic, ky, kx int, v float64) {
 	c.gw.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx] += v
 }
 
-// Forward implements Layer.
+// Forward implements Layer: im2col then one GEMM. The im2col patch order
+// matches the naive loop's (ic, ky, kx) accumulation order and the GEMM
+// never splits the K dimension, so the output is bit-for-bit identical to
+// forwardNaive (pinned by the equivalence tests).
 func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	if len(in.Shape) != 3 || in.Shape[0] != c.InC {
 		//lint:allow panicpolicy Layer.Forward hot path: a shape mismatch is a programmer error and the interface has no error channel
 		panic(fmt.Sprintf("nn: Conv2D expected [%d,H,W], got %v", c.InC, in.Shape))
 	}
 	c.lastIn = in
+	h, w := in.Shape[1], in.Shape[2]
+	oh, ow := h-c.K+1, w-c.K+1
+	out := NewTensor(c.OutC, oh, ow)
+	kk := c.InC * c.K * c.K
+	if n := oh * ow * kk; cap(c.col) < n {
+		c.col = make([]float64, n)
+	}
+	col := c.col[:oh*ow*kk]
+	im2col(col, in.Data, c.InC, h, w, c.K, oh, ow)
+	GemmNTBiasI(out.Data, c.w.Data, col, c.b.Data, c.OutC, oh*ow, kk)
+	return out
+}
+
+// forwardNaive is the pre-im2col reference implementation, retained so the
+// equivalence tests can pin the kernel's float summation sequence to it bit
+// for bit.
+func (c *Conv2D) forwardNaive(in *Tensor) *Tensor {
 	h, w := in.Shape[1], in.Shape[2]
 	oh, ow := h-c.K+1, w-c.K+1
 	out := NewTensor(c.OutC, oh, ow)
@@ -169,6 +255,26 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 				out.Data[(oc*oh+y)*ow+x] = sum
 			}
 		}
+	}
+	return out
+}
+
+// ForwardBatch implements Layer: per-sample im2col into one arena buffer,
+// one GEMM per sample into the batched output.
+func (c *Conv2D) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	if len(in.Shape) != 4 || in.Shape[1] != c.InC {
+		//lint:allow panicpolicy Layer.ForwardBatch hot path: a shape mismatch is a programmer error and the interface has no error channel
+		panic(fmt.Sprintf("nn: Conv2D expected [B,%d,H,W], got %v", c.InC, in.Shape))
+	}
+	batch, h, w := in.Shape[0], in.Shape[2], in.Shape[3]
+	oh, ow := h-c.K+1, w-c.K+1
+	kk := c.InC * c.K * c.K
+	out := a.Tensor(batch, c.OutC, oh, ow)
+	col := a.Floats(oh * ow * kk)
+	inStride, outStride := c.InC*h*w, c.OutC*oh*ow
+	for s := 0; s < batch; s++ {
+		im2col(col, in.Data[s*inStride:(s+1)*inStride], c.InC, h, w, c.K, oh, ow)
+		GemmNTBiasI(out.Data[s*outStride:(s+1)*outStride], c.w.Data, col, c.b.Data, c.OutC, oh*ow, kk)
 	}
 	return out
 }
@@ -246,20 +352,60 @@ func (m *MaxPool2D) Forward(in *Tensor) *Tensor {
 	m.argmax = m.argmax[:out.Len()]
 	for c := 0; c < ch; c++ {
 		for y := 0; y < oh; y++ {
+			// The 2x2 window unrolls in the (dy, dx) scan order of the
+			// original loop; strict > keeps the same argmax tie-breaking.
+			base0 := (c*h + 2*y) * w
+			base1 := base0 + w
+			o := (c*oh + y) * ow
 			for x := 0; x < ow; x++ {
-				bestIdx := (c*h+2*y)*w + 2*x
-				best := in.Data[bestIdx]
-				for dy := 0; dy < 2; dy++ {
-					for dx := 0; dx < 2; dx++ {
-						idx := (c*h+2*y+dy)*w + 2*x + dx
-						if in.Data[idx] > best {
-							best, bestIdx = in.Data[idx], idx
-						}
-					}
+				i00 := base0 + 2*x
+				best, bestIdx := in.Data[i00], i00
+				if v := in.Data[i00+1]; v > best {
+					best, bestIdx = v, i00+1
 				}
-				o := (c*oh+y)*ow + x
-				out.Data[o] = best
-				m.argmax[o] = bestIdx
+				i10 := base1 + 2*x
+				if v := in.Data[i10]; v > best {
+					best, bestIdx = v, i10
+				}
+				if v := in.Data[i10+1]; v > best {
+					best, bestIdx = v, i10+1
+				}
+				out.Data[o+x] = best
+				m.argmax[o+x] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// ForwardBatch implements Layer: the same pooling comparisons per sample,
+// no argmax recording (inference-only).
+func (m *MaxPool2D) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	batch, ch, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := h/2, w/2
+	out := a.Tensor(batch, ch, oh, ow)
+	inStride, outStride := ch*h*w, ch*oh*ow
+	for s := 0; s < batch; s++ {
+		src := in.Data[s*inStride : (s+1)*inStride]
+		dst := out.Data[s*outStride : (s+1)*outStride]
+		for c := 0; c < ch; c++ {
+			for y := 0; y < oh; y++ {
+				row0 := src[(c*h+2*y)*w : (c*h+2*y)*w+w]
+				row1 := src[(c*h+2*y+1)*w : (c*h+2*y+1)*w+w]
+				drow := dst[(c*oh+y)*ow : (c*oh+y)*ow+ow]
+				for x := 0; x < ow; x++ {
+					best := row0[2*x]
+					if v := row0[2*x+1]; v > best {
+						best = v
+					}
+					if v := row1[2*x]; v > best {
+						best = v
+					}
+					if v := row1[2*x+1]; v > best {
+						best = v
+					}
+					drow[x] = best
+				}
 			}
 		}
 	}
@@ -319,6 +465,20 @@ func (r *ReLU) Forward(in *Tensor) *Tensor {
 	return out
 }
 
+// ForwardBatch implements Layer: elementwise rectification, no mask
+// recording (inference-only).
+func (r *ReLU) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	out := a.Tensor(in.Shape...)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(gradOut *Tensor) *Tensor {
 	gradIn := NewTensor(gradOut.Shape...)
@@ -363,6 +523,12 @@ func (f *Flatten) Forward(in *Tensor) *Tensor {
 	f.inShape = in.Shape
 	out := &Tensor{Shape: []int{in.Len()}, Data: in.Data}
 	return out
+}
+
+// ForwardBatch implements Layer: a reshaping view [B, d...] -> [B, n].
+func (f *Flatten) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	batch := in.Shape[0]
+	return a.View(in.Data, batch, in.Len()/batch)
 }
 
 // Backward implements Layer.

@@ -70,6 +70,38 @@ func (l *LayerNorm) Forward(in *Tensor) *Tensor {
 	return out
 }
 
+// ForwardBatch implements Layer: each row is normalized independently with
+// the exact per-sample op order of Forward (mean, variance, sqrt,
+// gain*xhat+bias), and no training state is recorded.
+func (l *LayerNorm) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	batch := in.Shape[0]
+	if in.Len() != batch*l.dim {
+		//lint:allow panicpolicy Layer.ForwardBatch hot path: a shape mismatch is a programmer error and the interface has no error channel
+		panic(fmt.Sprintf("nn: LayerNorm batch expected %d features per sample, got %d", l.dim, in.Len()/batch))
+	}
+	out := a.Tensor(batch, l.dim)
+	for s := 0; s < batch; s++ {
+		row := in.Data[s*l.dim : (s+1)*l.dim]
+		dst := out.Data[s*l.dim : (s+1)*l.dim]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(l.dim)
+		varSum := 0.0
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		std := math.Sqrt(varSum/float64(l.dim) + l.eps)
+		for i, v := range row {
+			nx := (v - mean) / std
+			dst[i] = l.gain.Data[i]*nx + l.bias.Data[i]
+		}
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (l *LayerNorm) Backward(gradOut *Tensor) *Tensor {
 	n := float64(l.dim)

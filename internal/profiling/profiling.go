@@ -1,0 +1,50 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the repo's commands. Profiles are written with runtime/pprof and read with
+// `go tool pprof`; both paths are optional and empty strings disable the
+// corresponding profile.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a stop
+// function. The stop function ends the CPU profile and, when memPath is
+// non-empty, runs a GC and writes an allocs-space heap profile there.
+// Callers must invoke stop exactly once, after the workload finishes.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(memFile, 0); err != nil {
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/models"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+// viewTestScenario builds two identical scenarios over identically seeded
+// surrogate zoos.
+func viewTestScenario(t *testing.T) (*Scenario, *Scenario) {
+	t.Helper()
+	cfg := DefaultConfig(4)
+	cfg.Horizon = 60
+	cfg.Seed = 11
+	mk := func() *Scenario {
+		zoo, err := models.DefaultSurrogateZoo(numeric.SplitRNG(cfg.Seed, "zoo"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScenario(cfg, zoo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return mk(), mk()
+}
+
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.CumTotal) != len(b.CumTotal) {
+		t.Fatalf("%s: series lengths %d vs %d", label, len(a.CumTotal), len(b.CumTotal))
+	}
+	for i := range a.CumTotal {
+		if math.Float64bits(a.CumTotal[i]) != math.Float64bits(b.CumTotal[i]) {
+			t.Fatalf("%s: CumTotal[%d] = %v vs %v", label, i, a.CumTotal[i], b.CumTotal[i])
+		}
+	}
+	if math.Float64bits(a.Cost.Total()) != math.Float64bits(b.Cost.Total()) {
+		t.Fatalf("%s: total cost %v vs %v", label, a.Cost.Total(), b.Cost.Total())
+	}
+	if math.Float64bits(a.Fit) != math.Float64bits(b.Fit) {
+		t.Fatalf("%s: fit %v vs %v", label, a.Fit, b.Fit)
+	}
+}
+
+// TestComboViewsMatchSequential pins the stream-window construction:
+// playing k combos on ComboViews — in any execution order — must be
+// bit-identical to playing them sequentially on the scenario itself.
+func TestComboViewsMatchSequential(t *testing.T) {
+	seq, split := viewTestScenario(t)
+	names := []string{"Ours", "Greedy-LY", "Offline"}
+
+	sequential := make([]*Result, len(names))
+	for i, name := range names {
+		res, err := runComboForTest(seq, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[i] = res
+	}
+
+	views := split.ComboViews(len(names))
+	// Deliberately play the views in reverse order: windows, not execution
+	// order, determine the draws.
+	for i := len(names) - 1; i >= 0; i-- {
+		res, err := runComboForTest(views[i], names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, names[i], sequential[i], res)
+	}
+}
+
+// TestComboViewsLeaveParentInSequence checks that after carving k views the
+// parent scenario continues exactly where the k windows ended: a combo on
+// the parent equals the (k+1)-th sequential combo.
+func TestComboViewsLeaveParentInSequence(t *testing.T) {
+	seq, split := viewTestScenario(t)
+	// Sequential: three combos back to back.
+	var last *Result
+	for _, name := range []string{"Ours", "Ours", "Ours"} {
+		res, err := runComboForTest(seq, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	// Split: two views, then the parent plays the third combo itself.
+	views := split.ComboViews(2)
+	for _, v := range views {
+		if _, err := runComboForTest(v, "Ours"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := runComboForTest(split, "Ours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "parent-after-views", last, res)
+}
+
+// runComboForTest mirrors figures.runCombo without the import cycle.
+func runComboForTest(s *Scenario, name string) (*Result, error) {
+	if name == "Offline" {
+		return Offline(s)
+	}
+	combo, err := ComboByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Run(s, combo.Name, combo.Policy, combo.Trader)
+}

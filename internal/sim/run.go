@@ -104,9 +104,15 @@ func (st *scenarioStepper) Step(slot, arm int, _ bool) (engine.Observation, erro
 		st.batch = make([]int, m)
 	}
 	st.batch = st.batch[:m]
-	pool := s.Zoo.PoolSize()
-	for j := range st.batch {
-		st.batch[j] = s.streamRNGs[i].Intn(pool)
+	if s.streamPre != nil {
+		pos := s.streamPos[i]
+		copy(st.batch, s.streamPre[i][pos:pos+m])
+		s.streamPos[i] = pos + m
+	} else {
+		pool := s.Zoo.PoolSize()
+		for j := range st.batch {
+			st.batch[j] = s.streamRNGs[i].Intn(pool)
+		}
 	}
 	avgLoss, correct := s.Zoo.BatchLoss(arm, st.batch, st.lossRNG)
 	info := s.Zoo.Info(arm)

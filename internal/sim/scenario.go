@@ -81,6 +81,14 @@ type Scenario struct {
 	Prices *market.Prices
 	// Streams[i] samples data indices for edge i.
 	streamRNGs []*rand.Rand
+
+	// streamPre/streamPos implement pre-drawn stream windows (ComboViews):
+	// when streamPre is non-nil, edge i's stream draws come from
+	// streamPre[i] at cursor streamPos[i] instead of streamRNGs. Different
+	// edges touch disjoint cursor elements, so the per-edge parallel engine
+	// needs no extra coordination.
+	streamPre [][]int
+	streamPos []int
 }
 
 // NewScenario materializes a scenario over a prebuilt model zoo (zoos are
@@ -181,6 +189,63 @@ func NewScenarioWithTraces(cfg Config, zoo models.Zoo, workloadTrace [][]int, pr
 		s.streamRNGs[i] = numeric.SplitRNG(cfg.Seed, fmt.Sprintf("stream-%d", i))
 	}
 	return s, nil
+}
+
+// ComboViews splits the scenario into k views that can each play exactly
+// one policy/trader combination (one Run/RunWorkers or one Offline call),
+// concurrently if desired, with stream draws bit-identical to running the
+// k combos sequentially on the receiver.
+//
+// Why this is sound: every combo steps every edge in every slot, so one
+// combo consumes exactly D_i = sum_t Workload[t][i] draws from edge i's
+// stream RNG — regardless of which models the combo picks. Sequential
+// combos therefore see consecutive D_i-sized windows of the stream.
+// ComboViews pre-draws k*D_i values per edge (advancing the receiver's
+// RNGs just as k sequential combos would) and hands view j the j-th
+// window. Views share the scenario's immutable inputs (zoo, workload,
+// prices, costs); each owns only its windows and cursors.
+//
+// A view must play at most one combo: a second run on the same view would
+// read past its window and panic. The receiver's own RNGs remain usable
+// afterwards and continue where the k windows ended.
+func (s *Scenario) ComboViews(k int) []*Scenario {
+	if k <= 0 {
+		return nil
+	}
+	pool := s.Zoo.PoolSize()
+	draws := make([][]int, s.Cfg.Edges)
+	perCombo := make([]int, s.Cfg.Edges)
+	for i := 0; i < s.Cfg.Edges; i++ {
+		d := 0
+		for t := range s.Workload {
+			d += s.Workload[t][i]
+		}
+		perCombo[i] = d
+		buf := make([]int, k*d)
+		if s.streamPre != nil {
+			// Views of a view: carve the parent's remaining window.
+			pos := s.streamPos[i]
+			copy(buf, s.streamPre[i][pos:pos+k*d])
+			s.streamPos[i] = pos + k*d
+		} else {
+			for j := range buf {
+				buf[j] = s.streamRNGs[i].Intn(pool)
+			}
+		}
+		draws[i] = buf
+	}
+	views := make([]*Scenario, k)
+	for v := 0; v < k; v++ {
+		clone := *s
+		clone.streamPre = make([][]int, s.Cfg.Edges)
+		clone.streamPos = make([]int, s.Cfg.Edges)
+		for i := range clone.streamPre {
+			d := perCombo[i]
+			clone.streamPre[i] = draws[i][v*d : (v+1)*d]
+		}
+		views[v] = &clone
+	}
+	return views
 }
 
 // NumModels returns the zoo size N.
