@@ -13,12 +13,14 @@
 #   make bench   - refresh the machine-readable NN perf baseline
 #                  (BENCH_nn.json) plus the engine's serial-vs-parallel
 #                  slot-stepping benchmark
+#   make bench-diff - rerun the nnbench suite and fail when any benchmark's
+#                  ns/op regressed >25% against the committed BENCH_nn.json
 #   make check   - vet + lint + race + full tests: the pre-commit gate
 #   make sim     - run the default 10-edge scenario comparison
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos bench check sim
+.PHONY: build test vet lint race chaos bench bench-diff check sim
 
 build:
 	$(GO) build ./...
@@ -42,6 +44,9 @@ chaos:
 bench:
 	$(GO) run ./cmd/nnbench -out BENCH_nn.json
 	$(GO) test ./internal/sim/ -run XX -bench BenchmarkSlotStepParallel -benchtime 3x
+
+bench-diff:
+	$(GO) run ./cmd/nnbench -diff BENCH_nn.json
 
 check: vet lint race test
 

@@ -219,17 +219,17 @@ func buildZoo(kind string, seed int64) (models.Zoo, error) {
 	case "surrogate":
 		return models.DefaultSurrogateZoo(numeric.SplitRNG(seed, "zoo"))
 	case "mnist":
-		return models.NewTrainedZoo(
-			models.DefaultTrainedZooConfig(dataset.MNISTLike), numeric.SplitRNG(seed, "zoo"))
+		return models.CachedTrainedZoo(
+			models.DefaultTrainedZooConfig(dataset.MNISTLike), seed, "zoo")
 	case "cifar":
-		return models.NewTrainedZoo(
-			models.DefaultTrainedZooConfig(dataset.CIFARLike), numeric.SplitRNG(seed, "zoo"))
+		return models.CachedTrainedZoo(
+			models.DefaultTrainedZooConfig(dataset.CIFARLike), seed, "zoo")
 	case "mnist-q8":
-		return models.NewQuantizedTrainedZoo(
-			models.DefaultTrainedZooConfig(dataset.MNISTLike), numeric.SplitRNG(seed, "zoo"))
+		return models.CachedQuantizedTrainedZoo(
+			models.DefaultTrainedZooConfig(dataset.MNISTLike), seed, "zoo")
 	case "cifar-q8":
-		return models.NewQuantizedTrainedZoo(
-			models.DefaultTrainedZooConfig(dataset.CIFARLike), numeric.SplitRNG(seed, "zoo"))
+		return models.CachedQuantizedTrainedZoo(
+			models.DefaultTrainedZooConfig(dataset.CIFARLike), seed, "zoo")
 	default:
 		return nil, fmt.Errorf("unknown zoo %q (surrogate | mnist | cifar | mnist-q8 | cifar-q8)", kind)
 	}

@@ -9,6 +9,7 @@
 //	nnbench                      # print the JSON to stdout
 //	nnbench -out BENCH_nn.json   # also write it to a file
 //	nnbench -benchtime 10x       # longer runs for stabler numbers
+//	nnbench -diff BENCH_nn.json  # rerun and fail on >25% ns/op regressions
 package main
 
 import (
@@ -49,6 +50,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("nnbench", flag.ContinueOnError)
 	outPath := fs.String("out", "", "also write the JSON baseline to this file")
 	benchtime := fs.String("benchtime", "", "forwarded to testing (e.g. 10x or 2s); empty keeps the default 1s")
+	diffPath := fs.String("diff", "", "compare against this committed baseline and fail on >25% ns/op regressions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +67,8 @@ func run(args []string, stdout io.Writer) error {
 	}{
 		{"GEMM", benchGEMM},
 		{"ConvForward", benchConvForward},
+		{"TrainEpoch", benchTrainEpoch},
+		{"ZooBuild", benchZooBuild},
 		{"SlotStep", benchSlotStep},
 		{"Fig3Regen", benchFig3},
 		{"Fig12Regen", benchFig12},
@@ -93,6 +97,67 @@ func run(args []string, stdout io.Writer) error {
 		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
 			return fmt.Errorf("write %s: %w", *outPath, err)
 		}
+	}
+	if *diffPath != "" {
+		return diffBaseline(stdout, *diffPath, entries)
+	}
+	return nil
+}
+
+// regressionFactor is the ns/op growth over the committed baseline that
+// -diff treats as a regression. 1.25 leaves headroom for host noise while
+// still catching real slowdowns of the tracked hot paths.
+const regressionFactor = 1.25
+
+// diffBaseline compares freshly measured entries against the committed
+// baseline JSON and errors when any shared benchmark's ns/op regressed by
+// more than regressionFactor. Benchmarks present on only one side are
+// reported but never fail the diff, so adding a benchmark does not require
+// refreshing the baseline in the same change.
+func diffBaseline(stdout io.Writer, path string, fresh []entry) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var baseline []entry
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	base := make(map[string]entry, len(baseline))
+	for _, e := range baseline {
+		base[e.Name] = e
+	}
+	var regressed []string
+	fmt.Fprintf(stdout, "diff vs %s (fail above %.0f%% ns/op growth):\n", path, (regressionFactor-1)*100)
+	for _, e := range fresh {
+		b, ok := base[e.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "  %-14s %14.0f ns/op  (not in baseline)\n", e.Name, e.NsPerOp)
+			continue
+		}
+		ratio := e.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > regressionFactor {
+			status = "REGRESSED"
+			regressed = append(regressed, e.Name)
+		}
+		fmt.Fprintf(stdout, "  %-14s %14.0f ns/op  baseline %14.0f  x%.2f  %s\n",
+			e.Name, e.NsPerOp, b.NsPerOp, ratio, status)
+	}
+	for _, b := range baseline {
+		found := false
+		for _, e := range fresh {
+			if e.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(stdout, "  %-14s (baseline only; not measured)\n", b.Name)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regressed >%.0f%%: %v", (regressionFactor-1)*100, regressed)
 	}
 	return nil
 }
@@ -126,6 +191,45 @@ func benchConvForward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conv.Forward(in)
+	}
+}
+
+// benchTrainEpoch mirrors internal/nn's BenchmarkTrainEpoch: one batched
+// SGD epoch over 256 samples on the family's small-CNN shape.
+func benchTrainEpoch(b *testing.B) {
+	rng := numeric.SplitRNG(21, "nnbench-train")
+	net := nn.BuildCNN("bench-train", []int{1, 14, 14}, 8, 16, 32, 10, rng)
+	samples := make([]nn.Sample, 256)
+	for i := range samples {
+		x := nn.NewTensor(1, 14, 14)
+		for j := range x.Data {
+			x.Data[j] = rng.NormFloat64()
+		}
+		samples[i] = nn.Sample{X: x, Label: rng.Intn(10)}
+	}
+	cfg := nn.TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.05}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.Train(net, samples, cfg, numeric.SplitRNG(22, "nnbench-train-order")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchZooBuild measures a cold six-model zoo build (train + score) at the
+// root bench suite's reduced dataset sizes. It calls NewTrainedZoo directly
+// rather than the keyed cache, so every iteration pays the full training
+// cost the cache would otherwise absorb.
+func benchZooBuild(b *testing.B) {
+	cfg := models.DefaultTrainedZooConfig(dataset.MNISTLike)
+	cfg.TrainN, cfg.TestN, cfg.Epochs = 200, 200, 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := models.NewTrainedZoo(cfg, numeric.SplitRNG(1, "bench-zoo-build")); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -208,7 +208,7 @@ func AblationSubstrate(o Options) (*Figure, error) {
 		Dataset: dataset.MNISTLike,
 		TrainN:  500, TestN: 500, Epochs: 2, LR: 0.05, BatchSize: 16,
 	}
-	zoo, err := models.NewTrainedZoo(zooCfg, numeric.SplitRNG(o.Seed, "abl-zoo"))
+	zoo, err := models.CachedTrainedZoo(zooCfg, o.Seed, "abl-zoo")
 	if err != nil {
 		return nil, err
 	}

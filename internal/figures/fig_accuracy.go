@@ -16,7 +16,9 @@ type AccuracyZooConfig = models.TrainedZooConfig
 // figAccuracy generates an accuracy-per-slot figure over a trained zoo.
 func figAccuracy(o Options, id, title string, zooCfg models.TrainedZooConfig) (*Figure, error) {
 	o = o.normalized()
-	zoo, err := models.NewTrainedZoo(zooCfg, newRNG(o.Seed, "zoo-"+id))
+	// The "zoo-"+id stream feeds nothing but zoo construction, so serving
+	// a cache hit (identical bits, no RNG draws) is observation-free.
+	zoo, err := models.CachedTrainedZoo(zooCfg, o.Seed, "zoo-"+id)
 	if err != nil {
 		return nil, err
 	}

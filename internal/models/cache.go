@@ -1,0 +1,110 @@
+package models
+
+import (
+	"sync"
+
+	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+// In-process zoo cache. Training the six-model zoo is the dominant serial
+// cost of every accuracy figure, ablation, and CLI run, and the same
+// (config, RNG stream) pair is rebuilt many times per process — every
+// figure run and every test that shares a seed. The cache keys a build by
+// its full content identity (config minus the uncacheable Dist pointer,
+// plus the RNG stream that would have seeded it) and returns the one shared
+// immutable zoo, so each distinct zoo is trained once per process.
+//
+// Safety argument for skipping the RNG draws on a hit: every caller routes
+// a dedicated numeric.SplitRNG(seed, stream) stream into zoo construction
+// and discards it afterwards, so serving a memoized zoo consumes no draws
+// from any stream another component observes. A TrainedZoo is immutable
+// after construction (readers only touch precomputed caches and serialize
+// weights), which makes sharing one instance across figure workers
+// race-free — pinned by TestCachedZooConcurrent under -race.
+
+// zooCacheKey identifies a build by everything that determines its content.
+type zooCacheKey struct {
+	dataset       dataset.Spec
+	trainN, testN int
+	epochs        int
+	lr            float64
+	batchSize     int
+	seed          int64
+	stream        string
+	quantized     bool
+}
+
+// zooCacheEntry single-flights one build: concurrent lookups of the same
+// key block on the winner's once instead of training twice.
+type zooCacheEntry struct {
+	once sync.Once
+	zoo  *TrainedZoo
+	err  error
+}
+
+var zooCache = struct {
+	sync.Mutex
+	m map[zooCacheKey]*zooCacheEntry
+}{m: make(map[zooCacheKey]*zooCacheEntry)}
+
+// CachedTrainedZoo returns the process-wide shared zoo for (cfg, seed,
+// stream), training it on first use with numeric.SplitRNG(seed, stream) —
+// bit-identical to NewTrainedZoo(cfg, numeric.SplitRNG(seed, stream)).
+// Configs that pin a Distribution (cfg.Dist != nil) are identified by
+// pointer rather than content and therefore bypass the cache.
+func CachedTrainedZoo(cfg TrainedZooConfig, seed int64, stream string) (*TrainedZoo, error) {
+	return cachedZoo(cfg, seed, stream, false)
+}
+
+// CachedQuantizedTrainedZoo is CachedTrainedZoo for the 2N-arm quantized
+// zoo. It layers the int8 variants on the cached full-precision base (the
+// quantized extension's content is RNG-independent: cloned architectures
+// have every weight overwritten by the wire-format round-trip), so the
+// expensive training cost is shared with CachedTrainedZoo callers.
+func CachedQuantizedTrainedZoo(cfg TrainedZooConfig, seed int64, stream string) (*TrainedZoo, error) {
+	return cachedZoo(cfg, seed, stream, true)
+}
+
+func cachedZoo(cfg TrainedZooConfig, seed int64, stream string, quantized bool) (*TrainedZoo, error) {
+	if cfg.Dist != nil {
+		rng := numeric.SplitRNG(seed, stream)
+		if quantized {
+			return NewQuantizedTrainedZoo(cfg, rng)
+		}
+		return NewTrainedZoo(cfg, rng)
+	}
+	key := zooCacheKey{
+		dataset:   cfg.Dataset,
+		trainN:    cfg.TrainN,
+		testN:     cfg.TestN,
+		epochs:    cfg.Epochs,
+		lr:        cfg.LR,
+		batchSize: cfg.BatchSize,
+		seed:      seed,
+		stream:    stream,
+		quantized: quantized,
+	}
+	zooCache.Lock()
+	e, ok := zooCache.m[key]
+	if !ok {
+		e = &zooCacheEntry{}
+		zooCache.m[key] = e
+	}
+	zooCache.Unlock()
+	e.once.Do(func() {
+		if quantized {
+			// Reuse (or populate) the cached full-precision base; only the
+			// cheap quantize-and-score extension runs here.
+			base, err := cachedZoo(cfg, seed, stream, false)
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.zoo, e.err = quantizedFromBase(cfg, base, numeric.SplitRNG(seed, stream))
+			return
+		}
+		e.zoo, e.err = NewTrainedZoo(cfg, numeric.SplitRNG(seed, stream))
+	})
+	return e.zoo, e.err
+}

@@ -1,0 +1,213 @@
+package models
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+// tinyZooConfig keeps the cache tests' cold builds cheap.
+func tinyZooConfig(spec dataset.Spec) TrainedZooConfig {
+	return TrainedZooConfig{
+		Dataset:   spec,
+		TrainN:    60,
+		TestN:     50,
+		Epochs:    1,
+		LR:        0.05,
+		BatchSize: 16,
+	}
+}
+
+// zoosBitIdentical fails unless the two zoos' infos and per-sample caches
+// match bit for bit (the full observable surface of a Zoo).
+func zoosBitIdentical(t *testing.T, name string, got, want *TrainedZoo) {
+	t.Helper()
+	if got.NumModels() != want.NumModels() {
+		t.Fatalf("%s: %d models, want %d", name, got.NumModels(), want.NumModels())
+	}
+	for n := 0; n < got.NumModels(); n++ {
+		if got.infos[n] != want.infos[n] {
+			t.Fatalf("%s: model %d info %+v, want %+v", name, n, got.infos[n], want.infos[n])
+		}
+		if math.Float64bits(got.meanLoss[n]) != math.Float64bits(want.meanLoss[n]) {
+			t.Fatalf("%s: model %d mean loss %v, want %v", name, n, got.meanLoss[n], want.meanLoss[n])
+		}
+		if math.Float64bits(got.meanAcc[n]) != math.Float64bits(want.meanAcc[n]) {
+			t.Fatalf("%s: model %d mean acc %v, want %v", name, n, got.meanAcc[n], want.meanAcc[n])
+		}
+		for s := range got.losses[n] {
+			if math.Float64bits(got.losses[n][s]) != math.Float64bits(want.losses[n][s]) {
+				t.Fatalf("%s: model %d sample %d loss %v, want %v", name, n, s, got.losses[n][s], want.losses[n][s])
+			}
+			if got.correct[n][s] != want.correct[n][s] {
+				t.Fatalf("%s: model %d sample %d correctness mismatch", name, n, s)
+			}
+		}
+	}
+}
+
+func TestCachedZooHitIsBitIdenticalToColdBuild(t *testing.T) {
+	cfg := tinyZooConfig(dataset.MNISTLike)
+	const seed, stream = 9001, "cache-test-cold"
+
+	cold, err := NewTrainedZoo(cfg, numeric.SplitRNG(seed, stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := CachedTrainedZoo(cfg, seed, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoosBitIdentical(t, "cached-vs-cold", cached, cold)
+
+	again, err := CachedTrainedZoo(cfg, seed, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cached {
+		t.Fatal("second lookup of the same key rebuilt the zoo")
+	}
+}
+
+func TestCachedQuantizedZooHitIsBitIdenticalToColdBuild(t *testing.T) {
+	cfg := tinyZooConfig(dataset.MNISTLike)
+	const seed, stream = 9002, "cache-test-q8"
+
+	cold, err := NewQuantizedTrainedZoo(cfg, numeric.SplitRNG(seed, stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := CachedQuantizedTrainedZoo(cfg, seed, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoosBitIdentical(t, "cached-q8-vs-cold", cached, cold)
+
+	// The quantized entry must layer on the cached full-precision base,
+	// sharing its networks rather than retraining them.
+	base, err := CachedTrainedZoo(cfg, seed, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < base.NumModels(); n++ {
+		if cached.nets[n] != base.nets[n] {
+			t.Fatalf("quantized zoo model %d is not the cached base network", n)
+		}
+	}
+}
+
+func TestCachedZooDistinctKeysMiss(t *testing.T) {
+	cfg := tinyZooConfig(dataset.MNISTLike)
+	const seed, stream = 9003, "cache-test-miss"
+	z, err := CachedTrainedZoo(cfg, seed, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherSeed, err := CachedTrainedZoo(cfg, seed+1, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherSeed == z {
+		t.Fatal("different seed hit the same cache entry")
+	}
+	otherStream, err := CachedTrainedZoo(cfg, seed, stream+"-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherStream == z {
+		t.Fatal("different stream hit the same cache entry")
+	}
+	otherCfg := cfg
+	otherCfg.Epochs = 2
+	changed, err := CachedTrainedZoo(otherCfg, seed, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == z {
+		t.Fatal("different config hit the same cache entry")
+	}
+	if q, err := CachedQuantizedTrainedZoo(cfg, seed, stream); err != nil {
+		t.Fatal(err)
+	} else if q == z {
+		t.Fatal("quantized lookup returned the full-precision entry")
+	}
+}
+
+func TestCachedZooPinnedDistBypassesCache(t *testing.T) {
+	cfg := tinyZooConfig(dataset.MNISTLike)
+	dist, err := dataset.NewDistribution(cfg.Dataset, numeric.SplitRNG(9004, "cache-test-dist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dist = dist
+	a, err := CachedTrainedZoo(cfg, 9004, "cache-test-pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedTrainedZoo(cfg, 9004, "cache-test-pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pinned-Dist config was cached (Dist is pointer-identified, not content-keyed)")
+	}
+	zoosBitIdentical(t, "pinned-dist-rebuild", a, b)
+}
+
+// TestCachedZooConcurrent exercises the single-flight path from many
+// goroutines (figure workers build zoos concurrently); `make check` runs
+// this under -race.
+func TestCachedZooConcurrent(t *testing.T) {
+	cfg := tinyZooConfig(dataset.MNISTLike)
+	const seed, stream = 9005, "cache-test-race"
+	const workers = 8
+	zoos := make([]*TrainedZoo, workers)
+	quantized := make([]*TrainedZoo, workers)
+	errs := make([]error, 2*workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			zoos[i], errs[2*i] = CachedTrainedZoo(cfg, seed, stream)
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			quantized[i], errs[2*i+1] = CachedQuantizedTrainedZoo(cfg, seed, stream)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < workers; i++ {
+		if zoos[i] != zoos[0] {
+			t.Fatalf("worker %d got a different zoo instance", i)
+		}
+		if quantized[i] != quantized[0] {
+			t.Fatalf("worker %d got a different quantized zoo instance", i)
+		}
+	}
+	// Every concurrent reader can consume the shared zoo's full surface.
+	var wg2 sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			z := zoos[0]
+			idx := []int{0, 1, 2}
+			for n := 0; n < z.NumModels(); n++ {
+				z.Info(n)
+				z.MeanLoss(n)
+				z.BatchLoss(n, idx, nil)
+			}
+		}()
+	}
+	wg2.Wait()
+}

@@ -28,6 +28,15 @@ func NewQuantizedTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, 
 	if err != nil {
 		return nil, err
 	}
+	return quantizedFromBase(cfg, base, rng)
+}
+
+// quantizedFromBase layers the int8 variants on an already-trained base
+// zoo. The result does not depend on rng's state: cloneNetwork consumes
+// draws rebuilding each architecture, but the wire-format round-trip then
+// overwrites every parameter tensor, so a cached base plus any RNG stream
+// yields bit-identical quantized zoos (pinned by the cache tests).
+func quantizedFromBase(cfg TrainedZooConfig, base *TrainedZoo, rng *rand.Rand) (*TrainedZoo, error) {
 	n := base.NumModels()
 	z := &TrainedZoo{
 		testPool: base.testPool,

@@ -3,6 +3,7 @@ package models
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/carbonedge/carbonedge/internal/dataset"
 	"github.com/carbonedge/carbonedge/internal/energy"
@@ -140,17 +141,54 @@ func NewTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, error) {
 	// Train every model and evaluate it over the full test pool once,
 	// through the chunked batched scorer (bit-identical to the old
 	// per-sample loop, just faster).
-	arena := nn.NewArena()
-	for n, net := range nets {
-		if _, err := nn.Train(net, ds.Train, nn.TrainConfig{
-			Epochs:    cfg.Epochs,
-			BatchSize: cfg.BatchSize,
-			LR:        cfg.LR,
-			Loss:      nn.LossCrossEntropy,
-		}, rng); err != nil {
-			return nil, fmt.Errorf("train %s: %w", net.Name, err)
+	//
+	// The models train in parallel: the shared zoo RNG feeds nothing but the
+	// per-epoch sample shuffles, so every shuffle's swap sequence is
+	// pre-recorded here in the serial loop's exact draw order and replayed
+	// inside the workers. Each model's arithmetic is otherwise independent
+	// (family nets share no state; dropout masks, where present, come from
+	// layer-owned RNGs), so the trained weights, the score caches, and the
+	// RNG state handed back to the caller all match the serial build bit for
+	// bit regardless of scheduling.
+	swaps := make([][][][2]int, len(nets)) // [model][epoch][]{i, j}
+	for n := range nets {
+		swaps[n] = make([][][2]int, cfg.Epochs)
+		for e := 0; e < cfg.Epochs; e++ {
+			var rec [][2]int
+			rng.Shuffle(len(ds.Train), func(i, j int) { rec = append(rec, [2]int{i, j}) })
+			swaps[n][e] = rec
 		}
-		z.losses[n], z.correct[n], z.meanLoss[n], z.meanAcc[n] = scorePool(net, ds.Test, arena)
+	}
+	errs := make([]error, len(nets))
+	var wg sync.WaitGroup
+	for n := range nets {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			epoch := 0
+			replay := func(_ int, swap func(i, j int)) {
+				for _, s := range swaps[n][epoch] {
+					swap(s[0], s[1])
+				}
+				epoch++
+			}
+			if _, err := nn.TrainShuffled(nets[n], ds.Train, nn.TrainConfig{
+				Epochs:    cfg.Epochs,
+				BatchSize: cfg.BatchSize,
+				LR:        cfg.LR,
+				Loss:      nn.LossCrossEntropy,
+			}, replay); err != nil {
+				errs[n] = fmt.Errorf("train %s: %w", nets[n].Name, err)
+				return
+			}
+			z.losses[n], z.correct[n], z.meanLoss[n], z.meanAcc[n] = scorePool(nets[n], ds.Test, nn.NewArena())
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Derive the paper-calibrated metadata from real parameter/FLOP counts.

@@ -98,6 +98,15 @@ func (a *Arena) View(data []float64, shape ...int) *Tensor {
 	return t
 }
 
+// zeroFloats clears s (the compiler lowers the range-clear to memclr).
+// Arena buffers are handed out dirty, so every batched accumulation target
+// clears explicitly before its += loop.
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
 // header hands out a recycled tensor header.
 func (a *Arena) header() *Tensor {
 	if a.nten == len(a.tensors) {

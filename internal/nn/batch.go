@@ -26,6 +26,63 @@ func (n *Network) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	return out
 }
 
+// ForwardBatchTrain runs all layers on a batch in training mode, recording
+// per-layer backward state in the arena (valid until its next Reset).
+// Dropout masks are pre-drawn sample-major across the network's dropout
+// layers before any layer runs, so the RNG consumes draws in the per-sample
+// loop's exact (sample, layer) order and batched training stays
+// bit-identical to it even with several dropout layers.
+func (n *Network) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	n.predrawDropoutMasks(in, a)
+	out := in
+	for _, l := range n.Layers {
+		out = l.ForwardBatchTrain(out, a)
+	}
+	return out
+}
+
+// predrawDropoutMasks fills every active dropout layer's batch mask in
+// sample-major order. The common no-dropout case is one type check per layer
+// and no allocation.
+func (n *Network) predrawDropoutMasks(in *Tensor, a *Arena) {
+	var drops []*Dropout
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dropout); ok && d.active() {
+			drops = append(drops, d)
+		}
+	}
+	if len(drops) == 0 {
+		return
+	}
+	batch := in.Shape[0]
+	shape := in.Shape[1:]
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dropout); ok && d.active() {
+			feat := 1
+			for _, dim := range shape {
+				feat *= dim
+			}
+			d.allocBatchMask(batch, feat, a)
+		}
+		shape = l.OutShape(shape)
+	}
+	for s := 0; s < batch; s++ {
+		for _, d := range drops {
+			d.drawMaskRow(s)
+		}
+	}
+}
+
+// BackwardBatch propagates a [B, classes] logits-gradient through all layers
+// in reverse, accumulating each layer's parameter gradients across the whole
+// batch exactly as a per-sample Backward loop would.
+func (n *Network) BackwardBatch(gradLogits *Tensor, a *Arena) {
+	g := gradLogits
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].BackwardBatch(g, a)
+	}
+}
+
 // ArgmaxRow returns the index of the largest element of one logits row,
 // replicating Tensor.MaxIndex (first maximum wins via strict >).
 func ArgmaxRow(row []float64) int {
@@ -62,6 +119,46 @@ func SoftmaxRowInto(dst, row []float64) {
 	for i := range dst {
 		dst[i] /= sum
 	}
+}
+
+// CrossEntropyLossRow computes CrossEntropyLoss for one logits row, writing
+// the logits gradient into gradRow (len == len(row)). The float op sequence
+// replays the per-sample version exactly: softmax into the gradient buffer,
+// -log(p[label]+eps), then the one-hot subtraction.
+func CrossEntropyLossRow(row []float64, label int, gradRow []float64) float64 {
+	SoftmaxRowInto(gradRow, row)
+	const eps = 1e-12
+	loss := -math.Log(gradRow[label] + eps)
+	gradRow[label] -= 1
+	return loss
+}
+
+// SquaredLossRowGrad computes SquaredLoss for one logits row, writing the
+// logits gradient into gradRow and using scratch (len >= len(row)) for the
+// softmax probabilities. The diff vector is staged in gradRow and then
+// overwritten in ascending index order, replaying the per-sample op sequence
+// term for term.
+func SquaredLossRowGrad(row []float64, label int, gradRow, scratch []float64) float64 {
+	p := scratch[:len(row)]
+	SoftmaxRowInto(p, row)
+	loss := 0.0
+	for k, pk := range p {
+		y := 0.0
+		if k == label {
+			y = 1
+		}
+		d := pk - y
+		gradRow[k] = d
+		loss += d * d
+	}
+	dot := 0.0
+	for k := range p {
+		dot += 2 * gradRow[k] * p[k]
+	}
+	for j := range p {
+		gradRow[j] = p[j] * (2*gradRow[j] - dot)
+	}
+	return loss
 }
 
 // SquaredLossRow returns the value of SquaredLoss for one logits row using

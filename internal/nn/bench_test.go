@@ -48,6 +48,35 @@ func benchConv(b *testing.B, naive bool) {
 func BenchmarkConvForward(b *testing.B)      { benchConv(b, false) }
 func BenchmarkConvForwardNaive(b *testing.B) { benchConv(b, true) }
 
+// benchTrainEpoch measures one SGD epoch over 256 samples on the family's
+// small-CNN shape; the Naive variant is the retained per-sample reference,
+// so the TrainEpoch/TrainEpochNaive ratio is the batched-training speedup.
+func benchTrainEpoch(b *testing.B, naive bool) {
+	rng := rand.New(rand.NewSource(21))
+	net := BuildCNN("bench-train", []int{1, 14, 14}, 8, 16, 32, 10, rng)
+	samples := make([]Sample, 256)
+	for i := range samples {
+		samples[i] = Sample{X: randTensor(rng, 1, 14, 14), Label: rng.Intn(10)}
+	}
+	cfg := TrainConfig{Epochs: 1, BatchSize: 16, LR: 0.05}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if naive {
+			_, err = trainNaive(net, samples, cfg, rand.New(rand.NewSource(22)))
+		} else {
+			_, err = Train(net, samples, cfg, rand.New(rand.NewSource(22)))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B)      { benchTrainEpoch(b, false) }
+func BenchmarkTrainEpochNaive(b *testing.B) { benchTrainEpoch(b, true) }
+
 func BenchmarkNetworkForwardBatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	net := BuildCNN("bench-cnn", []int{1, 14, 14}, 8, 16, 64, 10, rng)

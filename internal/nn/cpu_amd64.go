@@ -1,0 +1,31 @@
+//go:build amd64
+
+package nn
+
+// Runtime CPU feature detection for the wider SIMD kernels. AVX2 is not part
+// of the amd64 baseline, so the AVX2 paths dispatch behind this flag; the
+// SSE2 paths need no check. Dispatch cannot affect results: every kernel
+// variant performs the identical per-element IEEE operations in the identical
+// order (see simd_amd64.go), so a run on a pre-AVX2 host is bit-for-bit the
+// same as a run here — only slower.
+
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+var hasAVX2 = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const osxsave, avx = 1 << 27, 1 << 28
+	if _, _, c, _ := cpuid(1, 0); c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	// The OS must save/restore XMM and YMM state (XCR0 bits 1 and 2).
+	if eax, _ := xgetbv0(); eax&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}()

@@ -15,6 +15,13 @@ type Dropout struct {
 
 	training bool
 	mask     []float64
+	// maskBatch is the batched training mask: batchFeat scale factors per
+	// sample, pre-drawn sample-major by Network.ForwardBatchTrain so the RNG
+	// consumes draws in the per-sample loop's exact (sample, layer) order.
+	// It points into the training arena (valid until its Reset); nil when
+	// the last batched forward was an inactive identity.
+	maskBatch []float64
+	batchFeat int
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -66,6 +73,69 @@ func (d *Dropout) ForwardBatch(in *Tensor, _ *Arena) *Tensor {
 		panic("nn: Dropout.ForwardBatch called in training mode")
 	}
 	return in
+}
+
+// active reports whether dropout currently transforms activations.
+func (d *Dropout) active() bool { return d.training && d.p != 0 }
+
+// allocBatchMask reserves the batched mask (batch rows of feat factors) in
+// the arena ahead of the layer-major forward pass.
+func (d *Dropout) allocBatchMask(batch, feat int, a *Arena) {
+	d.maskBatch = a.Floats(batch * feat)
+	d.batchFeat = feat
+}
+
+// drawMaskRow draws sample s's mask row, replaying Forward's per-element
+// draw sequence exactly (one Float64 per activation, kept iff < keep).
+func (d *Dropout) drawMaskRow(s int) {
+	keep := 1 - d.p
+	inv := 1 / keep
+	row := d.maskBatch[s*d.batchFeat : (s+1)*d.batchFeat]
+	for i := range row {
+		if d.rng.Float64() < keep {
+			row[i] = inv
+		} else {
+			row[i] = 0
+		}
+	}
+}
+
+// ForwardBatchTrain implements Layer: identity when inactive, otherwise it
+// applies the pre-drawn batch mask — kept activations scale by 1/(1-p),
+// dropped ones are written as literal zeros so the output bits match
+// Forward's zero-initialized tensor (never v*0, which can produce -0).
+func (d *Dropout) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	if !d.active() {
+		d.maskBatch = nil
+		return in
+	}
+	if d.maskBatch == nil {
+		//lint:allow panicpolicy batched training path: an undrawn mask means the caller bypassed Network.ForwardBatchTrain, a programmer error with no error channel
+		panic("nn: Dropout.ForwardBatchTrain without pre-drawn masks; drive training batches through Network.ForwardBatchTrain")
+	}
+	out := a.Tensor(in.Shape...)
+	for i, v := range in.Data {
+		if m := d.maskBatch[i]; m != 0 {
+			out.Data[i] = v * m
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// BackwardBatch implements Layer: like Backward, the gradient is multiplied
+// by the mask at every element (including zeros, so -0 products round
+// identically to the per-sample path).
+func (d *Dropout) BackwardBatch(gradOut *Tensor, a *Arena) *Tensor {
+	if d.maskBatch == nil {
+		return gradOut
+	}
+	gradIn := a.Tensor(gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		gradIn.Data[i] = g * d.maskBatch[i]
+	}
+	return gradIn
 }
 
 // Backward implements Layer.

@@ -131,6 +131,79 @@ func GemmNTBiasI(out, a, b, bias []float64, m, n, k int) {
 	}
 }
 
+// GemmNNBiasI computes out[i*n+j] = bias[i] + sum_c a[i*k+c]*bt[c*n+j] for
+// an m-by-k row-major matrix a and a k-by-n row-major matrix bt. It is
+// GemmNTBiasI with the patch matrix pre-transposed (bt = b transposed, see
+// im2colT): every output element still starts from the bias and accumulates
+// its K products strictly in index order, so results are bit-identical to
+// GemmNTBiasI — but adjacent output columns now read adjacent bt elements,
+// so eight columns accumulate side by side in SIMD registers (nnDot8SIMD)
+// without any sum being split or reordered. bias must have length m.
+func GemmNNBiasI(out, a, bt, bias []float64, m, n, k int) {
+	GemmNNBiasILd(out, a, bt, bias, m, n, k, n)
+}
+
+// GemmNNBiasILd is GemmNNBiasI over a column sub-view of a wider bt matrix:
+// bt rows are read at stride ld (>= n), so a batch can pack every sample's
+// im2colT columns side by side and convolve each sample's slice straight
+// into its own output rows. Groups of four output rows go through the 4x8
+// register tile (gemmNNQuadI); the remainder runs row by row.
+func GemmNNBiasILd(out, a, bt, bias []float64, m, n, k, ld int) {
+	i := gemmNNQuadI(out, a, bt, bias, m, n, k, ld)
+	for ; i < m; i++ {
+		gemmNNRowI(out[i*n:i*n+n], bias[i], a[i*k:i*k+k], bt, n, ld)
+	}
+}
+
+// GemmNNAccI accumulates an NN-form product in place:
+// out[i*n+j] += sum_c a[i*k+c]*bt[c*ld+j]. Each output element continues
+// its own running sum with c strictly ascending, so calling this once per
+// sample replays a per-sample accumulation loop bit for bit. It is the
+// batched weight-gradient kernel: a holds one sample's output-channel
+// gradients, bt the recorded im2col rows (c walks output pixels).
+func GemmNNAccI(out, a, bt []float64, m, n, k, ld int) {
+	i := gemmNNQuadAcc(out, a, bt, m, n, k, ld)
+	for ; i < m; i++ {
+		gemmNNAccRow(out[i*n:i*n+n], a[i*k:i*k+k], bt, n, ld)
+	}
+}
+
+// GemmNNBiasJ computes out[i*n+j] = bias[j] + sum_c a[i*k+c]*bt[c*n+j]: the
+// Dense orientation of GemmNNBiasI, consuming the weight matrix transposed
+// (bt[c*n+j] = w[j*k+c]) so adjacent output units read adjacent elements.
+// Each output's accumulation starts at its bias and walks c strictly
+// ascending — the exact dot sequence of GemmNTBiasJ, so results are
+// bit-identical. bias must have length n.
+func GemmNNBiasJ(out, a, bt, bias []float64, m, n, k int) {
+	i := gemmNNQuadJ(out, a, bt, bias, m, n, k, n)
+	for ; i < m; i++ {
+		gemmNNRowJ(out[i*n:i*n+n], bias, a[i*k:i*k+k], bt, n, n)
+	}
+}
+
+// im2colT writes one CHW sample into the transposed patch matrix consumed by
+// GemmNNBiasI: dst[c*ld + off + p] = the c-th element of output pixel p's
+// receptive field, with c in (ic, ky, kx) order and p walking output pixels
+// row-major — the same (p, c) values as im2col, laid out c-major so the GEMM
+// inner loop streams contiguous rows. ld is the row stride (>= off + oh*ow),
+// letting a batch pack every sample's columns side by side in one matrix.
+// Each (c, y) run is a contiguous ow-length copy from the source row.
+func im2colT(dst []float64, off, ld int, src []float64, inC, h, w, kh, oh, ow int) {
+	c := 0
+	for ic := 0; ic < inC; ic++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kh; kx++ {
+				base := c*ld + off
+				for y := 0; y < oh; y++ {
+					srow := src[(ic*h+y+ky)*w+kx : (ic*h+y+ky)*w+kx+ow]
+					copy(dst[base+y*ow:base+y*ow+ow], srow)
+				}
+				c++
+			}
+		}
+	}
+}
+
 // im2col lowers one CHW sample to the patch matrix the convolution GEMM
 // consumes: dst[p*kk+c] = the c-th element of output pixel p's receptive
 // field, where p walks the output pixels row-major (y, then x) and c walks
@@ -139,6 +212,25 @@ func GemmNTBiasI(out, a, b, bias []float64, m, n, k int) {
 // the naive float summation term for term. dst must have oh*ow*inC*kh*kh
 // elements.
 func im2col(dst, src []float64, inC, h, w, kh, oh, ow int) {
+	if kh == 3 {
+		di := 0
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				for ic := 0; ic < inC; ic++ {
+					base := (ic*h+y)*w + x
+					r0 := src[base : base+3]
+					r1 := src[base+w : base+w+3]
+					r2 := src[base+2*w : base+2*w+3]
+					d := dst[di : di+9]
+					d[0], d[1], d[2] = r0[0], r0[1], r0[2]
+					d[3], d[4], d[5] = r1[0], r1[1], r1[2]
+					d[6], d[7], d[8] = r2[0], r2[1], r2[2]
+					di += 9
+				}
+			}
+		}
+		return
+	}
 	di := 0
 	for y := 0; y < oh; y++ {
 		for x := 0; x < ow; x++ {

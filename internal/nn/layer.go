@@ -9,8 +9,10 @@ import (
 // Layer is one differentiable stage of a network. Forward consumes an input
 // tensor and produces an output tensor; Backward consumes the gradient of
 // the loss w.r.t. the output and returns the gradient w.r.t. the input,
-// accumulating parameter gradients internally. Layers process one sample at
-// a time; minibatching is handled by the trainer accumulating gradients.
+// accumulating parameter gradients internally. The per-sample pair
+// (Forward/Backward) and the batched pair (ForwardBatchTrain/BackwardBatch)
+// are bit-for-bit interchangeable: training a minibatch through either path
+// produces identical parameter gradients (train_equiv_test.go pins this).
 type Layer interface {
 	// Forward runs the layer on one sample.
 	Forward(in *Tensor) *Tensor
@@ -20,6 +22,20 @@ type Layer interface {
 	// float operations replay Forward exactly, so batched and per-sample
 	// inference agree bit for bit at every batch size.
 	ForwardBatch(in *Tensor, a *Arena) *Tensor
+	// ForwardBatchTrain is ForwardBatch recording the per-sample state
+	// BackwardBatch needs (inputs, pooling argmaxes, masks). The recorded
+	// state lives in the arena or points into it, so it is only valid until
+	// the arena's next Reset — forward, loss, and backward of one minibatch
+	// must share one Reset window.
+	ForwardBatchTrain(in *Tensor, a *Arena) *Tensor
+	// BackwardBatch back-propagates a [B, d...] output gradient from the
+	// most recent ForwardBatchTrain call and returns the [B, ...] input
+	// gradient. Parameter gradients accumulate across the batch in strictly
+	// ascending sample order, and within a sample in Backward's exact
+	// per-accumulator term order — the same "never split or reorder an
+	// accumulation" discipline as the GEMM kernels — so the accumulated
+	// gradients equal a per-sample Forward/Backward loop bit for bit.
+	BackwardBatch(gradOut *Tensor, a *Arena) *Tensor
 	// Backward back-propagates the output gradient from the most recent
 	// Forward call and returns the input gradient.
 	Backward(gradOut *Tensor) *Tensor
@@ -38,9 +54,10 @@ type Layer interface {
 type Dense struct {
 	InDim, OutDim int
 
-	w, b   *Tensor
-	gw, gb *Tensor
-	lastIn *Tensor
+	w, b        *Tensor
+	gw, gb      *Tensor
+	lastIn      *Tensor
+	lastInBatch *Tensor
 }
 
 var _ Layer = (*Dense)(nil)
@@ -90,7 +107,10 @@ func (d *Dense) forwardNaive(in *Tensor) *Tensor {
 	return out
 }
 
-// ForwardBatch implements Layer: one GEMM over the whole batch.
+// ForwardBatch implements Layer: one GEMM over the whole batch. Batches of
+// four or more amortize transposing the weights into arena scratch, which
+// turns the GEMM into the SIMD NN form (GemmNNBiasJ, bit-identical to
+// GemmNTBiasJ); tiny batches keep the transpose-free kernel.
 func (d *Dense) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	batch := in.Shape[0]
 	if in.Len() != batch*d.InDim {
@@ -98,59 +118,88 @@ func (d *Dense) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 		panic(fmt.Sprintf("nn: Dense expected %d inputs per sample, got shape %v", d.InDim, in.Shape))
 	}
 	out := a.Tensor(batch, d.OutDim)
-	GemmNTBiasJ(out.Data, in.Data, d.w.Data, d.b.Data, batch, d.OutDim, d.InDim)
+	if batch < 4 {
+		GemmNTBiasJ(out.Data, in.Data, d.w.Data, d.b.Data, batch, d.OutDim, d.InDim)
+		return out
+	}
+	wT := a.Floats(d.InDim * d.OutDim)
+	transposeSIMD(wT, d.w.Data, d.OutDim, d.InDim)
+	GemmNNBiasJ(out.Data, in.Data, wT, d.b.Data, batch, d.OutDim, d.InDim)
 	return out
 }
 
-// Backward implements Layer, blocked four output units per pass so each
-// input activation and each gradIn element is loaded once per four o's.
-// Every accumulator still receives its terms as separate adds in strictly
-// increasing o order — the chained s += g*row[i] statements round exactly
-// like the unblocked loop — so gradients are bit-identical.
+// ForwardBatchTrain implements Layer: the inference GEMM plus recording the
+// input batch for BackwardBatch.
+func (d *Dense) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	d.lastInBatch = in
+	return d.ForwardBatch(in, a)
+}
+
+// BackwardBatch implements Layer. Batches of four or more run as two
+// NN-form GEMMs whose per-element add sequences equal
+// the per-sample backwardRow loop exactly: the input gradient
+// gi[s][i] = sum_o gout[s][o]*w[o][i] walks o strictly ascending
+// (backwardRow's axpy order, with w consumed directly as the transposed
+// operand), and the weight gradient gw[o][i] += sum_s goutT[o][s]*in[s][i]
+// walks samples strictly ascending (the per-sample accumulation order).
+// gb accumulates from the same transposed gradient, samples ascending.
+// Tiny batches keep the row loop — both paths produce identical bits.
+func (d *Dense) BackwardBatch(gradOut *Tensor, a *Arena) *Tensor {
+	batch := gradOut.Shape[0]
+	gradIn := a.Tensor(batch, d.InDim)
+	if batch < 4 {
+		for s := 0; s < batch; s++ {
+			gi := gradIn.Data[s*d.InDim : (s+1)*d.InDim]
+			zeroFloats(gi)
+			d.backwardRow(
+				gradOut.Data[s*d.OutDim:(s+1)*d.OutDim],
+				d.lastInBatch.Data[s*d.InDim:(s+1)*d.InDim],
+				gi,
+			)
+		}
+		return gradIn
+	}
+	// A zero per-row bias starts every gi accumulator at +0, the same value
+	// the zeroed-then-accumulated reference starts from, without paying a
+	// batch*InDim clear.
+	zb := a.Floats(batch)
+	zeroFloats(zb)
+	GemmNNBiasILd(gradIn.Data, gradOut.Data, d.w.Data, zb, batch, d.InDim, d.OutDim, d.InDim)
+	goutT := a.Floats(d.OutDim * batch)
+	transposeSIMD(goutT, gradOut.Data, batch, d.OutDim)
+	for o := 0; o < d.OutDim; o++ {
+		s := d.gb.Data[o]
+		for _, g := range goutT[o*batch : (o+1)*batch] {
+			s += g
+		}
+		d.gb.Data[o] = s
+	}
+	GemmNNAccI(d.gw.Data, goutT, d.lastInBatch.Data, d.OutDim, d.InDim, batch, d.InDim)
+	return gradIn
+}
+
+// Backward implements Layer.
 func (d *Dense) Backward(gradOut *Tensor) *Tensor {
 	gradIn := NewTensor(d.InDim)
-	gi := gradIn.Data
-	in := d.lastIn.Data
-	n := d.InDim
-	o := 0
-	for ; o+4 <= d.OutDim; o += 4 {
-		g0, g1, g2, g3 := gradOut.Data[o], gradOut.Data[o+1], gradOut.Data[o+2], gradOut.Data[o+3]
-		d.gb.Data[o] += g0
-		d.gb.Data[o+1] += g1
-		d.gb.Data[o+2] += g2
-		d.gb.Data[o+3] += g3
-		row0 := d.w.Data[(o+0)*n : (o+1)*n]
-		row1 := d.w.Data[(o+1)*n : (o+2)*n]
-		row2 := d.w.Data[(o+2)*n : (o+3)*n]
-		row3 := d.w.Data[(o+3)*n : (o+4)*n]
-		grow0 := d.gw.Data[(o+0)*n : (o+1)*n]
-		grow1 := d.gw.Data[(o+1)*n : (o+2)*n]
-		grow2 := d.gw.Data[(o+2)*n : (o+3)*n]
-		grow3 := d.gw.Data[(o+3)*n : (o+4)*n]
-		for i, x := range in {
-			grow0[i] += g0 * x
-			grow1[i] += g1 * x
-			grow2[i] += g2 * x
-			grow3[i] += g3 * x
-			s := gi[i]
-			s += g0 * row0[i]
-			s += g1 * row1[i]
-			s += g2 * row2[i]
-			s += g3 * row3[i]
-			gi[i] = s
-		}
-	}
-	for ; o < d.OutDim; o++ {
-		g := gradOut.Data[o]
-		d.gb.Data[o] += g
-		row := d.w.Data[o*n : (o+1)*n]
-		grow := d.gw.Data[o*n : (o+1)*n]
-		for i, x := range in {
-			grow[i] += g * x
-			gi[i] += g * row[i]
-		}
-	}
+	d.backwardRow(gradOut.Data, d.lastIn.Data, gradIn.Data)
 	return gradIn
+}
+
+// backwardRow is the shared one-sample backward kernel: it accumulates gw/gb
+// from (gradOut, in) and adds the input gradient into gi (callers pass a
+// zeroed gi). Both the per-sample and batched paths funnel through it, which
+// is what makes their gradients bit-identical by construction. Both inner
+// loops are axpys: each gw element gets one add per sample and each gi
+// element gets its adds in strictly increasing o order, the reference
+// accumulation sequence, so the SIMD kernels preserve bits exactly.
+func (d *Dense) backwardRow(gradOut, in, gi []float64) {
+	n := d.InDim
+	for o := 0; o < d.OutDim; o++ {
+		g := gradOut[o]
+		d.gb.Data[o] += g
+		axpySIMD(g, in, d.gw.Data[o*n:(o+1)*n])
+		axpySIMD(g, d.w.Data[o*n:(o+1)*n], gi)
+	}
 }
 
 // Params implements Layer.
@@ -173,10 +222,17 @@ type Conv2D struct {
 	w, b   *Tensor // w: [OutC, InC, K, K]
 	gw, gb *Tensor
 	lastIn *Tensor
-	// col is the layer-owned im2col scratch for single-sample Forward
-	// (training shares a network per caller, never across goroutines);
-	// grow-only, so steady-state forwards do not reallocate it.
-	col []float64
+	// fwd is the layer-owned arena backing single-sample Forward's im2col
+	// scratch AND its output tensor (training shares a network per caller,
+	// never across goroutines); grow-only, so steady-state forwards perform
+	// zero heap allocations. The returned output is therefore only valid
+	// until the layer's next Forward call — every in-repo consumer (the next
+	// layer's Forward, loss helpers) reads it immediately.
+	fwd Arena
+	// lastColBatch is the im2col batch recorded by ForwardBatchTrain for the
+	// weight-gradient accumulation in BackwardBatch; it points into the
+	// caller's arena and is valid until that arena's next Reset.
+	lastColBatch []float64
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -208,10 +264,13 @@ func (c *Conv2D) gwAdd(oc, ic, ky, kx int, v float64) {
 	c.gw.Data[((oc*c.InC+ic)*c.K+ky)*c.K+kx] += v
 }
 
-// Forward implements Layer: im2col then one GEMM. The im2col patch order
-// matches the naive loop's (ic, ky, kx) accumulation order and the GEMM
-// never splits the K dimension, so the output is bit-for-bit identical to
-// forwardNaive (pinned by the equivalence tests).
+// Forward implements Layer: transposed im2col then one NN-form GEMM. The
+// patch order matches the naive loop's (ic, ky, kx) accumulation order and
+// the GEMM never splits the K dimension, so the output is bit-for-bit
+// identical to forwardNaive (pinned by the equivalence tests). Output and
+// scratch live in the layer-owned arena: the returned tensor is valid until
+// the next Forward call on this layer, and steady-state calls do not
+// allocate.
 func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	if len(in.Shape) != 3 || in.Shape[0] != c.InC {
 		//lint:allow panicpolicy Layer.Forward hot path: a shape mismatch is a programmer error and the interface has no error channel
@@ -220,14 +279,13 @@ func (c *Conv2D) Forward(in *Tensor) *Tensor {
 	c.lastIn = in
 	h, w := in.Shape[1], in.Shape[2]
 	oh, ow := h-c.K+1, w-c.K+1
-	out := NewTensor(c.OutC, oh, ow)
 	kk := c.InC * c.K * c.K
-	if n := oh * ow * kk; cap(c.col) < n {
-		c.col = make([]float64, n)
-	}
-	col := c.col[:oh*ow*kk]
-	im2col(col, in.Data, c.InC, h, w, c.K, oh, ow)
-	GemmNTBiasI(out.Data, c.w.Data, col, c.b.Data, c.OutC, oh*ow, kk)
+	np := oh * ow
+	c.fwd.Reset()
+	out := c.fwd.Tensor(c.OutC, oh, ow)
+	colT := c.fwd.Floats(np * kk)
+	im2colT(colT, 0, np, in.Data, c.InC, h, w, c.K, oh, ow)
+	GemmNNBiasI(out.Data, c.w.Data, colT, c.b.Data, c.OutC, np, kk)
 	return out
 }
 
@@ -259,24 +317,135 @@ func (c *Conv2D) forwardNaive(in *Tensor) *Tensor {
 	return out
 }
 
-// ForwardBatch implements Layer: per-sample im2col into one arena buffer,
-// one GEMM per sample into the batched output.
+// ForwardBatch implements Layer: every sample's transposed im2col columns
+// are packed side by side into one wide matrix, and each sample's column
+// slice is convolved straight into its own [OutC, oh, ow] output rows with
+// the strided NN-form GEMM (GemmNNBiasILd) — no intermediate scratch or
+// permutation pass. Each output element's accumulation sequence is unchanged
+// from the per-sample GEMM, so outputs stay bit-identical.
 func (c *Conv2D) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	if len(in.Shape) != 4 || in.Shape[1] != c.InC {
 		//lint:allow panicpolicy Layer.ForwardBatch hot path: a shape mismatch is a programmer error and the interface has no error channel
 		panic(fmt.Sprintf("nn: Conv2D expected [B,%d,H,W], got %v", c.InC, in.Shape))
 	}
+	return c.forwardBatchNN(in, a)
+}
+
+func (c *Conv2D) forwardBatchNN(in *Tensor, a *Arena) *Tensor {
 	batch, h, w := in.Shape[0], in.Shape[2], in.Shape[3]
 	oh, ow := h-c.K+1, w-c.K+1
 	kk := c.InC * c.K * c.K
+	np := oh * ow
+	ld := batch * np
 	out := a.Tensor(batch, c.OutC, oh, ow)
-	col := a.Floats(oh * ow * kk)
-	inStride, outStride := c.InC*h*w, c.OutC*oh*ow
+	colT := a.Floats(kk * ld)
+	inStride := c.InC * h * w
 	for s := 0; s < batch; s++ {
-		im2col(col, in.Data[s*inStride:(s+1)*inStride], c.InC, h, w, c.K, oh, ow)
-		GemmNTBiasI(out.Data[s*outStride:(s+1)*outStride], c.w.Data, col, c.b.Data, c.OutC, oh*ow, kk)
+		im2colT(colT, s*np, ld, in.Data[s*inStride:(s+1)*inStride], c.InC, h, w, c.K, oh, ow)
+	}
+	outStride := c.OutC * np
+	for s := 0; s < batch; s++ {
+		GemmNNBiasILd(out.Data[s*outStride:(s+1)*outStride], c.w.Data, colT[s*np:], c.b.Data, c.OutC, np, kk, ld)
 	}
 	return out
+}
+
+// ForwardBatchTrain implements Layer: the batch-wide NN-form GEMM plus a
+// p-major im2col recording of every sample (in the caller's arena) so
+// BackwardBatch can accumulate weight gradients from contiguous patch rows.
+func (c *Conv2D) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	if len(in.Shape) != 4 || in.Shape[1] != c.InC {
+		//lint:allow panicpolicy Layer.ForwardBatchTrain hot path: a shape mismatch is a programmer error and the interface has no error channel
+		panic(fmt.Sprintf("nn: Conv2D expected [B,%d,H,W], got %v", c.InC, in.Shape))
+	}
+	out := c.forwardBatchNN(in, a)
+	batch, h, w := in.Shape[0], in.Shape[2], in.Shape[3]
+	oh, ow := h-c.K+1, w-c.K+1
+	colStride := oh * ow * c.InC * c.K * c.K
+	c.lastColBatch = a.Floats(batch * colStride)
+	inStride := c.InC * h * w
+	for s := 0; s < batch; s++ {
+		im2col(c.lastColBatch[s*colStride:(s+1)*colStride],
+			in.Data[s*inStride:(s+1)*inStride], c.InC, h, w, c.K, oh, ow)
+	}
+	return out
+}
+
+// BackwardBatch implements Layer: per sample in ascending sample order,
+// backwardSample accumulates the weight, bias, and input gradients from the
+// recorded im2col rows — exactly Backward's per-element add order. The
+// pooling argmax scatter and ReLU masking upstream leave most gradient
+// entries zero, so the g == 0 skip (shared with Backward) prunes the bulk of
+// the work; a dense GEMM over the same rows was measured slower for exactly
+// that reason. The input gradient keeps Backward's naive scatter because a
+// col2im-style pre-reduction over output channels would reassociate sums.
+func (c *Conv2D) BackwardBatch(gradOut *Tensor, a *Arena) *Tensor {
+	batch, oh, ow := gradOut.Shape[0], gradOut.Shape[2], gradOut.Shape[3]
+	h, w := oh+c.K-1, ow+c.K-1
+	kk := c.InC * c.K * c.K
+	np := oh * ow
+	colStride := np * kk
+	gradIn := a.Tensor(batch, c.InC, h, w)
+	zeroFloats(gradIn.Data)
+	inStride, outStride := c.InC*h*w, c.OutC*np
+	for s := 0; s < batch; s++ {
+		g := gradOut.Data[s*outStride : (s+1)*outStride]
+		c.backwardSample(g, c.lastColBatch[s*colStride:(s+1)*colStride],
+			gradIn.Data[s*inStride:(s+1)*inStride], h, w, oh, ow)
+	}
+	return gradIn
+}
+
+// backwardSample accumulates one sample's contribution to gw and gb and adds
+// its input gradient into gi (callers pass a zeroed gi). It replays
+// Backward's loop nest — (oc, y, x) outer with the g == 0 skip, so each
+// gradient row is scanned exactly once — term for term: per surviving
+// element, gw gets one axpy over the patch's im2col row (the (ic, ky, kx)
+// order Backward walks), then gi gets the weight-row scatter, with the
+// ubiquitous 3x3 case handled by the fused conv3x3BwdSIMD kernel.
+func (c *Conv2D) backwardSample(g, col, gi []float64, h, w, oh, ow int) {
+	kk := c.InC * c.K * c.K
+	for oc := 0; oc < c.OutC; oc++ {
+		wAll := c.w.Data[oc*kk : (oc+1)*kk]
+		gwAll := c.gw.Data[oc*kk : (oc+1)*kk]
+		for y := 0; y < oh; y++ {
+			grow := g[(oc*oh+y)*ow : (oc*oh+y)*ow+ow]
+			if c.K == 3 {
+				for x, gv := range grow {
+					if gv == 0 {
+						continue
+					}
+					c.gb.Data[oc] += gv
+					crow := col[(y*ow+x)*kk : (y*ow+x+1)*kk]
+					conv3x3BwdSIMD(gv, wAll, crow, gwAll, gi[y*w+x:], w, h*w, c.InC)
+				}
+				continue
+			}
+			for x, gv := range grow {
+				if gv == 0 {
+					continue
+				}
+				c.gb.Data[oc] += gv
+				crow := col[(y*ow+x)*kk : (y*ow+x+1)*kk]
+				if kk >= 48 {
+					axpySIMD(gv, crow, gwAll)
+				} else {
+					for i, cv := range crow {
+						gwAll[i] += gv * cv
+					}
+				}
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.K; ky++ {
+						giRow := gi[(ic*h+y+ky)*w+x:]
+						wRow := wAll[(ic*c.K+ky)*c.K:]
+						for kx := 0; kx < c.K; kx++ {
+							giRow[kx] += gv * wRow[kx]
+						}
+					}
+				}
+			}
+		}
+	}
 }
 
 // Backward implements Layer.
@@ -333,6 +502,10 @@ func (c *Conv2D) FLOPs(in []int) int64 {
 type MaxPool2D struct {
 	argmax  []int
 	inShape []int
+	// argmaxBatch points into the training arena (valid until its Reset);
+	// batchInShape is a layer-owned grow-only copy of the last batch shape.
+	argmaxBatch  []int
+	batchInShape []int
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -393,23 +566,70 @@ func (m *MaxPool2D) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 				row0 := src[(c*h+2*y)*w : (c*h+2*y)*w+w]
 				row1 := src[(c*h+2*y+1)*w : (c*h+2*y+1)*w+w]
 				drow := dst[(c*oh+y)*ow : (c*oh+y)*ow+ow]
+				pool2x2SIMD(drow, row0, row1)
+			}
+		}
+	}
+	return out
+}
+
+// ForwardBatchTrain implements Layer: the inference comparisons plus a
+// per-sample argmax record (sample-relative indices, mirroring Forward's
+// in-sample absolute indices and its strict-> tie-breaking).
+func (m *MaxPool2D) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	batch, ch, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := h/2, w/2
+	out := a.Tensor(batch, ch, oh, ow)
+	m.batchInShape = append(m.batchInShape[:0], in.Shape...)
+	inStride, outStride := ch*h*w, ch*oh*ow
+	m.argmaxBatch = a.Ints(batch * outStride)
+	for s := 0; s < batch; s++ {
+		src := in.Data[s*inStride : (s+1)*inStride]
+		dst := out.Data[s*outStride : (s+1)*outStride]
+		am := m.argmaxBatch[s*outStride : (s+1)*outStride]
+		for c := 0; c < ch; c++ {
+			for y := 0; y < oh; y++ {
+				base0 := (c*h + 2*y) * w
+				base1 := base0 + w
+				o := (c*oh + y) * ow
 				for x := 0; x < ow; x++ {
-					best := row0[2*x]
-					if v := row0[2*x+1]; v > best {
-						best = v
+					i00 := base0 + 2*x
+					best, bestIdx := src[i00], i00
+					if v := src[i00+1]; v > best {
+						best, bestIdx = v, i00+1
 					}
-					if v := row1[2*x]; v > best {
-						best = v
+					i10 := base1 + 2*x
+					if v := src[i10]; v > best {
+						best, bestIdx = v, i10
 					}
-					if v := row1[2*x+1]; v > best {
-						best = v
+					if v := src[i10+1]; v > best {
+						best, bestIdx = v, i10+1
 					}
-					drow[x] = best
+					dst[o+x] = best
+					am[o+x] = bestIdx
 				}
 			}
 		}
 	}
 	return out
+}
+
+// BackwardBatch implements Layer: Backward's argmax scatter per sample.
+func (m *MaxPool2D) BackwardBatch(gradOut *Tensor, a *Arena) *Tensor {
+	gradIn := a.Tensor(m.batchInShape...)
+	zeroFloats(gradIn.Data)
+	batch := m.batchInShape[0]
+	inStride := gradIn.Len() / batch
+	outStride := gradOut.Len() / batch
+	for s := 0; s < batch; s++ {
+		gi := gradIn.Data[s*inStride : (s+1)*inStride]
+		g := gradOut.Data[s*outStride : (s+1)*outStride]
+		am := m.argmaxBatch[s*outStride : (s+1)*outStride]
+		for o, idx := range am {
+			gi[idx] += g[o]
+		}
+	}
+	return gradIn
 }
 
 // Backward implements Layer.
@@ -439,7 +659,8 @@ func (m *MaxPool2D) FLOPs(in []int) int64 {
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	mask        []bool
+	lastInBatch *Tensor
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -469,14 +690,23 @@ func (r *ReLU) Forward(in *Tensor) *Tensor {
 // recording (inference-only).
 func (r *ReLU) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	out := a.Tensor(in.Shape...)
-	for i, v := range in.Data {
-		if v > 0 {
-			out.Data[i] = v
-		} else {
-			out.Data[i] = 0
-		}
-	}
+	reluFwdSIMD(out.Data, in.Data)
 	return out
+}
+
+// ForwardBatchTrain implements Layer: rectification recording the input
+// batch (v > 0 is the backward mask, recomputed from it).
+func (r *ReLU) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	r.lastInBatch = in
+	return r.ForwardBatch(in, a)
+}
+
+// BackwardBatch implements Layer: gradient passes where the input was
+// positive, literal zero elsewhere (matching Backward's zeroed gradIn).
+func (r *ReLU) BackwardBatch(gradOut *Tensor, a *Arena) *Tensor {
+	gradIn := a.Tensor(gradOut.Shape...)
+	reluBwdSIMD(gradIn.Data, gradOut.Data, r.lastInBatch.Data)
+	return gradIn
 }
 
 // Backward implements Layer.
@@ -510,7 +740,8 @@ func (r *ReLU) FLOPs(in []int) int64 {
 
 // Flatten reshapes any tensor to a vector.
 type Flatten struct {
-	inShape []int
+	inShape      []int
+	batchInShape []int
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -529,6 +760,18 @@ func (f *Flatten) Forward(in *Tensor) *Tensor {
 func (f *Flatten) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	batch := in.Shape[0]
 	return a.View(in.Data, batch, in.Len()/batch)
+}
+
+// ForwardBatchTrain implements Layer: the reshaping view plus recording the
+// batch shape for the backward reshape.
+func (f *Flatten) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	f.batchInShape = append(f.batchInShape[:0], in.Shape...)
+	return f.ForwardBatch(in, a)
+}
+
+// BackwardBatch implements Layer: a reshaping view back to the input shape.
+func (f *Flatten) BackwardBatch(gradOut *Tensor, a *Arena) *Tensor {
+	return a.View(gradOut.Data, f.batchInShape...)
 }
 
 // Backward implements Layer.

@@ -19,6 +19,10 @@ type LayerNorm struct {
 
 	lastNorm *Tensor // normalized activations x-hat of the last forward
 	lastStd  float64
+	// normBatch/stdBatch record x-hat and std per sample for BackwardBatch;
+	// both point into the training arena (valid until its Reset).
+	normBatch []float64
+	stdBatch  []float64
 }
 
 var _ Layer = (*LayerNorm)(nil)
@@ -100,6 +104,70 @@ func (l *LayerNorm) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 		}
 	}
 	return out
+}
+
+// ForwardBatchTrain implements Layer: ForwardBatch's per-row normalization
+// plus recording each row's x-hat and std for BackwardBatch.
+func (l *LayerNorm) ForwardBatchTrain(in *Tensor, a *Arena) *Tensor {
+	batch := in.Shape[0]
+	if in.Len() != batch*l.dim {
+		//lint:allow panicpolicy Layer.ForwardBatchTrain hot path: a shape mismatch is a programmer error and the interface has no error channel
+		panic(fmt.Sprintf("nn: LayerNorm batch expected %d features per sample, got %d", l.dim, in.Len()/batch))
+	}
+	out := a.Tensor(batch, l.dim)
+	l.normBatch = a.Floats(batch * l.dim)
+	l.stdBatch = a.Floats(batch)
+	for s := 0; s < batch; s++ {
+		row := in.Data[s*l.dim : (s+1)*l.dim]
+		dst := out.Data[s*l.dim : (s+1)*l.dim]
+		nrm := l.normBatch[s*l.dim : (s+1)*l.dim]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(l.dim)
+		varSum := 0.0
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		std := math.Sqrt(varSum/float64(l.dim) + l.eps)
+		l.stdBatch[s] = std
+		for i, v := range row {
+			nx := (v - mean) / std
+			nrm[i] = nx
+			dst[i] = l.gain.Data[i]*nx + l.bias.Data[i]
+		}
+	}
+	return out
+}
+
+// BackwardBatch implements Layer: Backward's per-sample op sequence replayed
+// row by row in ascending sample order (gGain/gBias accumulate identically).
+func (l *LayerNorm) BackwardBatch(gradOut *Tensor, a *Arena) *Tensor {
+	batch := gradOut.Shape[0]
+	gradIn := a.Tensor(batch, l.dim)
+	dxhat := a.Floats(l.dim)
+	n := float64(l.dim)
+	for s := 0; s < batch; s++ {
+		g := gradOut.Data[s*l.dim : (s+1)*l.dim]
+		nrm := l.normBatch[s*l.dim : (s+1)*l.dim]
+		gi := gradIn.Data[s*l.dim : (s+1)*l.dim]
+		var sumDxhat, sumDxhatXhat float64
+		for i := 0; i < l.dim; i++ {
+			gv := g[i]
+			l.gGain.Data[i] += gv * nrm[i]
+			l.gBias.Data[i] += gv
+			dxhat[i] = gv * l.gain.Data[i]
+			sumDxhat += dxhat[i]
+			sumDxhatXhat += dxhat[i] * nrm[i]
+		}
+		std := l.stdBatch[s]
+		for i := 0; i < l.dim; i++ {
+			gi[i] = (dxhat[i] - sumDxhat/n - nrm[i]*sumDxhatXhat/n) / std
+		}
+	}
+	return gradIn
 }
 
 // Backward implements Layer.

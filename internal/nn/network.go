@@ -68,10 +68,7 @@ func (n *Network) Step(lr float64, scale float64) {
 	for _, l := range n.Layers {
 		params, grads := l.Params(), l.Grads()
 		for i, p := range params {
-			g := grads[i]
-			for j := range p.Data {
-				p.Data[j] -= lr * g.Data[j] / scale
-			}
+			stepSIMD(lr, scale, grads[i].Data, p.Data)
 		}
 	}
 	n.ZeroGrads()

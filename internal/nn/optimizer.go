@@ -141,7 +141,9 @@ func (a *Adam) Step(net *Network, scale float64) {
 
 // TrainWith runs minibatch training like Train but with an explicit
 // optimizer instead of plain SGD. cfg.LR is ignored (the optimizer carries
-// its own rate); all other fields behave as in Train.
+// its own rate); all other fields behave as in Train. Like Train it drives
+// whole minibatches through the batched GEMM path with bit-identical
+// results to a per-sample loop.
 func TrainWith(net *Network, samples []Sample, cfg TrainConfig, opt Optimizer, rng interface {
 	Shuffle(n int, swap func(i, j int))
 }) (float64, error) {
@@ -157,42 +159,6 @@ func TrainWith(net *Network, samples []Sample, cfg TrainConfig, opt Optimizer, r
 	if cfg.Loss == 0 {
 		cfg.Loss = LossCrossEntropy
 	}
-	idx := make([]int, len(samples))
-	for i := range idx {
-		idx[i] = i
-	}
-	net.SetTraining(true)
-	defer net.SetTraining(false)
-	lastAvg := 0.0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		totalLoss := 0.0
-		for start := 0; start < len(idx); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(idx) {
-				end = len(idx)
-			}
-			net.ZeroGrads()
-			for _, si := range idx[start:end] {
-				s := samples[si]
-				logits := net.Forward(s.X)
-				var loss float64
-				var grad *Tensor
-				switch cfg.Loss {
-				case LossSquared:
-					loss, grad = SquaredLoss(logits, s.Label)
-				default:
-					loss, grad = CrossEntropyLoss(logits, s.Label)
-				}
-				totalLoss += loss
-				net.Backward(grad)
-			}
-			opt.Step(net, float64(end-start))
-		}
-		lastAvg = totalLoss / float64(len(idx))
-		if cfg.OnEpoch != nil {
-			cfg.OnEpoch(epoch, lastAvg)
-		}
-	}
-	return lastAvg, nil
+	return trainBatched(net, samples, cfg, rng.Shuffle,
+		func(batch float64) { opt.Step(net, batch) }, nil)
 }

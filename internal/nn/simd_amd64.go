@@ -1,0 +1,330 @@
+//go:build amd64
+
+package nn
+
+// SIMD kernels for the element-parallel hot loops. Bit-identity with the
+// scalar references is structural, not approximate: every output element is
+// produced by exactly the same IEEE-754 operations in the same order as the
+// scalar loop — SIMD only computes independent elements side by side, never
+// splits or reorders a single element's accumulation, and never uses FMA
+// (whose single rounding would differ from the scalar mul-then-add). SSE2 is
+// part of the amd64 baseline; the wider AVX2 variants dispatch behind
+// hasAVX2 (cpu_amd64.go) and perform the identical per-element operations,
+// so results do not depend on which variant ran. simd_generic.go carries the
+// scalar fallback for other architectures; simd_test.go pins every variant
+// against the scalar references bit for bit, including -0, NaN, and Inf
+// lanes and every tail length.
+//
+// One deliberate carve-out: NaN payload bits. When both operands of an add
+// or multiply are NaN, hardware propagates the first operand's payload, and
+// the Go compiler does not specify scalar operand order — so a kernel may
+// return a different NaN than the scalar loop (never a NaN where the scalar
+// is finite, or vice versa). No network computation produces NaN from the
+// finite inputs these kernels see, and the equivalence suites pin all real
+// data paths bit for bit.
+
+//go:noescape
+func axpySSE2(alpha float64, x, y []float64)
+
+//go:noescape
+func axpyAVX2(alpha float64, x, y []float64)
+
+//go:noescape
+func reluFwdSSE2(dst, src []float64)
+
+//go:noescape
+func reluFwdAVX2(dst, src []float64)
+
+//go:noescape
+func reluBwdSSE2(dst, grad, in []float64)
+
+//go:noescape
+func reluBwdAVX2(dst, grad, in []float64)
+
+//go:noescape
+func nnDot8SSE2(out, init, a, bt []float64, n int)
+
+//go:noescape
+func nnDot16AVX2(out, init, a, bt []float64, n int)
+
+//go:noescape
+func nnDot4x8AVX2(out []float64, on int, init, a []float64, k int, bt []float64, ld int)
+
+//go:noescape
+func pool2x2SSE2(dst, row0, row1 []float64)
+
+//go:noescape
+func conv3x3BwdSSE2(gv float64, wr, cr, gw, gi []float64, w, hw, inC int)
+
+//go:noescape
+func transpose2x2SSE2(dst, src []float64, rows, cols int)
+
+//go:noescape
+func stepSSE2(lr, scale float64, g, p []float64)
+
+//go:noescape
+func stepAVX2(lr, scale float64, g, p []float64)
+
+// axpySIMD computes y[i] += alpha * x[i] over len(y) elements.
+// x must be at least as long as y.
+func axpySIMD(alpha float64, x, y []float64) {
+	if hasAVX2 && len(y) >= 8 {
+		axpyAVX2(alpha, x, y)
+		return
+	}
+	axpySSE2(alpha, x, y)
+}
+
+// reluFwdSIMD computes dst[i] = max(src[i], 0): src[i] if src[i] > 0,
+// else +0 (also for NaN and -0 inputs, matching the scalar branch).
+// src must be at least as long as dst.
+func reluFwdSIMD(dst, src []float64) {
+	if hasAVX2 && len(dst) >= 8 {
+		reluFwdAVX2(dst, src)
+		return
+	}
+	reluFwdSSE2(dst, src)
+}
+
+// stepSIMD applies the SGD update p[i] -= lr*g[i]/scale: per element one
+// multiply, one divide, one subtract in that exact order (lr*g[i] is never
+// folded into (lr/scale)*g[i], which would round differently).
+// g must be at least as long as p.
+func stepSIMD(lr, scale float64, g, p []float64) {
+	if hasAVX2 && len(p) >= 8 {
+		stepAVX2(lr, scale, g, p)
+		return
+	}
+	stepSSE2(lr, scale, g, p)
+}
+
+// pool2x2SIMD computes one output row of a 2x2/stride-2 max pool:
+// dst[x] = the maximum of row0[2x], row0[2x+1], row1[2x], row1[2x+1],
+// scanned in that order with strict-> updates. MAXPD returns its source
+// operand on ties and NaN candidates, which with the running best as source
+// reproduces the scalar branch exactly — bit for bit, with no carve-outs
+// (the result is always one of the inputs, untouched). row0 and row1 must
+// have at least 2*len(dst) elements.
+func pool2x2SIMD(dst, row0, row1 []float64) {
+	pool2x2SSE2(dst, row0, row1)
+}
+
+// transposeSIMD writes dst[c*rows+r] = src[r*cols+c] — the out-of-place
+// matrix transpose behind the Dense NN-form GEMMs. The 2x2-block kernel
+// covers the even region (UNPCKLPD/UNPCKHPD, contiguous stores down two dst
+// rows); the odd row/column tails finish scalar. Pure data movement, so the
+// result is bit-exact trivially.
+func transposeSIMD(dst, src []float64, rows, cols int) {
+	r2, c2 := rows&^1, cols&^1
+	transpose2x2SSE2(dst, src, rows, cols)
+	for r := r2; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst[c*rows+r] = src[r*cols+c]
+		}
+	}
+	for c := c2; c < cols; c++ {
+		for r := 0; r < r2; r++ {
+			dst[c*rows+r] = src[r*cols+c]
+		}
+	}
+}
+
+// conv3x3BwdSIMD applies one surviving gradient element gv of a 3x3
+// convolution backward pass across all input channels: the weight gradient
+// gets gw[ic*9+j] += gv*cr[ic*9+j] (cr is the patch's im2col row) and the
+// input gradient gets gi[ic*hw + r*w + j] += gv*wr[ic*9+r*3+j] for the three
+// rows r of the receptive field. Each target element receives exactly one
+// mul-then-add, matching the scalar loops' per-accumulator sequences. gi
+// must be sliced at the scatter origin; w and hw are element strides.
+func conv3x3BwdSIMD(gv float64, wr, cr, gw, gi []float64, w, hw, inC int) {
+	conv3x3BwdSSE2(gv, wr, cr, gw, gi, w, hw, inC)
+}
+
+// reluBwdSIMD computes dst[i] = grad[i] if in[i] > 0, else +0.
+// grad and in must be at least as long as dst.
+func reluBwdSIMD(dst, grad, in []float64) {
+	if hasAVX2 && len(dst) >= 8 {
+		reluBwdAVX2(dst, grad, in)
+		return
+	}
+	reluBwdSSE2(dst, grad, in)
+}
+
+// nnDot8SIMD accumulates eight adjacent output columns of an NN-form GEMM
+// entirely in registers: out[l] = init[l] + sum_c a[c]*bt[c*n+l] for
+// l in [0, 8), with c strictly ascending per column (the reference dot
+// order — lanes are independent columns, no sum is ever split). out and
+// init must have at least 8 elements; bt at least (len(a)-1)*n+8.
+func nnDot8SIMD(out, init, a, bt []float64, n int) {
+	nnDot8SSE2(out, init, a, bt, n)
+}
+
+// gemmNNRowI computes one output row of an NN-form GEMM with a per-row bias:
+// orow[j] = bi + sum_c ar[c]*bt[c*ld+j] for j < n. Sixteen columns per pass
+// under AVX2, eight under SSE2, scalar for the tail — all the same
+// per-column dot order. ld is the bt row stride (>= n for sub-views).
+func gemmNNRowI(orow []float64, bi float64, ar, bt []float64, n, ld int) {
+	var init [16]float64
+	for l := range init {
+		init[l] = bi
+	}
+	j := 0
+	if hasAVX2 {
+		for ; j+16 <= n; j += 16 {
+			nnDot16AVX2(orow[j:j+16], init[:], ar, bt[j:], ld)
+		}
+	}
+	for ; j+8 <= n; j += 8 {
+		nnDot8SSE2(orow[j:j+8], init[:8], ar, bt[j:], ld)
+	}
+	for ; j < n; j++ {
+		s := bi
+		for c, av := range ar {
+			s += av * bt[c*ld+j]
+		}
+		orow[j] = s
+	}
+}
+
+// gemmNNRowJ is gemmNNRowI with a per-column bias: orow[j] = bias[j] + ...,
+// the Dense orientation. bias must have length n.
+func gemmNNRowJ(orow, bias, ar, bt []float64, n, ld int) {
+	j := 0
+	if hasAVX2 {
+		for ; j+16 <= n; j += 16 {
+			nnDot16AVX2(orow[j:j+16], bias[j:j+16], ar, bt[j:], ld)
+		}
+	}
+	for ; j+8 <= n; j += 8 {
+		nnDot8SSE2(orow[j:j+8], bias[j:j+8], ar, bt[j:], ld)
+	}
+	for ; j < n; j++ {
+		s := bias[j]
+		for c, av := range ar {
+			s += av * bt[c*ld+j]
+		}
+		orow[j] = s
+	}
+}
+
+// gemmNNAccRow accumulates one NN-form GEMM row in place:
+// orow[j] += sum_c ar[c]*bt[c*ld+j]. The dot kernels take their init vector
+// from orow itself (loaded before any store), so each element continues its
+// own running sum with c ascending.
+func gemmNNAccRow(orow, ar, bt []float64, n, ld int) {
+	j := 0
+	if hasAVX2 {
+		for ; j+16 <= n; j += 16 {
+			nnDot16AVX2(orow[j:j+16], orow[j:j+16], ar, bt[j:], ld)
+		}
+	}
+	for ; j+8 <= n; j += 8 {
+		nnDot8SSE2(orow[j:j+8], orow[j:j+8], ar, bt[j:], ld)
+	}
+	for ; j < n; j++ {
+		s := orow[j]
+		for c, av := range ar {
+			s += av * bt[c*ld+j]
+		}
+		orow[j] = s
+	}
+}
+
+// gemmNNQuadI runs the 4x8 register-tiled kernel over as many groups of
+// four output rows as fit, returning the number of rows consumed (callers
+// finish the remainder row by row). Tiling over rows loads each bt element
+// once per four rows instead of once per row; every output element still
+// owns one accumulator walking c in ascending order.
+func gemmNNQuadI(out, a, bt, bias []float64, m, n, k, ld int) int {
+	if !hasAVX2 || n < 8 {
+		return 0
+	}
+	var init [32]float64
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		for r := 0; r < 4; r++ {
+			bi := bias[i+r]
+			for l := 0; l < 8; l++ {
+				init[r*8+l] = bi
+			}
+		}
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			nnDot4x8AVX2(out[i*n+j:], n, init[:], a[i*k:], k, bt[j:], ld)
+		}
+		for ; j < n; j++ {
+			for r := 0; r < 4; r++ {
+				s := bias[i+r]
+				ar := a[(i+r)*k : (i+r)*k+k]
+				for c, av := range ar {
+					s += av * bt[c*ld+j]
+				}
+				out[(i+r)*n+j] = s
+			}
+		}
+	}
+	return i
+}
+
+// gemmNNQuadJ is gemmNNQuadI with the Dense per-column bias: all four rows
+// of a tile start from bias[j:j+8].
+func gemmNNQuadJ(out, a, bt, bias []float64, m, n, k, ld int) int {
+	if !hasAVX2 || n < 8 {
+		return 0
+	}
+	var init [32]float64
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			b8 := bias[j : j+8]
+			copy(init[0:8], b8)
+			copy(init[8:16], b8)
+			copy(init[16:24], b8)
+			copy(init[24:32], b8)
+			nnDot4x8AVX2(out[i*n+j:], n, init[:], a[i*k:], k, bt[j:], ld)
+		}
+		for ; j < n; j++ {
+			for r := 0; r < 4; r++ {
+				s := bias[j]
+				ar := a[(i+r)*k : (i+r)*k+k]
+				for c, av := range ar {
+					s += av * bt[c*ld+j]
+				}
+				out[(i+r)*n+j] = s
+			}
+		}
+	}
+	return i
+}
+
+// gemmNNQuadAcc is gemmNNQuadI accumulating in place: each tile's init is
+// gathered from the four output rows' current values.
+func gemmNNQuadAcc(out, a, bt []float64, m, n, k, ld int) int {
+	if !hasAVX2 || n < 8 {
+		return 0
+	}
+	var init [32]float64
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			copy(init[0:8], out[i*n+j:])
+			copy(init[8:16], out[(i+1)*n+j:])
+			copy(init[16:24], out[(i+2)*n+j:])
+			copy(init[24:32], out[(i+3)*n+j:])
+			nnDot4x8AVX2(out[i*n+j:], n, init[:], a[i*k:], k, bt[j:], ld)
+		}
+		for ; j < n; j++ {
+			for r := 0; r < 4; r++ {
+				s := out[(i+r)*n+j]
+				ar := a[(i+r)*k : (i+r)*k+k]
+				for c, av := range ar {
+					s += av * bt[c*ld+j]
+				}
+				out[(i+r)*n+j] = s
+			}
+		}
+	}
+	return i
+}

@@ -1,0 +1,794 @@
+// SSE2 and AVX2 element-parallel kernels. See simd_amd64.go for the
+// bit-identity contract: lanes are independent output elements; per-element
+// operation order matches the scalar references exactly (multiply then add —
+// no FMA). The AVX2 bodies use only VEX-encoded instructions and end with
+// VZEROUPPER, so they never pay SSE/AVX transition penalties.
+
+#include "textflag.h"
+
+// func axpySSE2(alpha float64, x, y []float64)
+// y[i] += alpha * x[i] for i < len(y).
+TEXT ·axpySSE2(SB), NOSPLIT, $0-56
+	MOVSD alpha+0(FP), X0
+	UNPCKLPD X0, X0 // broadcast alpha into both lanes
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ y_len+40(FP), CX
+
+loop8:
+	CMPQ CX, $8
+	JL   loop1
+	MOVUPD 0(SI), X1
+	MOVUPD 16(SI), X2
+	MOVUPD 32(SI), X3
+	MOVUPD 48(SI), X4
+	MULPD X0, X1
+	MULPD X0, X2
+	MULPD X0, X3
+	MULPD X0, X4
+	MOVUPD 0(DI), X5
+	MOVUPD 16(DI), X6
+	MOVUPD 32(DI), X7
+	MOVUPD 48(DI), X8
+	ADDPD X1, X5
+	ADDPD X2, X6
+	ADDPD X3, X7
+	ADDPD X4, X8
+	MOVUPD X5, 0(DI)
+	MOVUPD X6, 16(DI)
+	MOVUPD X7, 32(DI)
+	MOVUPD X8, 48(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  loop8
+
+loop1:
+	CMPQ CX, $0
+	JE   done
+	MOVSD (SI), X1
+	MULSD X0, X1
+	MOVSD (DI), X2
+	ADDSD X1, X2
+	MOVSD X2, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP  loop1
+
+done:
+	RET
+
+// func axpyAVX2(alpha float64, x, y []float64)
+// Same per-element semantics as axpySSE2, four lanes per vector.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ y_len+40(FP), CX
+
+vloop16:
+	CMPQ CX, $16
+	JL   vloop4
+	VMULPD 0(SI), Y0, Y1
+	VMULPD 32(SI), Y0, Y2
+	VMULPD 64(SI), Y0, Y3
+	VMULPD 96(SI), Y0, Y4
+	VADDPD 0(DI), Y1, Y1
+	VADDPD 32(DI), Y2, Y2
+	VADDPD 64(DI), Y3, Y3
+	VADDPD 96(DI), Y4, Y4
+	VMOVUPD Y1, 0(DI)
+	VMOVUPD Y2, 32(DI)
+	VMOVUPD Y3, 64(DI)
+	VMOVUPD Y4, 96(DI)
+	ADDQ $128, SI
+	ADDQ $128, DI
+	SUBQ $16, CX
+	JMP  vloop16
+
+vloop4:
+	CMPQ CX, $4
+	JL   vloop1
+	VMULPD 0(SI), Y0, Y1
+	VADDPD 0(DI), Y1, Y1
+	VMOVUPD Y1, 0(DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  vloop4
+
+vloop1:
+	CMPQ CX, $0
+	JE   vdone
+	VMOVSD (SI), X1
+	VMULSD X0, X1, X1
+	VMOVSD (DI), X2
+	VADDSD X1, X2, X2
+	VMOVSD X2, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP  vloop1
+
+vdone:
+	VZEROUPPER
+	RET
+
+// func reluFwdSSE2(dst, src []float64)
+// dst[i] = src[i] if src[i] > 0 else +0, for i < len(dst).
+// MAXPD/MAXSD with the zero operand as SRC return +0 for NaN and for
+// both-zero compares, matching the scalar `if v > 0` branch exactly.
+TEXT ·reluFwdSSE2(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	XORPS X0, X0
+
+rloop8:
+	CMPQ CX, $8
+	JL   rloop1
+	MOVUPD 0(SI), X1
+	MOVUPD 16(SI), X2
+	MOVUPD 32(SI), X3
+	MOVUPD 48(SI), X4
+	MAXPD X0, X1
+	MAXPD X0, X2
+	MAXPD X0, X3
+	MAXPD X0, X4
+	MOVUPD X1, 0(DI)
+	MOVUPD X2, 16(DI)
+	MOVUPD X3, 32(DI)
+	MOVUPD X4, 48(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  rloop8
+
+rloop1:
+	CMPQ CX, $0
+	JE   rdone
+	MOVSD (SI), X1
+	MAXSD X0, X1
+	MOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP  rloop1
+
+rdone:
+	RET
+
+// func reluFwdAVX2(dst, src []float64)
+// VMAXPD with the zero vector as the second source returns +0 for NaN and
+// for both-zero compares — the scalar branch's outcomes, four lanes wide.
+TEXT ·reluFwdAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	VXORPS Y0, Y0, Y0
+
+vrloop16:
+	CMPQ CX, $16
+	JL   vrloop4
+	VMOVUPD 0(SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMOVUPD 64(SI), Y3
+	VMOVUPD 96(SI), Y4
+	VMAXPD Y0, Y1, Y1
+	VMAXPD Y0, Y2, Y2
+	VMAXPD Y0, Y3, Y3
+	VMAXPD Y0, Y4, Y4
+	VMOVUPD Y1, 0(DI)
+	VMOVUPD Y2, 32(DI)
+	VMOVUPD Y3, 64(DI)
+	VMOVUPD Y4, 96(DI)
+	ADDQ $128, SI
+	ADDQ $128, DI
+	SUBQ $16, CX
+	JMP  vrloop16
+
+vrloop4:
+	CMPQ CX, $4
+	JL   vrloop1
+	VMOVUPD 0(SI), Y1
+	VMAXPD Y0, Y1, Y1
+	VMOVUPD Y1, 0(DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  vrloop4
+
+vrloop1:
+	CMPQ CX, $0
+	JE   vrdone
+	VMOVSD (SI), X1
+	VMAXSD X0, X1, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP  vrloop1
+
+vrdone:
+	VZEROUPPER
+	RET
+
+// func reluBwdSSE2(dst, grad, in []float64)
+// dst[i] = grad[i] if in[i] > 0 else +0, for i < len(dst).
+// CMPPD predicate 1 (LT) builds the 0 < in mask (false for NaN), which is
+// ANDed over grad: all-ones lanes pass grad bits verbatim, zero lanes
+// produce +0 — the scalar branch's two outcomes.
+TEXT ·reluBwdSSE2(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ grad_base+24(FP), SI
+	MOVQ in_base+48(FP), BX
+	XORPS X0, X0
+
+bloop2:
+	CMPQ CX, $2
+	JL   bloop1
+	MOVUPD (BX), X1
+	MOVAPD X0, X2
+	CMPPD  X1, X2, $1
+	MOVUPD (SI), X3
+	ANDPD  X2, X3
+	MOVUPD X3, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	ADDQ $16, BX
+	SUBQ $2, CX
+	JMP  bloop2
+
+bloop1:
+	CMPQ CX, $0
+	JE   bdone
+	MOVSD   (BX), X1
+	UCOMISD X0, X1
+	JA      bcopy
+	MOVSD X0, (DI)
+	JMP   bnext
+
+bcopy:
+	MOVSD (SI), X3
+	MOVSD X3, (DI)
+
+bnext:
+	ADDQ $8, SI
+	ADDQ $8, DI
+	ADDQ $8, BX
+	DECQ CX
+	JMP  bloop1
+
+bdone:
+	RET
+
+// func reluBwdAVX2(dst, grad, in []float64)
+// VCMPPD predicate 1 builds the 0 < in mask (false for NaN) four lanes at a
+// time; VANDPD passes grad bits verbatim where true, +0 where false.
+TEXT ·reluBwdAVX2(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ grad_base+24(FP), SI
+	MOVQ in_base+48(FP), BX
+	VXORPS Y0, Y0, Y0
+
+vbloop8:
+	CMPQ CX, $8
+	JL   vbloop4
+	VMOVUPD 0(BX), Y1
+	VMOVUPD 32(BX), Y2
+	VCMPPD  $1, Y1, Y0, Y1
+	VCMPPD  $1, Y2, Y0, Y2
+	VANDPD  0(SI), Y1, Y1
+	VANDPD  32(SI), Y2, Y2
+	VMOVUPD Y1, 0(DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	ADDQ $64, BX
+	SUBQ $8, CX
+	JMP  vbloop8
+
+vbloop4:
+	CMPQ CX, $4
+	JL   vbloop1
+	VMOVUPD 0(BX), Y1
+	VCMPPD  $1, Y1, Y0, Y1
+	VANDPD  0(SI), Y1, Y1
+	VMOVUPD Y1, 0(DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, BX
+	SUBQ $4, CX
+	JMP  vbloop4
+
+vbloop1:
+	CMPQ CX, $0
+	JE   vbdone
+	VMOVSD  (BX), X1
+	VUCOMISD X0, X1
+	JA      vbcopy
+	VMOVSD X0, (DI)
+	JMP    vbnext
+
+vbcopy:
+	VMOVSD (SI), X3
+	VMOVSD X3, (DI)
+
+vbnext:
+	ADDQ $8, SI
+	ADDQ $8, DI
+	ADDQ $8, BX
+	DECQ CX
+	JMP  vbloop1
+
+vbdone:
+	VZEROUPPER
+	RET
+
+// func nnDot8SSE2(out, init, a, bt []float64, n int)
+// Eight adjacent output columns accumulate in X4-X7 across the whole K
+// loop; each k step broadcasts a[c] and does MULPD+ADDPD per lane pair —
+// per column that is exactly init + a[0]*bt[0][l] + a[1]*bt[1][l] + ... in
+// ascending c order, the reference dot sequence.
+TEXT ·nnDot8SSE2(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ init_base+24(FP), DX
+	MOVQ a_base+48(FP), SI
+	MOVQ a_len+56(FP), CX
+	MOVQ bt_base+72(FP), BX
+	MOVQ n+96(FP), R8
+	SHLQ $3, R8 // row stride in bytes
+	MOVUPD 0(DX), X4
+	MOVUPD 16(DX), X5
+	MOVUPD 32(DX), X6
+	MOVUPD 48(DX), X7
+
+dloop:
+	CMPQ CX, $0
+	JE   ddone
+	MOVSD (SI), X0
+	UNPCKLPD X0, X0 // broadcast a[c]
+	MOVUPD 0(BX), X1
+	MOVUPD 16(BX), X2
+	MULPD X0, X1
+	MULPD X0, X2
+	ADDPD X1, X4
+	ADDPD X2, X5
+	MOVUPD 32(BX), X1
+	MOVUPD 48(BX), X2
+	MULPD X0, X1
+	MULPD X0, X2
+	ADDPD X1, X6
+	ADDPD X2, X7
+	ADDQ $8, SI
+	ADDQ R8, BX
+	DECQ CX
+	JMP  dloop
+
+ddone:
+	MOVUPD X4, 0(DI)
+	MOVUPD X5, 16(DI)
+	MOVUPD X6, 32(DI)
+	MOVUPD X7, 48(DI)
+	RET
+
+// func nnDot16AVX2(out, init, a, bt []float64, n int)
+// Sixteen adjacent output columns accumulate in Y4-Y7 across the whole K
+// loop — the same per-column init + a[c]*bt[c][l] sequence as nnDot8SSE2,
+// four lanes per register. bt must have at least (len(a)-1)*n+16 elements;
+// out and init at least 16.
+TEXT ·nnDot16AVX2(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ init_base+24(FP), DX
+	MOVQ a_base+48(FP), SI
+	MOVQ a_len+56(FP), CX
+	MOVQ bt_base+72(FP), BX
+	MOVQ n+96(FP), R8
+	SHLQ $3, R8 // row stride in bytes
+	VMOVUPD 0(DX), Y4
+	VMOVUPD 32(DX), Y5
+	VMOVUPD 64(DX), Y6
+	VMOVUPD 96(DX), Y7
+
+vdloop:
+	CMPQ CX, $0
+	JE   vddone
+	VBROADCASTSD (SI), Y0
+	VMULPD 0(BX), Y0, Y1
+	VMULPD 32(BX), Y0, Y2
+	VADDPD Y1, Y4, Y4
+	VADDPD Y2, Y5, Y5
+	VMULPD 64(BX), Y0, Y1
+	VMULPD 96(BX), Y0, Y2
+	VADDPD Y1, Y6, Y6
+	VADDPD Y2, Y7, Y7
+	ADDQ $8, SI
+	ADDQ R8, BX
+	DECQ CX
+	JMP  vdloop
+
+vddone:
+	VMOVUPD Y4, 0(DI)
+	VMOVUPD Y5, 32(DI)
+	VMOVUPD Y6, 64(DI)
+	VMOVUPD Y7, 96(DI)
+	VZEROUPPER
+	RET
+
+// func stepSSE2(lr, scale float64, g, p []float64)
+// p[i] -= lr*g[i]/scale: multiply, divide, subtract — the scalar update's
+// exact operation sequence per element (division order is fixed; the
+// multiply's operand order only matters for NaN payloads, see the contract).
+TEXT ·stepSSE2(SB), NOSPLIT, $0-64
+	MOVSD lr+0(FP), X0
+	UNPCKLPD X0, X0
+	MOVSD scale+8(FP), X1
+	UNPCKLPD X1, X1
+	MOVQ g_base+16(FP), SI
+	MOVQ p_base+40(FP), DI
+	MOVQ p_len+48(FP), CX
+
+ploop4:
+	CMPQ CX, $4
+	JL   ploop1
+	MOVUPD 0(SI), X2
+	MOVUPD 16(SI), X3
+	MULPD X0, X2
+	MULPD X0, X3
+	DIVPD X1, X2
+	DIVPD X1, X3
+	MOVUPD 0(DI), X4
+	MOVUPD 16(DI), X5
+	SUBPD X2, X4
+	SUBPD X3, X5
+	MOVUPD X4, 0(DI)
+	MOVUPD X5, 16(DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  ploop4
+
+ploop1:
+	CMPQ CX, $0
+	JE   pdone
+	MOVSD (SI), X2
+	MULSD X0, X2
+	DIVSD X1, X2
+	MOVSD (DI), X4
+	SUBSD X2, X4
+	MOVSD X4, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP  ploop1
+
+pdone:
+	RET
+
+// func stepAVX2(lr, scale float64, g, p []float64)
+// Same per-element multiply/divide/subtract sequence, four lanes wide.
+TEXT ·stepAVX2(SB), NOSPLIT, $0-64
+	VBROADCASTSD lr+0(FP), Y0
+	VBROADCASTSD scale+8(FP), Y1
+	MOVQ g_base+16(FP), SI
+	MOVQ p_base+40(FP), DI
+	MOVQ p_len+48(FP), CX
+
+vploop8:
+	CMPQ CX, $8
+	JL   vploop1
+	VMULPD 0(SI), Y0, Y2
+	VMULPD 32(SI), Y0, Y3
+	VDIVPD Y1, Y2, Y2
+	VDIVPD Y1, Y3, Y3
+	VMOVUPD 0(DI), Y4
+	VMOVUPD 32(DI), Y5
+	VSUBPD Y2, Y4, Y4
+	VSUBPD Y3, Y5, Y5
+	VMOVUPD Y4, 0(DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  vploop8
+
+vploop1:
+	CMPQ CX, $0
+	JE   vpdone
+	VMOVSD (SI), X2
+	VMULSD X2, X0, X2
+	VDIVSD X1, X2, X2
+	VMOVSD (DI), X4
+	VSUBSD X2, X4, X4
+	VMOVSD X4, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP  vploop1
+
+vpdone:
+	VZEROUPPER
+	RET
+
+// func nnDot4x8AVX2(out []float64, on int, init, a []float64, k int, bt []float64, ld int)
+// A 4x8 output tile accumulates in Y4-Y11 across the whole K loop: four
+// rows of a (stride k) against the same eight bt columns (row stride ld),
+// so each bt element is loaded once per four output rows instead of once
+// per row. Per element the sequence is still init + a[c]*bt[c][l] with c
+// strictly ascending — rows are just more independent lanes. out rows are
+// written at stride on; init supplies the 4x8 starting values row-major.
+TEXT ·nnDot4x8AVX2(SB), NOSPLIT, $0-120
+	MOVQ out_base+0(FP), DI
+	MOVQ on+24(FP), DX
+	SHLQ $3, DX // out row stride in bytes
+	MOVQ init_base+32(FP), AX
+	MOVQ a_base+56(FP), R9
+	MOVQ k+80(FP), CX
+	MOVQ bt_base+88(FP), BX
+	MOVQ ld+112(FP), R8
+	SHLQ $3, R8 // bt row stride in bytes
+	MOVQ CX, R10
+	SHLQ $3, R10 // a row stride in bytes
+	LEAQ (R9)(R10*1), R11
+	LEAQ (R11)(R10*1), R12
+	LEAQ (R12)(R10*1), R13
+	VMOVUPD 0(AX), Y4
+	VMOVUPD 32(AX), Y5
+	VMOVUPD 64(AX), Y6
+	VMOVUPD 96(AX), Y7
+	VMOVUPD 128(AX), Y8
+	VMOVUPD 160(AX), Y9
+	VMOVUPD 192(AX), Y10
+	VMOVUPD 224(AX), Y11
+
+qloop:
+	CMPQ CX, $0
+	JE   qdone
+	VMOVUPD 0(BX), Y0
+	VMOVUPD 32(BX), Y1
+	VBROADCASTSD (R9), Y2
+	VMULPD Y0, Y2, Y3
+	VADDPD Y3, Y4, Y4
+	VMULPD Y1, Y2, Y3
+	VADDPD Y3, Y5, Y5
+	VBROADCASTSD (R11), Y2
+	VMULPD Y0, Y2, Y3
+	VADDPD Y3, Y6, Y6
+	VMULPD Y1, Y2, Y3
+	VADDPD Y3, Y7, Y7
+	VBROADCASTSD (R12), Y2
+	VMULPD Y0, Y2, Y3
+	VADDPD Y3, Y8, Y8
+	VMULPD Y1, Y2, Y3
+	VADDPD Y3, Y9, Y9
+	VBROADCASTSD (R13), Y2
+	VMULPD Y0, Y2, Y3
+	VADDPD Y3, Y10, Y10
+	VMULPD Y1, Y2, Y3
+	VADDPD Y3, Y11, Y11
+	ADDQ $8, R9
+	ADDQ $8, R11
+	ADDQ $8, R12
+	ADDQ $8, R13
+	ADDQ R8, BX
+	DECQ CX
+	JMP  qloop
+
+qdone:
+	VMOVUPD Y4, 0(DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ DX, DI
+	VMOVUPD Y6, 0(DI)
+	VMOVUPD Y7, 32(DI)
+	ADDQ DX, DI
+	VMOVUPD Y8, 0(DI)
+	VMOVUPD Y9, 32(DI)
+	ADDQ DX, DI
+	VMOVUPD Y10, 0(DI)
+	VMOVUPD Y11, 32(DI)
+	VZEROUPPER
+	RET
+
+// func pool2x2SSE2(dst, row0, row1 []float64)
+// dst[x] = max of the 2x2 window (row0[2x], row0[2x+1], row1[2x], row1[2x+1])
+// in the scalar loop's candidate order: each MAXPD/MAXSD has the new
+// candidate as its destination operand, so the running best (the source) is
+// returned on ties and NaN candidates — exactly the scalar strict-> update.
+// Two windows per vector pass: UNPCKLPD/UNPCKHPD split even/odd lanes.
+TEXT ·pool2x2SSE2(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), BX
+	MOVQ row0_base+24(FP), SI
+	MOVQ row1_base+48(FP), DX
+	XORQ AX, AX
+
+pair:
+	LEAQ 2(AX), CX
+	CMPQ CX, BX
+	JGT  tail
+	MOVUPD   (SI), X0   // [a0 b0]
+	MOVUPD   16(SI), X1 // [a1 b1]
+	MOVAPD   X0, X2
+	UNPCKLPD X1, X0     // X0 = [a0 a1] = running best
+	UNPCKHPD X1, X2     // X2 = [b0 b1]
+	MAXPD    X0, X2     // X2 = (X2 > X0) ? X2 : X0
+	MOVUPD   (DX), X3   // [c0 d0]
+	MOVUPD   16(DX), X4 // [c1 d1]
+	MOVAPD   X3, X5
+	UNPCKLPD X4, X3     // X3 = [c0 c1]
+	UNPCKHPD X4, X5     // X5 = [d0 d1]
+	MAXPD    X2, X3     // X3 = (X3 > X2) ? X3 : X2
+	MAXPD    X3, X5     // X5 = (X5 > X3) ? X5 : X3
+	MOVUPD   X5, (DI)
+	ADDQ     $32, SI
+	ADDQ     $32, DX
+	ADDQ     $16, DI
+	ADDQ     $2, AX
+	JMP      pair
+
+tail:
+	CMPQ AX, BX
+	JGE  done
+	MOVSD (SI), X0
+	MOVSD 8(SI), X1
+	MAXSD X0, X1
+	MOVSD (DX), X2
+	MAXSD X1, X2
+	MOVSD 8(DX), X3
+	MAXSD X2, X3
+	MOVSD X3, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DX
+	ADDQ  $8, DI
+	INCQ  AX
+	JMP   tail
+
+done:
+	RET
+
+// func conv3x3BwdSSE2(gv float64, wr, cr, gw, gi []float64, w, hw, inC int)
+// One surviving gradient element's 3x3 backward scatter, all input channels:
+// per channel ic, gw[ic*9+j] += gv*cr[ic*9+j] for j in [0,9) and
+// gi[ic*hw + r*w + j] += gv*wr[ic*9 + r*3 + j] for r,j in [0,3). Every
+// target element receives exactly one mul-then-add (no FMA), identical to
+// the scalar loops; pairing touches only distinct elements. gi is pre-sliced
+// at the scatter origin; w and hw are element strides between gi rows and
+// channels.
+TEXT ·conv3x3BwdSSE2(SB), NOSPLIT, $0-128
+	MOVSD    gv+0(FP), X0
+	UNPCKLPD X0, X0
+	MOVQ     wr_base+8(FP), SI
+	MOVQ     cr_base+32(FP), BX
+	MOVQ     gw_base+56(FP), DX
+	MOVQ     gi_base+80(FP), DI
+	MOVQ     w+104(FP), R8
+	SHLQ     $3, R8
+	MOVQ     hw+112(FP), R9
+	SHLQ     $3, R9
+	MOVQ     inC+120(FP), CX
+
+chan3:
+	// gw[0:9] += gv * cr[0:9], four pairs then the ninth element.
+	MOVUPD (BX), X1
+	MULPD  X0, X1
+	MOVUPD (DX), X2
+	ADDPD  X1, X2
+	MOVUPD X2, (DX)
+	MOVUPD 16(BX), X1
+	MULPD  X0, X1
+	MOVUPD 16(DX), X2
+	ADDPD  X1, X2
+	MOVUPD X2, 16(DX)
+	MOVUPD 32(BX), X1
+	MULPD  X0, X1
+	MOVUPD 32(DX), X2
+	ADDPD  X1, X2
+	MOVUPD X2, 32(DX)
+	MOVUPD 48(BX), X1
+	MULPD  X0, X1
+	MOVUPD 48(DX), X2
+	ADDPD  X1, X2
+	MOVUPD X2, 48(DX)
+	MOVSD  64(BX), X1
+	MULSD  X0, X1
+	MOVSD  64(DX), X2
+	ADDSD  X1, X2
+	MOVSD  X2, 64(DX)
+
+	// gi row 0 += gv * wr[0:3]
+	MOVUPD (SI), X1
+	MULPD  X0, X1
+	MOVUPD (DI), X2
+	ADDPD  X1, X2
+	MOVUPD X2, (DI)
+	MOVSD  16(SI), X1
+	MULSD  X0, X1
+	MOVSD  16(DI), X2
+	ADDSD  X1, X2
+	MOVSD  X2, 16(DI)
+
+	// gi row 1 += gv * wr[3:6]
+	MOVUPD 24(SI), X1
+	MULPD  X0, X1
+	MOVUPD (DI)(R8*1), X2
+	ADDPD  X1, X2
+	MOVUPD X2, (DI)(R8*1)
+	MOVSD  40(SI), X1
+	MULSD  X0, X1
+	MOVSD  16(DI)(R8*1), X2
+	ADDSD  X1, X2
+	MOVSD  X2, 16(DI)(R8*1)
+
+	// gi row 2 += gv * wr[6:9]
+	MOVUPD 48(SI), X1
+	MULPD  X0, X1
+	MOVUPD (DI)(R8*2), X2
+	ADDPD  X1, X2
+	MOVUPD X2, (DI)(R8*2)
+	MOVSD  64(SI), X1
+	MULSD  X0, X1
+	MOVSD  16(DI)(R8*2), X2
+	ADDSD  X1, X2
+	MOVSD  X2, 16(DI)(R8*2)
+
+	ADDQ $72, SI
+	ADDQ $72, BX
+	ADDQ $72, DX
+	ADDQ R9, DI
+	DECQ CX
+	JNZ  chan3
+	RET
+
+// func transpose2x2SSE2(dst, src []float64, rows, cols int)
+// dst[c*rows+r] = src[r*cols+c] over the even region r < rows&^1,
+// c < cols&^1 (callers finish odd tails). Pure data movement — bit-exact by
+// construction. Column pairs are outer and row pairs inner, so the stores
+// stream contiguously down two dst rows while the strided loads stay on two
+// prefetchable src streams.
+TEXT ·transpose2x2SSE2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), CX
+	MOVQ rows+48(FP), R8
+	MOVQ cols+56(FP), BX
+	MOVQ R8, R9
+	SHLQ $3, R9  // rows*8
+	MOVQ BX, R11
+	SHLQ $3, R11 // cols*8
+	XORQ R12, R12
+
+cpair:
+	LEAQ 2(R12), AX
+	CMPQ AX, BX
+	JGT  tdone
+	LEAQ (CX)(R12*8), SI  // src + c*8
+	MOVQ DI, DX           // dst column c
+	LEAQ (DI)(R9*1), R10  // dst column c+1
+	XORQ R13, R13
+
+rpair:
+	LEAQ 2(R13), AX
+	CMPQ AX, R8
+	JGT  rdone
+	MOVUPD   (SI), X0          // [s(r,c)   s(r,c+1)]
+	MOVUPD   (SI)(R11*1), X1   // [s(r+1,c) s(r+1,c+1)]
+	MOVAPD   X0, X2
+	UNPCKLPD X1, X0            // [s(r,c)   s(r+1,c)]
+	MOVUPD   X0, (DX)
+	UNPCKHPD X1, X2            // [s(r,c+1) s(r+1,c+1)]
+	MOVUPD   X2, (R10)
+	LEAQ     (SI)(R11*2), SI
+	ADDQ     $16, DX
+	ADDQ     $16, R10
+	ADDQ     $2, R13
+	JMP      rpair
+
+rdone:
+	LEAQ (DI)(R9*2), DI
+	ADDQ $2, R12
+	JMP  cpair
+
+tdone:
+	RET

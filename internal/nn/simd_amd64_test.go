@@ -1,0 +1,143 @@
+//go:build amd64
+
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The dispatch wrappers pick one variant per length, so on any given host
+// half the bodies would go untested through them. Pin every variant
+// directly: SSE2 always, AVX2 when the host has it.
+
+func TestAxpyVariantsMatchScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	variants := map[string]func(float64, []float64, []float64){"sse2": axpySSE2}
+	if hasAVX2 {
+		variants["avx2"] = axpyAVX2
+	} else {
+		t.Log("host lacks AVX2; avx2 variant untested here")
+	}
+	for name, fn := range variants {
+		for n := 0; n <= 40; n++ {
+			alpha := rng.NormFloat64()
+			x := simdCases(rng, n)
+			y := simdCases(rng, n)
+			want := append([]float64(nil), y...)
+			for i := range want {
+				want[i] += alpha * x[i]
+			}
+			got := append([]float64(nil), y...)
+			fn(alpha, x, got)
+			for i := range want {
+				if !sameBits(got[i], want[i]) {
+					t.Fatalf("%s n=%d i=%d: got %x want %x", name, n, i,
+						math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestReluVariantsMatchScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	fwd := map[string]func([]float64, []float64){"sse2": reluFwdSSE2}
+	bwd := map[string]func([]float64, []float64, []float64){"sse2": reluBwdSSE2}
+	if hasAVX2 {
+		fwd["avx2"] = reluFwdAVX2
+		bwd["avx2"] = reluBwdAVX2
+	}
+	for name, fn := range fwd {
+		for n := 0; n <= 40; n++ {
+			src := simdCases(rng, n)
+			got := simdCases(rng, n)
+			fn(got, src)
+			for i, v := range src {
+				want := 0.0
+				if v > 0 {
+					want = v
+				}
+				if math.Float64bits(got[i]) != math.Float64bits(want) {
+					t.Fatalf("fwd %s n=%d i=%d src=%v: got %x want %x", name, n, i, v,
+						math.Float64bits(got[i]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+	for name, fn := range bwd {
+		for n := 0; n <= 40; n++ {
+			in := simdCases(rng, n)
+			grad := simdCases(rng, n)
+			got := simdCases(rng, n)
+			fn(got, grad, in)
+			for i := range in {
+				want := 0.0
+				if in[i] > 0 {
+					want = grad[i]
+				}
+				if math.Float64bits(got[i]) != math.Float64bits(want) {
+					t.Fatalf("bwd %s n=%d i=%d in=%v grad=%v: got %x want %x", name, n, i,
+						in[i], grad[i], math.Float64bits(got[i]), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+func TestStepVariantsMatchScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	variants := map[string]func(float64, float64, []float64, []float64){"sse2": stepSSE2}
+	if hasAVX2 {
+		variants["avx2"] = stepAVX2
+	}
+	for name, fn := range variants {
+		for n := 0; n <= 40; n++ {
+			lr, scale := rng.NormFloat64(), rng.NormFloat64()
+			g := simdCases(rng, n)
+			p := simdCases(rng, n)
+			want := append([]float64(nil), p...)
+			for j := range want {
+				want[j] -= lr * g[j] / scale
+			}
+			got := append([]float64(nil), p...)
+			fn(lr, scale, g, got)
+			for j := range want {
+				if !sameBits(got[j], want[j]) {
+					t.Fatalf("%s n=%d j=%d: got %x want %x", name, n, j,
+						math.Float64bits(got[j]), math.Float64bits(want[j]))
+				}
+			}
+		}
+	}
+}
+
+func TestNNDot16AVX2MatchesScalarBitForBit(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("host lacks AVX2")
+	}
+	rng := rand.New(rand.NewSource(83))
+	for _, k := range []int{0, 1, 2, 3, 7, 9, 25, 72} {
+		for _, n := range []int{16, 17, 24, 31} {
+			a := simdCases(rng, k)
+			var bt []float64
+			if k > 0 {
+				bt = simdCases(rng, (k-1)*n+16)
+			}
+			init := simdCases(rng, 16)
+			got := simdCases(rng, 16)
+			nnDot16AVX2(got, init, a, bt, n)
+			for l := 0; l < 16; l++ {
+				s := init[l]
+				for c := 0; c < k; c++ {
+					s += a[c] * bt[c*n+l]
+				}
+				if !sameBits(got[l], s) {
+					t.Fatalf("k=%d n=%d l=%d: got %x want %x", k, n, l,
+						math.Float64bits(got[l]), math.Float64bits(s))
+				}
+			}
+		}
+	}
+}

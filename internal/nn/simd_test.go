@@ -1,0 +1,343 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The SIMD kernels must match the scalar references bit for bit on every
+// lane, every tail length, and the awkward IEEE corners (-0, NaN, Inf): the
+// training path's bit-identity guarantee rests on these primitives being
+// exact drop-ins for the loops they replaced.
+
+// sameBits is exact bit equality except that any two NaNs match: NaN
+// payload propagation depends on hardware operand order, which the scalar
+// reference does not pin down (see the contract note in simd_amd64.go).
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// simdCases builds inputs covering vector bodies and all tail lengths, with
+// special values scattered through both lanes and tails.
+func simdCases(rng *rand.Rand, n int) []float64 {
+	specials := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1), -1e-308, 1e308}
+	s := make([]float64, n)
+	for i := range s {
+		if rng.Intn(4) == 0 {
+			s[i] = specials[rng.Intn(len(specials))]
+		} else {
+			s[i] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+func TestAxpySIMDMatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for n := 0; n <= 35; n++ {
+		for _, alpha := range []float64{0, math.Copysign(0, -1), 1, -2.5, rng.NormFloat64()} {
+			x := simdCases(rng, n)
+			y := simdCases(rng, n)
+			want := append([]float64(nil), y...)
+			for i := range want {
+				want[i] += alpha * x[i]
+			}
+			got := append([]float64(nil), y...)
+			axpySIMD(alpha, x, got)
+			for i := range want {
+				if !sameBits(got[i], want[i]) {
+					t.Fatalf("axpy n=%d alpha=%v i=%d: got %x want %x", n, alpha, i,
+						math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestReluFwdSIMDMatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for n := 0; n <= 35; n++ {
+		src := simdCases(rng, n)
+		want := make([]float64, n)
+		for i, v := range src {
+			if v > 0 {
+				want[i] = v
+			} else {
+				want[i] = 0
+			}
+		}
+		got := simdCases(rng, n) // pre-fill with garbage to catch skipped lanes
+		reluFwdSIMD(got, src)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("relu fwd n=%d i=%d src=%v: got %x want %x", n, i, src[i],
+					math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+func TestNNDot8SIMDMatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, k := range []int{0, 1, 2, 3, 7, 8, 17, 64} {
+		for _, n := range []int{8, 9, 16, 23} {
+			a := simdCases(rng, k)
+			var bt []float64
+			if k > 0 {
+				bt = simdCases(rng, (k-1)*n+8)
+			}
+			init := simdCases(rng, 8)
+			want := make([]float64, 8)
+			for l := 0; l < 8; l++ {
+				s := init[l]
+				for c := 0; c < k; c++ {
+					s += a[c] * bt[c*n+l]
+				}
+				want[l] = s
+			}
+			got := simdCases(rng, 8)
+			nnDot8SIMD(got, init, a, bt, n)
+			for l := range want {
+				if !sameBits(got[l], want[l]) {
+					t.Fatalf("nnDot8 k=%d n=%d l=%d: got %x want %x", k, n, l,
+						math.Float64bits(got[l]), math.Float64bits(want[l]))
+				}
+			}
+		}
+	}
+}
+
+// TestGemmNNMatchesGemmNT pins the NN-form kernels (and their 16/8/scalar
+// tail blocking) against the NT references across shapes with every tail
+// length, including the special-value lanes simdCases injects.
+func TestGemmNNMatchesGemmNT(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for _, dims := range [][3]int{{1, 8, 1}, {3, 16, 9}, {2, 23, 5}, {4, 33, 7}, {8, 17, 3}, {5, 40, 12}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := simdCases(rng, m*k)
+		b := simdCases(rng, n*k)
+		bt := make([]float64, k*n)
+		for c := 0; c < k; c++ {
+			for j := 0; j < n; j++ {
+				bt[c*n+j] = b[j*k+c]
+			}
+		}
+		biasI := simdCases(rng, m)
+		biasJ := simdCases(rng, n)
+		wantI := make([]float64, m*n)
+		gotI := make([]float64, m*n)
+		GemmNTBiasI(wantI, a, b, biasI, m, n, k)
+		GemmNNBiasI(gotI, a, bt, biasI, m, n, k)
+		wantJ := make([]float64, m*n)
+		gotJ := make([]float64, m*n)
+		GemmNTBiasJ(wantJ, a, b, biasJ, m, n, k)
+		GemmNNBiasJ(gotJ, a, bt, biasJ, m, n, k)
+		for i := range wantI {
+			if !sameBits(gotI[i], wantI[i]) {
+				t.Fatalf("BiasI m=%d n=%d k=%d elem %d: got %x want %x", m, n, k, i,
+					math.Float64bits(gotI[i]), math.Float64bits(wantI[i]))
+			}
+			if !sameBits(gotJ[i], wantJ[i]) {
+				t.Fatalf("BiasJ m=%d n=%d k=%d elem %d: got %x want %x", m, n, k, i,
+					math.Float64bits(gotJ[i]), math.Float64bits(wantJ[i]))
+			}
+		}
+	}
+}
+
+// TestGemmNNStridedAndAccVariants pins the column-sub-view kernel
+// (GemmNNBiasILd reading bt at a wider stride) and the in-place accumulate
+// kernel (GemmNNAccI) against scalar replays of their per-element dot
+// sequences, covering the 4x8 tile, the 16/8 blocks, and scalar tails.
+func TestGemmNNStridedAndAccVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	for _, dims := range [][3]int{{1, 8, 1}, {4, 9, 5}, {8, 16, 7}, {5, 23, 3}, {6, 40, 12}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		ld := n + 5
+		a := simdCases(rng, m*k)
+		bt := simdCases(rng, k*ld)
+		bias := simdCases(rng, m)
+		want := make([]float64, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := bias[i]
+				for c := 0; c < k; c++ {
+					s += a[i*k+c] * bt[c*ld+j]
+				}
+				want[i*n+j] = s
+			}
+		}
+		got := make([]float64, m*n)
+		GemmNNBiasILd(got, a, bt, bias, m, n, k, ld)
+		for i := range want {
+			if !sameBits(got[i], want[i]) {
+				t.Fatalf("BiasILd m=%d n=%d k=%d elem %d: got %x want %x", m, n, k, i,
+					math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+		acc := simdCases(rng, m*n)
+		wantAcc := make([]float64, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := acc[i*n+j]
+				for c := 0; c < k; c++ {
+					s += a[i*k+c] * bt[c*ld+j]
+				}
+				wantAcc[i*n+j] = s
+			}
+		}
+		GemmNNAccI(acc, a, bt, m, n, k, ld)
+		for i := range wantAcc {
+			if !sameBits(acc[i], wantAcc[i]) {
+				t.Fatalf("AccI m=%d n=%d k=%d elem %d: got %x want %x", m, n, k, i,
+					math.Float64bits(acc[i]), math.Float64bits(wantAcc[i]))
+			}
+		}
+	}
+}
+
+func TestStepSIMDMatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for n := 0; n <= 35; n++ {
+		for _, pair := range [][2]float64{{0.01, 64}, {0.5, 1}, {-2, 3}, {rng.NormFloat64(), 7}} {
+			lr, scale := pair[0], pair[1]
+			g := simdCases(rng, n)
+			p := simdCases(rng, n)
+			want := append([]float64(nil), p...)
+			for j := range want {
+				want[j] -= lr * g[j] / scale
+			}
+			got := append([]float64(nil), p...)
+			stepSIMD(lr, scale, g, got)
+			for j := range want {
+				if !sameBits(got[j], want[j]) {
+					t.Fatalf("step n=%d lr=%v j=%d: got %x want %x", n, lr, j,
+						math.Float64bits(got[j]), math.Float64bits(want[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestTransposeSIMDMatchesScalar pins the blocked transpose (even region
+// plus both odd tails) with strict bit equality — it moves data untouched.
+func TestTransposeSIMDMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, rows := range []int{1, 2, 3, 5, 8, 13} {
+		for _, cols := range []int{1, 2, 4, 7, 9, 16} {
+			src := simdCases(rng, rows*cols)
+			got := simdCases(rng, rows*cols)
+			transposeSIMD(got, src, rows, cols)
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					if math.Float64bits(got[c*rows+r]) != math.Float64bits(src[r*cols+c]) {
+						t.Fatalf("rows=%d cols=%d (%d,%d): got %x want %x", rows, cols, r, c,
+							math.Float64bits(got[c*rows+r]), math.Float64bits(src[r*cols+c]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConv3x3BwdSIMDMatchesScalarBitForBit pins the fused 3x3 backward
+// kernel against a scalar replay of its per-accumulator mul-then-add
+// sequences over several channel counts, strides, and special-value lanes.
+func TestConv3x3BwdSIMDMatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, inC := range []int{1, 2, 3, 8} {
+		for _, dims := range [][2]int{{5, 35}, {7, 63}, {28, 784}} {
+			w, hw := dims[0], dims[1]
+			gv := rng.NormFloat64()
+			wr := simdCases(rng, inC*9)
+			cr := simdCases(rng, inC*9)
+			gwWant := simdCases(rng, inC*9)
+			gwGot := append([]float64(nil), gwWant...)
+			giWant := simdCases(rng, inC*hw)
+			giGot := append([]float64(nil), giWant...)
+			for ic := 0; ic < inC; ic++ {
+				for j := 0; j < 9; j++ {
+					gwWant[ic*9+j] += gv * cr[ic*9+j]
+				}
+				for r := 0; r < 3; r++ {
+					for j := 0; j < 3; j++ {
+						giWant[ic*hw+r*w+j] += gv * wr[ic*9+r*3+j]
+					}
+				}
+			}
+			conv3x3BwdSIMD(gv, wr, cr, gwGot, giGot, w, hw, inC)
+			for i := range gwWant {
+				if !sameBits(gwGot[i], gwWant[i]) {
+					t.Fatalf("gw inC=%d w=%d i=%d: got %x want %x", inC, w, i,
+						math.Float64bits(gwGot[i]), math.Float64bits(gwWant[i]))
+				}
+			}
+			for i := range giWant {
+				if !sameBits(giGot[i], giWant[i]) {
+					t.Fatalf("gi inC=%d w=%d i=%d: got %x want %x", inC, w, i,
+						math.Float64bits(giGot[i]), math.Float64bits(giWant[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestPool2x2SIMDMatchesScalarBitForBit pins the pooling kernel with strict
+// bit equality (no NaN allowance: the result is always one of the inputs, so
+// even NaN payloads must survive untouched), covering the scalar strict->
+// candidate order on ties, -0 vs +0, and NaN in every window position.
+func TestPool2x2SIMDMatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for n := 0; n <= 33; n++ {
+		row0 := simdCases(rng, 2*n+1)
+		row1 := simdCases(rng, 2*n+1)
+		want := make([]float64, n)
+		for x := 0; x < n; x++ {
+			best := row0[2*x]
+			if v := row0[2*x+1]; v > best {
+				best = v
+			}
+			if v := row1[2*x]; v > best {
+				best = v
+			}
+			if v := row1[2*x+1]; v > best {
+				best = v
+			}
+			want[x] = best
+		}
+		got := simdCases(rng, n)
+		pool2x2SIMD(got, row0, row1)
+		for x := range want {
+			if math.Float64bits(got[x]) != math.Float64bits(want[x]) {
+				t.Fatalf("pool n=%d x=%d window=[%v %v %v %v]: got %x want %x", n, x,
+					row0[2*x], row0[2*x+1], row1[2*x], row1[2*x+1],
+					math.Float64bits(got[x]), math.Float64bits(want[x]))
+			}
+		}
+	}
+}
+
+func TestReluBwdSIMDMatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for n := 0; n <= 35; n++ {
+		in := simdCases(rng, n)
+		grad := simdCases(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			if in[i] > 0 {
+				want[i] = grad[i]
+			} else {
+				want[i] = 0
+			}
+		}
+		got := simdCases(rng, n)
+		reluBwdSIMD(got, grad, in)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("relu bwd n=%d i=%d in=%v grad=%v: got %x want %x", n, i, in[i], grad[i],
+					math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}

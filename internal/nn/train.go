@@ -37,7 +37,119 @@ type TrainConfig struct {
 
 // Train runs minibatch SGD over samples using rng for shuffling. It returns
 // the average training loss of the final epoch.
+//
+// Whole minibatches flow through the batched GEMM path
+// (ForwardBatchTrain/BackwardBatch on one arena); the result is bit-for-bit
+// identical to the retained per-sample reference loop (trainNaive) — same
+// shuffle draws, same dropout mask draws, same gradient and loss bits
+// (train_equiv_test.go pins the serialized trained weights byte-identical).
 func Train(net *Network, samples []Sample, cfg TrainConfig, rng *rand.Rand) (float64, error) {
+	return TrainShuffled(net, samples, cfg, rng.Shuffle)
+}
+
+// TrainShuffled is Train with a caller-supplied epoch shuffle in place of an
+// *rand.Rand. Callers that must interleave shuffle draws across several
+// trainings — the zoo builder pre-records every model's per-epoch shuffles
+// from one shared stream so the models can then train in parallel — replay
+// the recorded draw sequence here; the result is bit-identical to Train with
+// the rng the shuffles were drawn from.
+func TrainShuffled(net *Network, samples []Sample, cfg TrainConfig, shuffle func(n int, swap func(i, j int))) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no training samples")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return 0, fmt.Errorf("nn: invalid train config %+v", cfg)
+	}
+	if cfg.Loss == 0 {
+		cfg.Loss = LossCrossEntropy
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+	lr := cfg.LR
+	return trainBatched(net, samples, cfg, shuffle,
+		func(batch float64) { net.Step(lr, batch) },
+		func() { lr *= cfg.LRDecay })
+}
+
+// trainBatched is the shared minibatch engine behind Train and TrainWith.
+// Per batch it assembles the shuffled samples into one [B, sampleShape...]
+// arena tensor, runs ForwardBatchTrain, computes per-row losses and logit
+// gradients, back-propagates the whole batch, and hands the minibatch size
+// to step (which applies the update and clears gradients).
+//
+// Bit-identity to the per-sample loop is preserved by construction: the
+// shuffle is the caller's, dropout masks pre-draw in (sample, layer) order,
+// the epoch loss accumulates row by row in shuffled sample order (never via
+// batch partial sums), and every layer's BackwardBatch replays the
+// per-sample gradient add sequence.
+func trainBatched(net *Network, samples []Sample, cfg TrainConfig,
+	shuffle func(n int, swap func(i, j int)),
+	step func(batch float64),
+	afterEpoch func(),
+) (float64, error) {
+	sampleLen := samples[0].X.Len()
+	for i := range samples {
+		if samples[i].X.Len() != sampleLen {
+			return 0, fmt.Errorf("nn: sample %d has %d features, want %d", i, samples[i].X.Len(), sampleLen)
+		}
+	}
+	batchShape := append([]int{0}, samples[0].X.Shape...)
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	net.SetTraining(true)
+	defer net.SetTraining(false)
+	a := NewArena()
+	lastAvg := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(idx))
+			b := end - start
+			net.ZeroGrads()
+			a.Reset()
+			batchShape[0] = b
+			in := a.Tensor(batchShape...)
+			for bi, si := range idx[start:end] {
+				copy(in.Data[bi*sampleLen:(bi+1)*sampleLen], samples[si].X.Data)
+			}
+			logits := net.ForwardBatchTrain(in, a)
+			classes := logits.Shape[1]
+			grad := a.Tensor(b, classes)
+			scratch := a.Floats(classes)
+			for bi, si := range idx[start:end] {
+				row := logits.Data[bi*classes : (bi+1)*classes]
+				gradRow := grad.Data[bi*classes : (bi+1)*classes]
+				switch cfg.Loss {
+				case LossSquared:
+					totalLoss += SquaredLossRowGrad(row, samples[si].Label, gradRow, scratch)
+				default:
+					totalLoss += CrossEntropyLossRow(row, samples[si].Label, gradRow)
+				}
+			}
+			net.BackwardBatch(grad, a)
+			step(float64(b))
+		}
+		lastAvg = totalLoss / float64(len(idx))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastAvg)
+		}
+		if afterEpoch != nil {
+			afterEpoch()
+		}
+	}
+	return lastAvg, nil
+}
+
+// trainNaive is the original one-sample-at-a-time SGD loop, retained
+// verbatim as the reference implementation the equivalence tests pin the
+// batched path against (serialized trained weights must match byte for
+// byte).
+func trainNaive(net *Network, samples []Sample, cfg TrainConfig, rng *rand.Rand) (float64, error) {
 	if len(samples) == 0 {
 		return 0, fmt.Errorf("nn: no training samples")
 	}
@@ -62,7 +174,6 @@ func Train(net *Network, samples []Sample, cfg TrainConfig, rng *rand.Rand) (flo
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		totalLoss := 0.0
-		batchCount := 0
 		for start := 0; start < len(idx); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(idx) {
@@ -84,7 +195,6 @@ func Train(net *Network, samples []Sample, cfg TrainConfig, rng *rand.Rand) (flo
 				net.Backward(grad)
 			}
 			net.Step(lr, float64(end-start))
-			batchCount++
 		}
 		lastAvg = totalLoss / float64(len(idx))
 		if cfg.OnEpoch != nil {
@@ -95,21 +205,51 @@ func Train(net *Network, samples []Sample, cfg TrainConfig, rng *rand.Rand) (flo
 	return lastAvg, nil
 }
 
+// evalChunk bounds Evaluate's batch size: big enough to amortize the GEMM
+// setup (and the Dense weight transpose, which is rebuilt per chunk), small
+// enough to keep the arena footprint modest. Chunking cannot change result
+// bits — every sample's float ops are independent of its batch neighbours.
+const evalChunk = 256
+
 // Evaluate returns classification accuracy and mean squared loss of net over
-// samples.
+// samples. Samples flow through the batched inference path in chunks; the
+// row helpers replay the per-sample argmax and loss ops exactly, and the
+// loss accumulates in sample order, so the result bits match the historical
+// per-sample loop.
 func Evaluate(net *Network, samples []Sample) (accuracy, meanSquaredLoss float64) {
 	if len(samples) == 0 {
 		return 0, 0
 	}
+	sampleLen := samples[0].X.Len()
+	batchShape := append([]int{0}, samples[0].X.Shape...)
+	a := NewArena()
 	correct := 0
 	totalLoss := 0.0
-	for _, s := range samples {
-		logits := net.Forward(s.X)
-		if logits.MaxIndex() == s.Label {
-			correct++
+	for start := 0; start < len(samples); start += evalChunk {
+		end := min(start+evalChunk, len(samples))
+		b := end - start
+		a.Reset()
+		batchShape[0] = b
+		in := a.Tensor(batchShape...)
+		for bi := 0; bi < b; bi++ {
+			x := samples[start+bi].X
+			if x.Len() != sampleLen {
+				//lint:allow panicpolicy mirrors the Forward shape guards: a ragged evaluation set is a programmer error and the historical signature has no error channel
+				panic(fmt.Sprintf("nn: eval sample %d has %d features, want %d", start+bi, x.Len(), sampleLen))
+			}
+			copy(in.Data[bi*sampleLen:(bi+1)*sampleLen], x.Data)
 		}
-		l, _ := SquaredLoss(logits, s.Label)
-		totalLoss += l
+		logits := net.ForwardBatch(in, a)
+		classes := logits.Shape[1]
+		scratch := a.Floats(classes)
+		for bi := 0; bi < b; bi++ {
+			row := logits.Data[bi*classes : (bi+1)*classes]
+			label := samples[start+bi].Label
+			if ArgmaxRow(row) == label {
+				correct++
+			}
+			totalLoss += SquaredLossRow(row, label, scratch)
+		}
 	}
 	n := float64(len(samples))
 	return float64(correct) / n, totalLoss / n

@@ -1,0 +1,291 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Training equivalence suite: batched minibatch SGD (Train/TrainWith over
+// ForwardBatchTrain/BackwardBatch) must produce bit-identical trained
+// weights to the retained per-sample reference loop (trainNaive) — same
+// float64 parameter bits AND byte-identical serialized checkpoints — for
+// every family architecture, both loss kinds, and dropout-bearing nets.
+
+// trainCase pairs an architecture builder with a deterministic init seed.
+// Builders cover every constructor buildFamily (internal/models) uses, both
+// capacity tiers, at a reduced 20x20 input so the suite stays fast.
+type trainCase struct {
+	name  string
+	build func(rng *rand.Rand) *Network
+}
+
+func trainFamily() []trainCase {
+	in := []int{1, 20, 20}
+	const k = 10
+	return []trainCase{
+		{"cnn-s", func(rng *rand.Rand) *Network { return BuildCNN("cnn-s", in, 8, 16, 32, k, rng) }},
+		{"cnn-l", func(rng *rand.Rand) *Network { return BuildCNN("cnn-l", in, 16, 32, 64, k, rng) }},
+		{"lenet-s", func(rng *rand.Rand) *Network { return BuildLeNet5("lenet-s", in, 1, k, rng) }},
+		{"lenet-l", func(rng *rand.Rand) *Network { return BuildLeNet5("lenet-l", in, 2, k, rng) }},
+		{"mlp-s", func(rng *rand.Rand) *Network { return BuildMLP("mlp-s", in, 64, 32, k, rng) }},
+		{"mlp-l", func(rng *rand.Rand) *Network { return BuildMLP("mlp-l", in, 256, 128, k, rng) }},
+		{"mobile-s", func(rng *rand.Rand) *Network { return BuildMobileCNN("mobile-s", in, 4, 8, k, rng) }},
+		{"mobile-l", func(rng *rand.Rand) *Network { return BuildMobileCNN("mobile-l", in, 16, 32, k, rng) }},
+		{"mlp-layernorm", func(rng *rand.Rand) *Network {
+			ln, err := NewLayerNorm(64)
+			if err != nil {
+				panic(err)
+			}
+			return NewNetwork("mlp-layernorm", in,
+				NewFlatten(),
+				NewDense(400, 64, rng),
+				ln,
+				NewReLU(),
+				NewDense(64, k, rng),
+			)
+		}},
+	}
+}
+
+func randSamples(rng *rand.Rand, n int, shape []int, classes int) []Sample {
+	samples := make([]Sample, n)
+	for i := range samples {
+		samples[i] = Sample{X: randTensor(rng, shape...), Label: rng.Intn(classes)}
+	}
+	return samples
+}
+
+// paramsBitsEqual compares every parameter tensor of two networks bit for
+// bit (stronger than the float32 wire format, which could mask low bits).
+func paramsBitsEqual(t *testing.T, name string, got, want *Network) {
+	t.Helper()
+	for li, l := range got.Layers {
+		wp := want.Layers[li].Params()
+		for pi, p := range l.Params() {
+			bitsEqual(t, name, p.Data, wp[pi].Data)
+		}
+	}
+}
+
+func serialized(t *testing.T, net *Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTrainBatchedMatchesNaiveBitForBit(t *testing.T) {
+	for _, tc := range trainFamily() {
+		for _, loss := range []LossKind{LossCrossEntropy, LossSquared} {
+			sampleRng := rand.New(rand.NewSource(61))
+			samples := randSamples(sampleRng, 33, []int{1, 20, 20}, 10)
+			cfg := TrainConfig{Epochs: 2, BatchSize: 7, LR: 0.05, LRDecay: 0.9, Loss: loss}
+
+			naiveNet := tc.build(rand.New(rand.NewSource(62)))
+			batchNet := tc.build(rand.New(rand.NewSource(62)))
+			naiveAvg, err := trainNaive(naiveNet, samples, cfg, rand.New(rand.NewSource(63)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchAvg, err := Train(batchNet, samples, cfg, rand.New(rand.NewSource(63)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := tc.name + "/" + lossName(loss)
+			if math.Float64bits(naiveAvg) != math.Float64bits(batchAvg) {
+				t.Fatalf("%s: final avg loss %v (batched) != %v (naive)", name, batchAvg, naiveAvg)
+			}
+			paramsBitsEqual(t, name, batchNet, naiveNet)
+			if !bytes.Equal(serialized(t, batchNet), serialized(t, naiveNet)) {
+				t.Fatalf("%s: serialized checkpoints differ", name)
+			}
+		}
+	}
+}
+
+func lossName(l LossKind) string {
+	if l == LossSquared {
+		return "squared"
+	}
+	return "xent"
+}
+
+// TestTrainDropoutBatchedMatchesNaive covers the RNG-ordering contract:
+// dropout masks must be drawn in the per-sample loop's (sample, layer)
+// order, including when two dropout layers share one RNG stream.
+func TestTrainDropoutBatchedMatchesNaive(t *testing.T) {
+	in := []int{1, 12, 12}
+	builders := []struct {
+		name  string
+		build func(initRng, dropRng *rand.Rand) *Network
+	}{
+		{"dense-two-dropouts", func(initRng, dropRng *rand.Rand) *Network {
+			d1, err := NewDropout(0.3, dropRng)
+			if err != nil {
+				panic(err)
+			}
+			d2, err := NewDropout(0.5, dropRng)
+			if err != nil {
+				panic(err)
+			}
+			return NewNetwork("dense-two-dropouts", in,
+				NewFlatten(),
+				NewDense(144, 48, initRng),
+				NewReLU(),
+				d1,
+				NewDense(48, 24, initRng),
+				NewReLU(),
+				d2,
+				NewDense(24, 10, initRng),
+			)
+		}},
+		{"conv-dropout", func(initRng, dropRng *rand.Rand) *Network {
+			d1, err := NewDropout(0.25, dropRng)
+			if err != nil {
+				panic(err)
+			}
+			conv := NewConv2D(1, 6, 3, initRng)
+			front := []Layer{conv, NewReLU(), NewMaxPool2D(), NewFlatten()}
+			flat := flattenDim(in, front...)
+			layers := append(front, d1, NewDense(flat, 10, initRng))
+			return NewNetwork("conv-dropout", in, layers...)
+		}},
+	}
+	for _, b := range builders {
+		for _, loss := range []LossKind{LossCrossEntropy, LossSquared} {
+			samples := randSamples(rand.New(rand.NewSource(71)), 19, in, 10)
+			cfg := TrainConfig{Epochs: 2, BatchSize: 5, LR: 0.1, Loss: loss}
+
+			naiveNet := b.build(rand.New(rand.NewSource(72)), rand.New(rand.NewSource(73)))
+			batchNet := b.build(rand.New(rand.NewSource(72)), rand.New(rand.NewSource(73)))
+			naiveAvg, err := trainNaive(naiveNet, samples, cfg, rand.New(rand.NewSource(74)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchAvg, err := Train(batchNet, samples, cfg, rand.New(rand.NewSource(74)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := b.name + "/" + lossName(loss)
+			if math.Float64bits(naiveAvg) != math.Float64bits(batchAvg) {
+				t.Fatalf("%s: final avg loss %v (batched) != %v (naive)", name, batchAvg, naiveAvg)
+			}
+			paramsBitsEqual(t, name, batchNet, naiveNet)
+		}
+	}
+}
+
+// TestTrainWithBatchedMatchesNaive pins TrainWith's rewired engine: with a
+// plain SGD optimizer it must reproduce trainNaive (constant LR) exactly.
+func TestTrainWithBatchedMatchesNaive(t *testing.T) {
+	in := []int{1, 20, 20}
+	samples := randSamples(rand.New(rand.NewSource(81)), 26, in, 10)
+	cfg := TrainConfig{Epochs: 2, BatchSize: 8, LR: 0.05, Loss: LossCrossEntropy}
+
+	naiveNet := BuildCNN("cnn", in, 4, 8, 16, 10, rand.New(rand.NewSource(82)))
+	batchNet := BuildCNN("cnn", in, 4, 8, 16, 10, rand.New(rand.NewSource(82)))
+	naiveAvg, err := trainNaive(naiveNet, samples, cfg, rand.New(rand.NewSource(83)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewSGD(cfg.LR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchAvg, err := TrainWith(batchNet, samples, cfg, opt, rand.New(rand.NewSource(83)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(naiveAvg) != math.Float64bits(batchAvg) {
+		t.Fatalf("final avg loss %v (TrainWith) != %v (naive)", batchAvg, naiveAvg)
+	}
+	paramsBitsEqual(t, "trainwith-sgd", batchNet, naiveNet)
+}
+
+// evaluateNaive is the historical per-sample Evaluate loop, retained as the
+// reference the batched Evaluate is pinned against.
+func evaluateNaive(net *Network, samples []Sample) (accuracy, meanSquaredLoss float64) {
+	correct := 0
+	totalLoss := 0.0
+	for _, s := range samples {
+		logits := net.Forward(s.X)
+		if logits.MaxIndex() == s.Label {
+			correct++
+		}
+		l, _ := SquaredLoss(logits, s.Label)
+		totalLoss += l
+	}
+	n := float64(len(samples))
+	return float64(correct) / n, totalLoss / n
+}
+
+func TestEvaluateMatchesNaiveBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, net := range zooForTest(rng) {
+		// 71 samples spans a full evalChunk plus a ragged tail.
+		samples := randSamples(rng, 71, net.InShape(), 10)
+		wantAcc, wantLoss := evaluateNaive(net, samples)
+		gotAcc, gotLoss := Evaluate(net, samples)
+		if math.Float64bits(gotAcc) != math.Float64bits(wantAcc) {
+			t.Fatalf("%s: accuracy %v, want %v", net.Name, gotAcc, wantAcc)
+		}
+		if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+			t.Fatalf("%s: mean loss %v, want %v", net.Name, gotLoss, wantLoss)
+		}
+	}
+	if acc, loss := Evaluate(zooForTest(rng)[0], nil); acc != 0 || loss != 0 {
+		t.Fatalf("empty evaluation = (%v, %v), want (0, 0)", acc, loss)
+	}
+}
+
+// TestConvForwardZeroAllocsSteadyState pins the satellite win: after the
+// warm-up call, Conv2D.Forward serves output and im2col scratch from the
+// layer-owned arena with zero heap allocations.
+func TestConvForwardZeroAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	conv := NewConv2D(6, 16, 5, rng)
+	in := randTensor(rng, 6, 14, 14)
+	conv.Forward(in)
+	allocs := testing.AllocsPerRun(100, func() { conv.Forward(in) })
+	if allocs > 0 {
+		t.Fatalf("steady-state Conv2D.Forward allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestLossRowGradsMatchPerSampleBitForBit pins the row-variant loss
+// gradients (the value-only SquaredLossRow is covered in batch_equiv_test).
+func TestLossRowGradsMatchPerSampleBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	gradRow := make([]float64, 10)
+	scratch := make([]float64, 10)
+	for i := 0; i < 50; i++ {
+		logits := randTensor(rng, 10)
+		label := rng.Intn(10)
+
+		wantLoss, wantGrad := CrossEntropyLoss(randClone(logits), label)
+		gotLoss := CrossEntropyLossRow(logits.Data, label, gradRow)
+		if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+			t.Fatalf("xent loss %v, want %v", gotLoss, wantLoss)
+		}
+		bitsEqual(t, "xent grad", gradRow, wantGrad.Data)
+
+		wantLoss, wantGrad = SquaredLoss(logits, label)
+		gotLoss = SquaredLossRowGrad(logits.Data, label, gradRow, scratch)
+		if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+			t.Fatalf("squared loss %v, want %v", gotLoss, wantLoss)
+		}
+		bitsEqual(t, "squared grad", gradRow, wantGrad.Data)
+	}
+}
+
+// randClone deep-copies a tensor (CrossEntropyLoss mutates its softmax
+// buffer, which aliases nothing here but keeps inputs pristine).
+func randClone(t *Tensor) *Tensor {
+	c := NewTensor(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
