@@ -43,7 +43,7 @@ chaos:
 
 bench:
 	$(GO) run ./cmd/nnbench -out BENCH_nn.json
-	$(GO) test ./internal/sim/ -run XX -bench BenchmarkSlotStepParallel -benchtime 3x
+	$(GO) test ./internal/sim/ -run XX -bench 'BenchmarkSlotStepParallel|BenchmarkEngineSharded' -benchtime 3x
 
 bench-diff:
 	$(GO) run ./cmd/nnbench -diff BENCH_nn.json

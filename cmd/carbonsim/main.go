@@ -9,6 +9,7 @@
 //	carbonsim -combo Ours              # run a single combination
 //	carbonsim -cap 5 -rate 1000 -switch-weight 4
 //	carbonsim -zoo mnist               # use a trained neural-network zoo
+//	carbonsim -edges 100000 -horizon 8 -mean-workload 4 -combo Ours -shards 4
 package main
 
 import (
@@ -46,7 +47,9 @@ func run(args []string, stdout io.Writer) (err error) {
 		rate         = fs.Float64("rate", -1, "carbon emission rate g/kWh (-1 = default 500)")
 		switchWeight = fs.Float64("switch-weight", 1, "weight on the model switching cost")
 		combo        = fs.String("combo", "", "run only this combination (e.g. Ours, UCB-LY)")
-		workers      = fs.Int("workers", 1, "edge-stepping workers per slot (1 = serial; results are identical for any count)")
+		workers      = fs.Int("workers", 1, "edge-stepping workers per shard (1 = serial; results are identical for any count)")
+		shards       = fs.Int("shards", 1, "contiguous edge shards per slot (results are identical for any count)")
+		meanWorkload = fs.Float64("mean-workload", -1, "average peak samples/slot per edge (-1 = default 200; lower it for very large fleets)")
 		zooKind      = fs.String("zoo", "surrogate", "model zoo: surrogate | mnist | cifar")
 		jsonOut      = fs.String("json", "", "write full per-slot results (JSON lines, one object per scheme) to this file")
 		workloadCSV  = fs.String("workload-csv", "", "load the workload trace from this CSV instead of generating it")
@@ -77,6 +80,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if *rate >= 0 {
 		cfg.EmissionRate = *rate
+	}
+	if *meanWorkload >= 0 {
+		cfg.MeanPeakWorkload = *meanWorkload
 	}
 
 	zoo, err := buildZoo(*zooKind, *seed)
@@ -110,14 +116,14 @@ func run(args []string, stdout io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		res, err := sim.RunWorkers(scenario, c.Name, c.Policy, c.Trader, *workers)
+		res, err := sim.RunSharded(scenario, c.Name, c.Policy, c.Trader, *shards, *workers)
 		if err != nil {
 			return err
 		}
 		results = append(results, res)
 	} else {
 		for _, c := range sim.Combos() {
-			res, err := sim.RunWorkers(scenario, c.Name, c.Policy, c.Trader, *workers)
+			res, err := sim.RunSharded(scenario, c.Name, c.Policy, c.Trader, *shards, *workers)
 			if err != nil {
 				return fmt.Errorf("run %s: %w", c.Name, err)
 			}

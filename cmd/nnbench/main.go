@@ -28,6 +28,7 @@ import (
 	"github.com/carbonedge/carbonedge/internal/models"
 	"github.com/carbonedge/carbonedge/internal/nn"
 	"github.com/carbonedge/carbonedge/internal/numeric"
+	"github.com/carbonedge/carbonedge/internal/sim"
 )
 
 // entry is one benchmark's recorded result.
@@ -70,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 		{"TrainEpoch", benchTrainEpoch},
 		{"ZooBuild", benchZooBuild},
 		{"SlotStep", benchSlotStep},
+		{"EngineSlot", benchEngineSlot},
 		{"Fig3Regen", benchFig3},
 		{"Fig12Regen", benchFig12},
 	}
@@ -249,6 +251,29 @@ func benchSlotStep(b *testing.B) {
 		if _, err := rt.RunSlot(i+1, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchEngineSlot measures the sharded engine's per-slot cost on a 256-edge
+// fleet at a small per-edge workload: b.N is the horizon, so ns/op is the
+// cost of one full slot — selection, four shards stepping 64 edges each,
+// the canonical-order accounting fold, and the trade/ledger update.
+func benchEngineSlot(b *testing.B) {
+	cfg := sim.DefaultConfig(256)
+	cfg.Horizon = b.N
+	cfg.MeanPeakWorkload = 2
+	zoo, err := models.DefaultSurrogateZoo(numeric.SplitRNG(5, "nnbench-engine-zoo"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.NewScenario(cfg, zoo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := sim.RunSharded(s, "Ours", sim.PolicyOurs, sim.TraderOurs, 4, 1); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -8,8 +8,11 @@
 //
 //   - compound accumulation (+=, -=, *=, /=, or x = x + ...) into a
 //     float-typed lvalue declared outside the loop,
-//   - append of a float-typed value other than the bare range key (key
-//     collection for sorting is the approved fix and stays legal),
+//   - append of a float-carrying value — a plain float or a composite
+//     (struct/array/slice, e.g. an engine.EdgeDelta) with float components
+//     anywhere inside — other than the bare range key (key collection for
+//     sorting is the approved fix and stays legal); a slice of such values
+//     built in map order would fold to different bits run to run,
 //   - fmt print calls (output lines in map order).
 //
 // The fix is always the same: collect the keys, sort them, iterate the
@@ -27,8 +30,9 @@ import (
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "maporder",
-	Doc: "flags float accumulation, float appends, and printing inside range-over-map " +
-		"bodies; iterate sorted keys instead so results don't depend on map order",
+	Doc: "flags float accumulation, appends of float-carrying values, and printing " +
+		"inside range-over-map bodies; iterate sorted keys instead so results " +
+		"don't depend on map order",
 	Run: run,
 }
 
@@ -38,6 +42,35 @@ func isFloat(t types.Type) bool {
 	}
 	basic, ok := t.Underlying().(*types.Basic)
 	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// carriesFloat reports whether t is a float or a composite with a float
+// component anywhere inside — a struct field, array/slice element, or a
+// nesting of those (e.g. engine.EdgeDelta, []engine.SlotDelta). Appending
+// such a value in map order is as order-sensitive as appending the float
+// itself. seen breaks cycles through self-referential named types.
+func carriesFloat(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesFloat(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return carriesFloat(u.Elem(), seen)
+	case *types.Slice:
+		return carriesFloat(u.Elem(), seen)
+	case *types.Pointer:
+		return carriesFloat(u.Elem(), seen)
+	}
+	return false
 }
 
 // rootIdent unwraps selectors/indexes to the base identifier: s.total -> s.
@@ -139,14 +172,20 @@ func checkBody(pass *analysis.Pass, rs *ast.RangeStmt) {
 			case *ast.Ident:
 				if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
 					for _, arg := range s.Args[1:] {
-						if !isFloat(pass.TypeOf(arg)) {
+						t := pass.TypeOf(arg)
+						if !carriesFloat(t, make(map[types.Type]bool)) {
 							continue
 						}
 						if id, ok := arg.(*ast.Ident); ok && keyObj != nil && pass.TypesInfo.ObjectOf(id) == keyObj {
 							continue // collecting keys to sort: the approved fix
 						}
-						pass.Reportf(s.Pos(),
-							"float append in map iteration order; collect and sort the keys, then iterate those")
+						if isFloat(t) {
+							pass.Reportf(s.Pos(),
+								"float append in map iteration order; collect and sort the keys, then iterate those")
+						} else {
+							pass.Reportf(s.Pos(),
+								"append of a float-carrying %s in map iteration order; collect and sort the keys, then iterate those", t)
+						}
 					}
 				}
 			case *ast.SelectorExpr:

@@ -38,6 +38,39 @@ func floatAppend(m map[string]float64) []float64 {
 	return vals
 }
 
+// delta mimics the engine's per-edge accounting terms: a struct carrying
+// floats is as order-sensitive to append as a bare float.
+type delta struct {
+	Edge  int
+	Terms []float64
+	inner struct{ kwh float64 }
+}
+
+func compositeAppend(m map[int]delta, ptrs map[int]*delta) ([]delta, []*delta, [][]float64) {
+	var ds []delta
+	var ps []*delta
+	var rows [][]float64
+	for _, d := range m {
+		ds = append(ds, d)           // want `append of a float-carrying a\.delta in map iteration order`
+		rows = append(rows, d.Terms) // want `append of a float-carrying \[\]float64 in map iteration order`
+	}
+	for _, p := range ptrs {
+		ps = append(ps, p) // want `append of a float-carrying \*a\.delta in map iteration order`
+	}
+	return ds, ps, rows
+}
+
+// floatFree composites are order-insensitive to collect.
+type intPair struct{ a, b int }
+
+func intComposite(m map[string]intPair) []intPair {
+	var out []intPair
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
 func output(m map[string]int) {
 	for k, v := range m {
 		fmt.Println(k, v) // want `fmt\.Println inside range over map emits output in map iteration order`

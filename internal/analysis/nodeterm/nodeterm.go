@@ -1,6 +1,6 @@
 // Package nodeterm forbids the nondeterminism primitives that would break
-// the engine's bit-for-bit reproducibility guarantee: wall-clock reads and
-// ad-hoc randomness.
+// the engine's bit-for-bit reproducibility guarantee: wall-clock reads,
+// wall-clock waiting, and ad-hoc randomness.
 //
 // The shared engine (internal/engine) promises identical results for any
 // worker count. That holds only while every package in the slot-stepping
@@ -24,9 +24,10 @@ import (
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "nodeterm",
-	Doc: "forbids wall-clock reads (time.Now/Since/Until) and ad-hoc randomness " +
-		"(global math/rand functions, rand.New/NewSource outside internal/numeric); " +
-		"derive RNGs via numeric.SplitRNG so runs replay bit-for-bit",
+	Doc: "forbids wall-clock reads (time.Now/Since/Until), wall-clock waiting " +
+		"(time.Sleep), and ad-hoc randomness (global math/rand functions, " +
+		"rand.New/NewSource outside internal/numeric); derive RNGs via " +
+		"numeric.SplitRNG so runs replay bit-for-bit",
 	Run: run,
 }
 
@@ -66,6 +67,10 @@ func run(pass *analysis.Pass) (any, error) {
 				if wallClock[name] {
 					pass.Reportf(sel.Pos(),
 						"time.%s reads the wall clock; inject a clock or keep timing out of deterministic code", name)
+				}
+				if name == "Sleep" {
+					pass.Reportf(sel.Pos(),
+						"time.Sleep waits on the wall clock; inject a sleep function so tests and replays control time")
 				}
 			case "math/rand", "math/rand/v2":
 				switch {

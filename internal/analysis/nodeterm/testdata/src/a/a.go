@@ -19,6 +19,20 @@ func globalRand() {
 	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle draws from process-wide state`
 }
 
+func sleeper() {
+	time.Sleep(time.Second) // want `time\.Sleep waits on the wall clock`
+}
+
+// referencing the function (not calling it) is just as wall-clock-bound.
+func sleepRef() func(time.Duration) {
+	return time.Sleep // want `time\.Sleep waits on the wall clock`
+}
+
+func annotatedSleep() {
+	//lint:allow nodeterm testdata: real backoff; tests inject a zero-time sleep
+	time.Sleep(time.Millisecond)
+}
+
 func adHocRNG() *rand.Rand {
 	src := rand.NewSource(42) // want `ad-hoc RNG construction \(rand\.NewSource\)`
 	return rand.New(src)      // want `ad-hoc RNG construction \(rand\.New\)`

@@ -1,19 +1,14 @@
 package deploy
 
 import (
-	"errors"
 	"fmt"
-	"math/rand"
 	"net"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/carbonedge/carbonedge/internal/core"
 	"github.com/carbonedge/carbonedge/internal/energy"
 	"github.com/carbonedge/carbonedge/internal/engine"
 	"github.com/carbonedge/carbonedge/internal/market"
-	"github.com/carbonedge/carbonedge/internal/numeric"
 	"github.com/carbonedge/carbonedge/internal/trading"
 )
 
@@ -104,17 +99,33 @@ type Summary struct {
 	DownErrors   []string
 }
 
-// Cloud hosts the models and the online controller.
+// summaryFromResult translates an engine Result into the deployment Summary.
+func summaryFromResult(res *engine.Result, resumes []int) *Summary {
+	return &Summary{
+		ObservedLoss: res.Cost.InferLoss + res.Cost.Compute,
+		TradingCost:  res.Cost.Trading,
+		Emissions:    res.Emissions,
+		Decisions:    res.Decisions,
+		Fit:          res.Fit,
+		Switches:     res.Switches,
+		Accuracy:     res.OverallAccuracy,
+		Selections:   res.Selections,
+		Downtime:     res.Downtime,
+		DroppedSlots: res.DroppedSlots,
+		Retries:      res.Retries,
+		Resumes:      resumes,
+		DownErrors:   res.DownErrors,
+	}
+}
+
+// Cloud hosts the models and the online controller. Its TCP-facing fleet
+// machinery (admission, resume, retries, the per-slot exchange) lives in the
+// embedded edgeFleet, which the regional-aggregator tier reuses verbatim.
 type Cloud struct {
 	cfg    CloudConfig
 	source ModelSource
 	ctrl   *core.Controller
-	links  []*edgeLink
-	// sleep performs retry backoff; injectable so chaos tests replay with
-	// zero wall time. Defaults to time.Sleep.
-	sleep func(time.Duration)
-	// done flips once the run is over: the acceptor stops admitting.
-	done atomic.Bool
+	*edgeFleet
 }
 
 // NewCloud validates the configuration and builds the controller.
@@ -140,20 +151,13 @@ func NewCloud(cfg CloudConfig, source ModelSource) (*Cloud, error) {
 	if cfg.Policy != engine.FailFast && cfg.Policy != engine.Degrade {
 		return nil, fmt.Errorf("deploy: unknown error policy %d", cfg.Policy)
 	}
-	avgPrice := 0.0
-	for t := 0; t < cfg.Horizon; t++ {
-		avgPrice += cfg.Prices.Buy[t]
-	}
-	if cfg.Horizon > 0 {
-		avgPrice /= float64(cfg.Horizon)
-	}
 	ctrl, err := core.New(core.Config{
 		NumModels:     source.NumModels(),
 		DownloadCosts: cfg.DownloadCosts,
 		Horizon:       cfg.Horizon,
 		InitialCap:    cfg.InitialCap,
 		EmissionScale: cfg.EmissionScale,
-		PriceScale:    avgPrice,
+		PriceScale:    avgBuyPrice(cfg.Prices, cfg.Horizon),
 		Seed:          cfg.Seed,
 	})
 	if err != nil {
@@ -164,50 +168,31 @@ func NewCloud(cfg CloudConfig, source ModelSource) (*Cloud, error) {
 	if _, err := energy.NewMeter(cfg.EmissionRate); err != nil {
 		return nil, err
 	}
-	// Resume tokens are deterministic from the seed: they bind a redialing
-	// connection to the session it claims (mis-binding protection inside a
-	// trusted deployment), not an authentication secret.
-	tokenRNG := numeric.SplitRNG(cfg.Seed, "deploy-resume-token")
-	links := make([]*edgeLink, cfg.Edges)
-	for i := range links {
-		links[i] = &edgeLink{
-			id:       i,
-			token:    fmt.Sprintf("%016x-%02d", tokenRNG.Uint64(), i),
-			incoming: make(chan net.Conn, 1),
-		}
-	}
-	return &Cloud{cfg: cfg, source: source, ctrl: ctrl, links: links, sleep: time.Sleep}, nil
+	c := &Cloud{cfg: cfg, source: source, ctrl: ctrl}
+	c.edgeFleet = newEdgeFleet(fleetConfig{
+		count:   cfg.Edges,
+		offset:  0,
+		horizon: cfg.Horizon,
+		seed:    cfg.Seed,
+		timeouts: func() (time.Duration, time.Duration) {
+			return c.cfg.HandshakeTimeout, c.cfg.SlotTimeout
+		},
+		retry: cfg.Retry,
+	}, source)
+	return c, nil
 }
 
-// edgeLink is the cloud-side connection slot of one edge: the acceptor
-// delivers handshaken connections (initial and resumed) into incoming, and
-// the edge's stepper consumes them. A dropped edge leaves its link empty
-// until a resume arrives.
-type edgeLink struct {
-	id       int
-	token    string
-	incoming chan net.Conn
-
-	mu      sync.Mutex
-	claimed bool // initial connection admitted
-	resumes int
-}
-
-// deliver hands a fresh connection to the stepper, replacing any stale one
-// that was never consumed (latest connection wins).
-func (l *edgeLink) deliver(conn net.Conn) {
-	for {
-		select {
-		case l.incoming <- conn:
-			return
-		default:
-			select {
-			case stale := <-l.incoming:
-				stale.Close()
-			default:
-			}
-		}
+// avgBuyPrice is the mean buy quote over the horizon: the price scale the
+// cloud-side controllers (Cloud and Root) hand Algorithm 2.
+func avgBuyPrice(p *market.Prices, horizon int) float64 {
+	avg := 0.0
+	for t := 0; t < horizon; t++ {
+		avg += p.Buy[t]
 	}
+	if horizon > 0 {
+		avg /= float64(horizon)
+	}
+	return avg
 }
 
 // Serve admits cfg.Edges edge sessions from ln, runs the full horizon, and
@@ -216,162 +201,12 @@ func (l *edgeLink) deliver(conn net.Conn) {
 // caller owns it), but Serve unblocks its own acceptor on return when the
 // listener supports deadlines (as TCP listeners do).
 func (c *Cloud) Serve(ln net.Listener) (*Summary, error) {
-	initial := make(chan int, c.cfg.Edges)
-	acceptErr := make(chan error, 1)
-	go c.acceptLoop(ln, initial, acceptErr)
-	defer func() {
-		c.done.Store(true)
-		// Unblock a blocked Accept without closing the caller's listener: a
-		// deadline in the distant past forces an immediate timeout.
-		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
-			d.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // best-effort unblock
-		}
-	}()
-
-	connected := 0
-	for connected < c.cfg.Edges {
-		select {
-		case <-initial:
-			connected++
-		case err := <-acceptErr:
-			// The acceptor is gone; drain admissions that completed before
-			// it died, then fail if the fleet is still short.
-			for {
-				select {
-				case <-initial:
-					connected++
-					continue
-				default:
-				}
-				break
-			}
-			if connected < c.cfg.Edges {
-				return nil, fmt.Errorf("deploy: accept: %w", err)
-			}
-		}
-	}
-	return c.run()
-}
-
-// acceptLoop admits connections for the whole run: initial handshakes first,
-// session resumes once the run is underway. Admissions run concurrently so
-// one slow (or silent) client cannot wedge the fleet.
-func (c *Cloud) acceptLoop(ln net.Listener, initial chan<- int, acceptErr chan<- error) {
-	var wg sync.WaitGroup
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			wg.Wait() // let in-flight admissions finish before reporting
-			if !c.done.Load() {
-				select {
-				case acceptErr <- err:
-				default:
-				}
-			}
-			return
-		}
-		if c.done.Load() {
-			conn.Close()
-			continue
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c.admit(conn, initial)
-		}()
-	}
-}
-
-// admit performs one connection's handshake under the handshake deadline and
-// delivers the connection to its edge's link. Bad clients are rejected and
-// closed without disturbing the fleet.
-func (c *Cloud) admit(conn net.Conn, initial chan<- int) {
-	admitted := false
-	defer func() {
-		if !admitted {
-			conn.Close()
-		}
-	}()
-	timeout := c.cfg.HandshakeTimeout
-	if timeout == 0 {
-		timeout = DefaultHandshakeTimeout
-	}
-	if timeout > 0 {
-		//lint:allow nodeterm real I/O deadline on a live connection; wall time is the only clock the kernel honors
-		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-			return
-		}
-	}
-	m, err := ReadMessage(conn)
+	stop, err := c.awaitFleet(ln)
 	if err != nil {
-		return
+		return nil, err
 	}
-	if m.Type != MsgHello {
-		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "expected Hello"})
-		return
-	}
-	if m.EdgeID < 0 || m.EdgeID >= len(c.links) {
-		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("bad edge id %d", m.EdgeID)})
-		return
-	}
-	link := c.links[m.EdgeID]
-
-	if m.Resume {
-		if m.ResumeToken != link.token {
-			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "bad resume token"})
-			return
-		}
-		if m.DoneSlots < 0 || m.DoneSlots > c.cfg.Horizon {
-			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("implausible resume position %d", m.DoneSlots)})
-			return
-		}
-		// The resume Welcome intentionally omits the zoo metadata: the edge
-		// already holds it (and its loaded checkpoints) from the session.
-		if err := WriteMessage(conn, &Message{Type: MsgWelcome, EdgeID: m.EdgeID, Resume: true}); err != nil {
-			return
-		}
-		if timeout > 0 {
-			conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
-		}
-		link.mu.Lock()
-		link.resumes++
-		link.mu.Unlock()
-		link.deliver(conn)
-		admitted = true
-		return
-	}
-
-	link.mu.Lock()
-	if link.claimed {
-		link.mu.Unlock()
-		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("duplicate edge id %d", m.EdgeID)})
-		return
-	}
-	link.claimed = true
-	link.mu.Unlock()
-	metas := make([]ModelMeta, c.source.NumModels())
-	for n := range metas {
-		metas[n] = c.source.Meta(n)
-	}
-	welcome := &Message{
-		Type:        MsgWelcome,
-		EdgeID:      m.EdgeID,
-		NumModels:   len(metas),
-		Models:      metas,
-		ResumeToken: link.token,
-	}
-	if err := WriteMessage(conn, welcome); err != nil {
-		link.mu.Lock()
-		link.claimed = false
-		link.mu.Unlock()
-		return
-	}
-	if timeout > 0 {
-		conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
-	}
-	link.deliver(conn)
-	initial <- m.EdgeID
-	admitted = true
+	defer stop()
+	return c.run()
 }
 
 // run drives all slots through the shared engine: the TCP exchange with
@@ -380,24 +215,12 @@ func (c *Cloud) admit(conn net.Conn, initial chan<- int) {
 // every edge's assign/report exchange in flight concurrently, as before;
 // the retry layer and the error policy decide what a failed exchange means.
 func (c *Cloud) run() (*Summary, error) {
-	tcp := make([]*tcpStepper, len(c.links))
-	steppers := make([]engine.EdgeStepper, len(c.links))
-	for i, link := range c.links {
-		tcp[i] = &tcpStepper{
-			cloud: c,
-			link:  link,
-			id:    i,
-			rng:   numeric.SplitRNG(c.cfg.Seed, fmt.Sprintf("deploy-retry-%d", i)),
-		}
-		steppers[i] = tcp[i]
+	tcp := c.steppers()
+	steppers := make([]engine.EdgeStepper, len(tcp))
+	for i, s := range tcp {
+		steppers[i] = s
 	}
-	defer func() {
-		for _, s := range tcp {
-			if conn := s.liveConn(); conn != nil {
-				conn.Close()
-			}
-		}
-	}()
+	defer c.closeAll(tcp)
 	res, err := engine.Run(engine.Config{
 		Name:         "deploy",
 		Horizon:      c.cfg.Horizon,
@@ -406,7 +229,7 @@ func (c *Cloud) run() (*Summary, error) {
 		EmissionRate: c.cfg.EmissionRate,
 		Prices:       c.cfg.Prices,
 		SwitchCosts:  c.cfg.DownloadCosts,
-		Workers:      len(c.links),
+		Workers:      len(tcp),
 		Policy:       c.cfg.Policy,
 	}, c.ctrl, steppers)
 	if err != nil {
@@ -416,192 +239,5 @@ func (c *Cloud) run() (*Summary, error) {
 	if err := c.finish(tcp); err != nil && c.cfg.Policy == engine.FailFast {
 		return nil, err
 	}
-	resumes := make([]int, len(c.links))
-	for i, link := range c.links {
-		link.mu.Lock()
-		resumes[i] = link.resumes
-		link.mu.Unlock()
-	}
-	return &Summary{
-		ObservedLoss: res.Cost.InferLoss + res.Cost.Compute,
-		TradingCost:  res.Cost.Trading,
-		Emissions:    res.Emissions,
-		Decisions:    res.Decisions,
-		Fit:          res.Fit,
-		Switches:     res.Switches,
-		Accuracy:     res.OverallAccuracy,
-		Selections:   res.Selections,
-		Downtime:     res.Downtime,
-		DroppedSlots: res.DroppedSlots,
-		Retries:      res.Retries,
-		Resumes:      resumes,
-		DownErrors:   res.DownErrors,
-	}, nil
-}
-
-// finish notifies every still-connected edge that the run is over. The loop
-// is best-effort by design: one dead edge must not leave the others hanging
-// until their read deadlines, so every edge is attempted and the failures
-// are reported joined (and ignored entirely under Degrade).
-func (c *Cloud) finish(steppers []*tcpStepper) error {
-	var errs []error
-	for _, s := range steppers {
-		conn := s.liveConn()
-		if conn == nil {
-			continue // edge is down; nobody to notify
-		}
-		if err := WriteMessage(conn, &Message{Type: MsgDone}); err != nil {
-			errs = append(errs, fmt.Errorf("deploy: send done to edge %d: %w", s.id, err))
-		}
-	}
-	return errors.Join(errs...)
-}
-
-// abort tells every still-connected edge the run failed and returns the
-// error. Like finish, it attempts every edge before returning.
-func (c *Cloud) abort(steppers []*tcpStepper, err error) error {
-	msg := &Message{Type: MsgError, Reason: err.Error()}
-	for _, s := range steppers {
-		if conn := s.liveConn(); conn != nil {
-			_ = WriteMessage(conn, msg) // best effort; we are already failing
-		}
-	}
-	return err
-}
-
-// tcpStepper runs one edge's slot over its current connection: ship the
-// assignment (plus checkpoint on a switch), wait for the report, translate
-// it into the engine's observation. The reported average loss stands in for
-// both the bandit feedback and the accounting term — the deployment has no
-// posterior mean, only what the edge measured.
-//
-// Transient failures (resets, timeouts, mid-frame EOFs) consume the
-// per-slot retry budget: each retry backs off deterministically and waits
-// for the edge to redial and resume before re-running the exchange. Fatal
-// failures (protocol violations, invalid report numbers, edge application
-// errors) fail the slot immediately.
-type tcpStepper struct {
-	cloud *Cloud
-	link  *edgeLink
-	id    int
-	rng   *rand.Rand // deterministic backoff jitter stream
-	conn  net.Conn   // current connection; nil while the edge is down
-}
-
-// Step implements engine.EdgeStepper.
-func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, error) {
-	retry := s.cloud.cfg.Retry.withDefaults()
-	attempts := 0
-	var lastErr error
-	for {
-		if s.conn == nil {
-			if conn := s.await(retry.ResumeWait); conn != nil {
-				s.conn = conn
-			} else {
-				lastErr = fmt.Errorf("edge %d: no live connection within %v", s.id, retry.ResumeWait)
-			}
-		}
-		if s.conn != nil {
-			obs, err := s.exchange(s.conn, slot, arm, download)
-			if err == nil {
-				obs.Retries = attempts
-				return obs, nil
-			}
-			s.conn.Close()
-			s.conn = nil
-			if !Transient(err) {
-				return engine.Observation{Retries: attempts}, err
-			}
-			lastErr = err
-		}
-		if attempts >= s.cloud.cfg.Retry.Attempts {
-			return engine.Observation{Retries: attempts},
-				fmt.Errorf("edge %d slot %d: retry budget exhausted after %d retries: %w", s.id, slot, attempts, lastErr)
-		}
-		attempts++
-		s.cloud.sleep(backoffDelay(retry, attempts, s.rng))
-	}
-}
-
-// await waits up to d for the acceptor to deliver a (re)connection.
-func (s *tcpStepper) await(d time.Duration) net.Conn {
-	select {
-	case conn := <-s.link.incoming:
-		return conn
-	default:
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case conn := <-s.link.incoming:
-		return conn
-	case <-t.C:
-		return nil
-	}
-}
-
-// liveConn returns the stepper's current connection, consuming a freshly
-// resumed one if the acceptor delivered it after the last step. Callers
-// must not race Step (the engine has returned, or never started).
-func (s *tcpStepper) liveConn() net.Conn {
-	select {
-	case conn := <-s.link.incoming:
-		if s.conn != nil {
-			s.conn.Close()
-		}
-		s.conn = conn
-	default:
-	}
-	return s.conn
-}
-
-// exchange runs one assign/report round trip on conn.
-func (s *tcpStepper) exchange(conn net.Conn, slot, arm int, download bool) (engine.Observation, error) {
-	c, i := s.cloud, s.id
-	if c.cfg.SlotTimeout > 0 {
-		//lint:allow nodeterm real I/O deadline on a live TCP connection; wall time is the only clock the kernel honors
-		if err := conn.SetDeadline(time.Now().Add(c.cfg.SlotTimeout)); err != nil {
-			return engine.Observation{}, fmt.Errorf("edge %d deadline: %w", i, err)
-		}
-		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
-	}
-	assign := &Message{
-		Type:    MsgAssign,
-		Slot:    slot,
-		ModelID: arm,
-		Switch:  download,
-	}
-	if download {
-		ckpt, err := c.source.Checkpoint(arm)
-		if err != nil {
-			return engine.Observation{}, fmt.Errorf("checkpoint model %d: %w", arm, err)
-		}
-		assign.Weights = ckpt
-	}
-	if err := WriteMessage(conn, assign); err != nil {
-		return engine.Observation{}, fmt.Errorf("edge %d assign: %w", i, err)
-	}
-	rep, err := ReadMessage(conn)
-	if err != nil {
-		return engine.Observation{}, fmt.Errorf("edge %d report: %w", i, err)
-	}
-	if rep.Type == MsgError {
-		return engine.Observation{}, &EdgeError{EdgeID: i, Reason: rep.Reason}
-	}
-	if err := ValidateReport(rep); err != nil {
-		return engine.Observation{}, fmt.Errorf("edge %d: %w", i, err)
-	}
-	if rep.Slot != slot {
-		return engine.Observation{}, protocolErrorf("edge %d: report for slot %d, want %d", i, rep.Slot, slot)
-	}
-	return engine.Observation{
-		Loss:      rep.AvgLoss + rep.CompSeconds,
-		InferLoss: rep.AvgLoss,
-		Compute:   rep.CompSeconds,
-		Correct:   rep.Correct,
-		Samples:   rep.Samples,
-		InferKWh:  rep.EnergyKWh,
-		TransferKWh: energy.TransferEnergy(
-			energy.TransferEnergyPerByte, c.source.Meta(arm).SizeBytes),
-	}, nil
+	return summaryFromResult(res, c.resumes()), nil
 }

@@ -1,0 +1,476 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/carbonedge/carbonedge/internal/energy"
+	"github.com/carbonedge/carbonedge/internal/engine"
+	"github.com/carbonedge/carbonedge/internal/numeric"
+)
+
+// fleetConfig parameterizes an edgeFleet: the TCP-facing machinery that
+// admits a contiguous range of edge sessions, carries their connections
+// across drops, and exchanges per-slot assignments for reports.
+//
+// It is the deployment-transport subset of CloudConfig, factored out so both
+// the monolithic Cloud (offset 0, the whole fleet) and a regional
+// coordinator (offset = the region's shard start) drive identical admission,
+// resume, retry, and exchange code.
+type fleetConfig struct {
+	// count is the number of edges this fleet admits; offset is the global id
+	// of its first edge: the fleet serves global edge ids
+	// [offset, offset+count).
+	count  int
+	offset int
+	// horizon bounds the resume-position plausibility check.
+	horizon int
+	// seed drives the resume-token issue and the deterministic backoff
+	// jitter streams.
+	seed int64
+	// timeouts returns the current handshake and slot deadlines (the owner's
+	// CloudConfig/RegionConfig fields). It is consulted per use, not
+	// snapshotted, preserving the historical behavior that owners may adjust
+	// the deadlines between construction and serving.
+	timeouts func() (handshake, slot time.Duration)
+	// retry is the per-slot transient-failure budget.
+	retry RetryConfig
+}
+
+// edgeFleet owns the cloud-side state of a contiguous range of edge
+// sessions: one edgeLink per edge, the acceptor that admits initial and
+// resumed connections into the links, and the tcpSteppers that consume them.
+type edgeFleet struct {
+	fcfg   fleetConfig
+	source ModelSource
+	links  []*edgeLink
+	// sleep performs retry backoff; injectable so chaos tests replay with
+	// zero wall time. Defaults to time.Sleep.
+	sleep func(time.Duration)
+	// done flips once the run is over: the acceptor stops admitting.
+	done atomic.Bool
+}
+
+// newEdgeFleet builds the fleet's links with deterministic resume tokens.
+// The caller validates the configuration (see NewCloud / RunRegion).
+func newEdgeFleet(cfg fleetConfig, source ModelSource) *edgeFleet {
+	// Resume tokens are deterministic from the seed: they bind a redialing
+	// connection to the session it claims (mis-binding protection inside a
+	// trusted deployment), not an authentication secret.
+	tokenRNG := numeric.SplitRNG(cfg.seed, "deploy-resume-token")
+	links := make([]*edgeLink, cfg.count)
+	for i := range links {
+		links[i] = &edgeLink{
+			id:       cfg.offset + i,
+			token:    fmt.Sprintf("%016x-%02d", tokenRNG.Uint64(), i),
+			incoming: make(chan net.Conn, 1),
+		}
+	}
+	//lint:allow nodeterm retry backoff is real wall-clock waiting; chaos tests inject a zero-time sleep
+	return &edgeFleet{fcfg: cfg, source: source, links: links, sleep: time.Sleep}
+}
+
+// edgeLink is the cloud-side connection slot of one edge: the acceptor
+// delivers handshaken connections (initial and resumed) into incoming, and
+// the edge's stepper consumes them. A dropped edge leaves its link empty
+// until a resume arrives.
+type edgeLink struct {
+	id       int // global edge id
+	token    string
+	incoming chan net.Conn
+
+	mu      sync.Mutex
+	claimed bool // initial connection admitted
+	resumes int
+}
+
+// deliver hands a fresh connection to the stepper, replacing any stale one
+// that was never consumed (latest connection wins).
+func (l *edgeLink) deliver(conn net.Conn) {
+	for {
+		select {
+		case l.incoming <- conn:
+			return
+		default:
+			select {
+			case stale := <-l.incoming:
+				stale.Close()
+			default:
+			}
+		}
+	}
+}
+
+// awaitFleet starts the acceptor on ln and blocks until all fcfg.count
+// initial edge sessions are admitted. The acceptor keeps running so dropped
+// edges can redial and resume mid-run; the returned stop function halts
+// admission and unblocks a blocked Accept without closing the caller's
+// listener. Call stop exactly once, when the run is over.
+func (f *edgeFleet) awaitFleet(ln net.Listener) (stop func(), err error) {
+	initial := make(chan int, f.fcfg.count)
+	acceptErr := make(chan error, 1)
+	go f.acceptLoop(ln, initial, acceptErr)
+	stop = func() {
+		f.done.Store(true)
+		// Unblock a blocked Accept without closing the caller's listener: a
+		// deadline in the distant past forces an immediate timeout.
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // best-effort unblock
+		}
+	}
+
+	connected := 0
+	for connected < f.fcfg.count {
+		select {
+		case <-initial:
+			connected++
+		case err := <-acceptErr:
+			// The acceptor is gone; drain admissions that completed before
+			// it died, then fail if the fleet is still short.
+			for {
+				select {
+				case <-initial:
+					connected++
+					continue
+				default:
+				}
+				break
+			}
+			if connected < f.fcfg.count {
+				stop()
+				return nil, fmt.Errorf("deploy: accept: %w", err)
+			}
+		}
+	}
+	return stop, nil
+}
+
+// acceptLoop admits connections for the whole run: initial handshakes first,
+// session resumes once the run is underway. Admissions run concurrently so
+// one slow (or silent) client cannot wedge the fleet.
+func (f *edgeFleet) acceptLoop(ln net.Listener, initial chan<- int, acceptErr chan<- error) {
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait() // let in-flight admissions finish before reporting
+			if !f.done.Load() {
+				select {
+				case acceptErr <- err:
+				default:
+				}
+			}
+			return
+		}
+		if f.done.Load() {
+			conn.Close()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.admit(conn, initial)
+		}()
+	}
+}
+
+// admit performs one connection's handshake under the handshake deadline and
+// delivers the connection to its edge's link. Bad clients are rejected and
+// closed without disturbing the fleet. Edge ids on the wire are global; the
+// fleet serves [offset, offset+count).
+func (f *edgeFleet) admit(conn net.Conn, initial chan<- int) {
+	admitted := false
+	defer func() {
+		if !admitted {
+			conn.Close()
+		}
+	}()
+	timeout, _ := f.fcfg.timeouts()
+	if timeout == 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	if timeout > 0 {
+		//lint:allow nodeterm real I/O deadline on a live connection; wall time is the only clock the kernel honors
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return
+		}
+	}
+	m, err := ReadMessage(conn)
+	if err != nil {
+		return
+	}
+	if m.Type != MsgHello {
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "expected Hello"})
+		return
+	}
+	local := m.EdgeID - f.fcfg.offset
+	if local < 0 || local >= len(f.links) {
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("bad edge id %d", m.EdgeID)})
+		return
+	}
+	link := f.links[local]
+
+	if m.Resume {
+		if m.ResumeToken != link.token {
+			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "bad resume token"})
+			return
+		}
+		if m.DoneSlots < 0 || m.DoneSlots > f.fcfg.horizon {
+			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("implausible resume position %d", m.DoneSlots)})
+			return
+		}
+		// The resume Welcome intentionally omits the zoo metadata: the edge
+		// already holds it (and its loaded checkpoints) from the session.
+		if err := WriteMessage(conn, &Message{Type: MsgWelcome, EdgeID: m.EdgeID, Resume: true}); err != nil {
+			return
+		}
+		if timeout > 0 {
+			conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+		}
+		link.mu.Lock()
+		link.resumes++
+		link.mu.Unlock()
+		link.deliver(conn)
+		admitted = true
+		return
+	}
+
+	link.mu.Lock()
+	if link.claimed {
+		link.mu.Unlock()
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("duplicate edge id %d", m.EdgeID)})
+		return
+	}
+	link.claimed = true
+	link.mu.Unlock()
+	metas := make([]ModelMeta, f.source.NumModels())
+	for n := range metas {
+		metas[n] = f.source.Meta(n)
+	}
+	welcome := &Message{
+		Type:        MsgWelcome,
+		EdgeID:      m.EdgeID,
+		NumModels:   len(metas),
+		Models:      metas,
+		ResumeToken: link.token,
+	}
+	if err := WriteMessage(conn, welcome); err != nil {
+		link.mu.Lock()
+		link.claimed = false
+		link.mu.Unlock()
+		return
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	link.deliver(conn)
+	initial <- m.EdgeID
+	admitted = true
+}
+
+// steppers builds one tcpStepper per link, with deterministic per-edge
+// backoff jitter streams.
+func (f *edgeFleet) steppers() []*tcpStepper {
+	tcp := make([]*tcpStepper, len(f.links))
+	for i, link := range f.links {
+		tcp[i] = &tcpStepper{
+			fleet: f,
+			link:  link,
+			id:    link.id,
+			rng:   numeric.SplitRNG(f.fcfg.seed, fmt.Sprintf("deploy-retry-%d", i)),
+		}
+	}
+	return tcp
+}
+
+// closeAll closes every live connection (deferred teardown after a run).
+func (f *edgeFleet) closeAll(steppers []*tcpStepper) {
+	for _, s := range steppers {
+		if conn := s.liveConn(); conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// finish notifies every still-connected edge that the run is over. The loop
+// is best-effort by design: one dead edge must not leave the others hanging
+// until their read deadlines, so every edge is attempted and the failures
+// are reported joined (callers ignore them under Degrade).
+func (f *edgeFleet) finish(steppers []*tcpStepper) error {
+	var errs []error
+	for _, s := range steppers {
+		conn := s.liveConn()
+		if conn == nil {
+			continue // edge is down; nobody to notify
+		}
+		if err := WriteMessage(conn, &Message{Type: MsgDone}); err != nil {
+			errs = append(errs, fmt.Errorf("deploy: send done to edge %d: %w", s.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// abort tells every still-connected edge the run failed and returns the
+// error. Like finish, it attempts every edge before returning.
+func (f *edgeFleet) abort(steppers []*tcpStepper, err error) error {
+	msg := &Message{Type: MsgError, Reason: err.Error()}
+	for _, s := range steppers {
+		if conn := s.liveConn(); conn != nil {
+			_ = WriteMessage(conn, msg) // best effort; we are already failing
+		}
+	}
+	return err
+}
+
+// resumes snapshots the per-edge accepted-resume counts.
+func (f *edgeFleet) resumes() []int {
+	out := make([]int, len(f.links))
+	for i, link := range f.links {
+		link.mu.Lock()
+		out[i] = link.resumes
+		link.mu.Unlock()
+	}
+	return out
+}
+
+// tcpStepper runs one edge's slot over its current connection: ship the
+// assignment (plus checkpoint on a switch), wait for the report, translate
+// it into the engine's observation. The reported average loss stands in for
+// both the bandit feedback and the accounting term — the deployment has no
+// posterior mean, only what the edge measured.
+//
+// Transient failures (resets, timeouts, mid-frame EOFs) consume the
+// per-slot retry budget: each retry backs off deterministically and waits
+// for the edge to redial and resume before re-running the exchange. Fatal
+// failures (protocol violations, invalid report numbers, edge application
+// errors) fail the slot immediately.
+type tcpStepper struct {
+	fleet *edgeFleet
+	link  *edgeLink
+	id    int        // global edge id
+	rng   *rand.Rand // deterministic backoff jitter stream
+	conn  net.Conn   // current connection; nil while the edge is down
+}
+
+// Step implements engine.EdgeStepper.
+func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, error) {
+	retry := s.fleet.fcfg.retry.withDefaults()
+	attempts := 0
+	var lastErr error
+	for {
+		if s.conn == nil {
+			if conn := s.await(retry.ResumeWait); conn != nil {
+				s.conn = conn
+			} else {
+				lastErr = fmt.Errorf("edge %d: no live connection within %v", s.id, retry.ResumeWait)
+			}
+		}
+		if s.conn != nil {
+			obs, err := s.exchange(s.conn, slot, arm, download)
+			if err == nil {
+				obs.Retries = attempts
+				return obs, nil
+			}
+			s.conn.Close()
+			s.conn = nil
+			if !Transient(err) {
+				return engine.Observation{Retries: attempts}, err
+			}
+			lastErr = err
+		}
+		if attempts >= s.fleet.fcfg.retry.Attempts {
+			return engine.Observation{Retries: attempts},
+				fmt.Errorf("edge %d slot %d: retry budget exhausted after %d retries: %w", s.id, slot, attempts, lastErr)
+		}
+		attempts++
+		s.fleet.sleep(backoffDelay(retry, attempts, s.rng))
+	}
+}
+
+// await waits up to d for the acceptor to deliver a (re)connection.
+func (s *tcpStepper) await(d time.Duration) net.Conn {
+	select {
+	case conn := <-s.link.incoming:
+		return conn
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case conn := <-s.link.incoming:
+		return conn
+	case <-t.C:
+		return nil
+	}
+}
+
+// liveConn returns the stepper's current connection, consuming a freshly
+// resumed one if the acceptor delivered it after the last step. Callers
+// must not race Step (the engine has returned, or never started).
+func (s *tcpStepper) liveConn() net.Conn {
+	select {
+	case conn := <-s.link.incoming:
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.conn = conn
+	default:
+	}
+	return s.conn
+}
+
+// exchange runs one assign/report round trip on conn.
+func (s *tcpStepper) exchange(conn net.Conn, slot, arm int, download bool) (engine.Observation, error) {
+	f, i := s.fleet, s.id
+	if _, slotTimeout := f.fcfg.timeouts(); slotTimeout > 0 {
+		//lint:allow nodeterm real I/O deadline on a live TCP connection; wall time is the only clock the kernel honors
+		if err := conn.SetDeadline(time.Now().Add(slotTimeout)); err != nil {
+			return engine.Observation{}, fmt.Errorf("edge %d deadline: %w", i, err)
+		}
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	assign := &Message{
+		Type:    MsgAssign,
+		Slot:    slot,
+		ModelID: arm,
+		Switch:  download,
+	}
+	if download {
+		ckpt, err := f.source.Checkpoint(arm)
+		if err != nil {
+			return engine.Observation{}, fmt.Errorf("checkpoint model %d: %w", arm, err)
+		}
+		assign.Weights = ckpt
+	}
+	if err := WriteMessage(conn, assign); err != nil {
+		return engine.Observation{}, fmt.Errorf("edge %d assign: %w", i, err)
+	}
+	rep, err := ReadMessage(conn)
+	if err != nil {
+		return engine.Observation{}, fmt.Errorf("edge %d report: %w", i, err)
+	}
+	if rep.Type == MsgError {
+		return engine.Observation{}, &EdgeError{EdgeID: i, Reason: rep.Reason}
+	}
+	if err := ValidateReport(rep); err != nil {
+		return engine.Observation{}, fmt.Errorf("edge %d: %w", i, err)
+	}
+	if rep.Slot != slot {
+		return engine.Observation{}, protocolErrorf("edge %d: report for slot %d, want %d", i, rep.Slot, slot)
+	}
+	return engine.Observation{
+		Loss:      rep.AvgLoss + rep.CompSeconds,
+		InferLoss: rep.AvgLoss,
+		Compute:   rep.CompSeconds,
+		Correct:   rep.Correct,
+		Samples:   rep.Samples,
+		InferKWh:  rep.EnergyKWh,
+		TransferKWh: energy.TransferEnergy(
+			energy.TransferEnergyPerByte, f.source.Meta(arm).SizeBytes),
+	}, nil
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"github.com/carbonedge/carbonedge/internal/engine"
 )
 
 // MsgType discriminates protocol messages.
@@ -40,6 +42,24 @@ const (
 	MsgDone
 	// MsgError aborts the run with a reason.
 	MsgError
+
+	// Regional-aggregator tier (root cloud <-> regional coordinator). A
+	// coordinator owns one contiguous shard of the fleet: it admits its
+	// edges exactly as the monolithic cloud would, steps them per slot, and
+	// streams the shard's SlotDelta back to the root, which merges deltas in
+	// canonical shard order and folds them bit-identically to a single
+	// in-process run (see engine.RunSharded).
+
+	// MsgRegionHello is a coordinator's first frame: it announces RegionID.
+	MsgRegionHello
+	// MsgRegionWelcome is the root's reply: the shard's edge range, the
+	// horizon, the zoo size, and the error policy the shard must apply.
+	MsgRegionWelcome
+	// MsgShardAssign starts a slot on a region: the shard-local model
+	// placement and download schedule.
+	MsgShardAssign
+	// MsgShardDelta is the region's end-of-slot shard reduction.
+	MsgShardDelta
 )
 
 // maxFrame bounds a single frame (weights of a large checkpoint dominate).
@@ -81,6 +101,23 @@ type Message struct {
 
 	// Error.
 	Reason string `json:"reason,omitempty"`
+
+	// Regional tier. RegionHello carries RegionID; RegionWelcome answers
+	// with the shard's global edge range [Start, Start+Count), the run
+	// Horizon, NumModels (shared field above), and Degrade (whether the
+	// shard absorbs edge failures instead of failing fast). ShardAssign
+	// carries the shard-local Arms/Downloads for Slot; ShardDelta answers
+	// with the shard's per-slot reduction. encoding/json round-trips float64
+	// exactly, so a delta that crossed this hop folds to the same bits as
+	// one that never left the root's process.
+	RegionID  int               `json:"regionId,omitempty"`
+	Start     int               `json:"start,omitempty"`
+	Count     int               `json:"count,omitempty"`
+	Horizon   int               `json:"horizon,omitempty"`
+	Degrade   bool              `json:"degrade,omitempty"`
+	Arms      []int             `json:"arms,omitempty"`
+	Downloads []bool            `json:"downloads,omitempty"`
+	Delta     *engine.SlotDelta `json:"delta,omitempty"`
 }
 
 // ModelMeta is the per-model metadata the cloud announces to edges.
@@ -132,7 +169,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if err := json.Unmarshal(body, &m); err != nil {
 		return nil, protocolErrorf("unmarshal: %v", err)
 	}
-	if m.Type < MsgHello || m.Type > MsgError {
+	if m.Type < MsgHello || m.Type > MsgShardDelta {
 		return nil, protocolErrorf("unknown message type %d", m.Type)
 	}
 	return &m, nil
@@ -166,6 +203,57 @@ func ValidateReport(m *Message) error {
 	}
 	if m.Correct < 0 || m.Correct > m.Samples {
 		return protocolErrorf("report slot %d: %d correct of %d samples", m.Slot, m.Correct, m.Samples)
+	}
+	return nil
+}
+
+// ValidateDelta defensively checks a MsgShardDelta before its terms reach
+// the root's accounting fold: the delta must cover exactly the shard's edge
+// range for the expected slot, and every numeric term must be finite and
+// non-negative, for the same reason ValidateReport polices edge reports —
+// one poisoned term would silently corrupt the carbon ledger.
+func ValidateDelta(m *Message, start, count, slot int) error {
+	if m.Type != MsgShardDelta {
+		return protocolErrorf("expected ShardDelta, got type %d", m.Type)
+	}
+	if m.Slot != slot {
+		return protocolErrorf("shard delta for slot %d, want %d", m.Slot, slot)
+	}
+	if m.Delta == nil {
+		return protocolErrorf("shard delta slot %d: missing delta", slot)
+	}
+	if m.Delta.Start != start || len(m.Delta.Edges) != count {
+		return protocolErrorf("shard delta slot %d covers [%d,%d), want [%d,%d)",
+			slot, m.Delta.Start, m.Delta.Start+len(m.Delta.Edges), start, start+count)
+	}
+	for j := range m.Delta.Edges {
+		ed := &m.Delta.Edges[j]
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"loss", ed.Loss},
+			{"inferLoss", ed.InferLoss},
+			{"compute", ed.Compute},
+			{"inferKwh", ed.InferKWh},
+			{"transferKwh", ed.TransferKWh},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+				return protocolErrorf("shard delta slot %d edge %d: %s is not finite (%v)", slot, start+j, f.name, f.v)
+			}
+			if f.v < 0 {
+				return protocolErrorf("shard delta slot %d edge %d: negative %s (%v)", slot, start+j, f.name, f.v)
+			}
+		}
+		if ed.Samples < 0 {
+			return protocolErrorf("shard delta slot %d edge %d: negative sample count %d", slot, start+j, ed.Samples)
+		}
+		if ed.Correct < 0 || ed.Correct > ed.Samples {
+			return protocolErrorf("shard delta slot %d edge %d: %d correct of %d samples", slot, start+j, ed.Correct, ed.Samples)
+		}
+		if ed.Retries < 0 {
+			return protocolErrorf("shard delta slot %d edge %d: negative retry count %d", slot, start+j, ed.Retries)
+		}
 	}
 	return nil
 }

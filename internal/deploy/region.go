@@ -1,0 +1,460 @@
+// The regional-aggregator tier: a root cloud process runs the controller
+// and the global trade/ledger accounting, while regional coordinator
+// processes each own one contiguous shard of the fleet — admitting their
+// edges over TCP exactly as the monolithic cloud would — and stream per-slot
+// SlotDeltas back to the root. Because deltas carry per-edge terms (never
+// partial float sums) and encoding/json round-trips float64 exactly, the
+// root's fold is bit-identical to a single-process run over the same fleet;
+// the monolithic/regional parity test pins this.
+//
+// Scope boundary: edges resume within their region (the fleet's retry and
+// resume machinery is region-local), but a lost region link is fatal to the
+// run — the tier distributes throughput, not region-level fault tolerance.
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/carbonedge/carbonedge/internal/core"
+	"github.com/carbonedge/carbonedge/internal/energy"
+	"github.com/carbonedge/carbonedge/internal/engine"
+	"github.com/carbonedge/carbonedge/internal/market"
+)
+
+// RootConfig parameterizes the root cloud of a regional deployment.
+type RootConfig struct {
+	// Edges is the total fleet size across all regions; Regions is the
+	// number of coordinators that will connect. Edges are partitioned into
+	// Regions contiguous shards with engine.PartitionEdges: region r owns
+	// shard r.
+	Edges   int
+	Regions int
+	// Horizon is the number of slots to run.
+	Horizon int
+	// DownloadCosts holds u_i per global edge id; length must equal Edges.
+	DownloadCosts []float64
+	// InitialCap (grams) and EmissionRate (g/kWh) configure the carbon side.
+	InitialCap   float64
+	EmissionRate float64
+	// Prices is the allowance price series (length >= Horizon).
+	Prices *market.Prices
+	// EmissionScale hints the expected per-slot emission for Algorithm 2's
+	// step sizes (0 = 1).
+	EmissionScale float64
+	// Seed drives the controller's sampling.
+	Seed int64
+	// NumModels is the zoo size N. The root never ships checkpoints — the
+	// regions hold the zoo — so it only needs the count.
+	NumModels int
+	// Policy is the per-edge failure reaction the regions must apply
+	// (engine.Degrade marks failed edges down shard-locally; the zero value
+	// engine.FailFast aborts the run on the first edge failure). Shard-level
+	// failures — a lost region link — abort the run regardless.
+	Policy engine.ErrorPolicy
+	// SlotTimeout bounds each per-region exchange (assign + delta). Zero
+	// disables deadlines.
+	SlotTimeout time.Duration
+	// HandshakeTimeout bounds each connection's RegionHello/RegionWelcome
+	// exchange. Zero selects DefaultHandshakeTimeout; negative disables the
+	// deadline.
+	HandshakeTimeout time.Duration
+}
+
+// Root is the root cloud: the controller plus one regionStepper per shard.
+type Root struct {
+	cfg    RootConfig
+	ctrl   *core.Controller
+	ranges []engine.Range
+	done   atomic.Bool
+}
+
+// NewRoot validates the configuration and builds the controller.
+func NewRoot(cfg RootConfig) (*Root, error) {
+	if cfg.Edges <= 0 {
+		return nil, fmt.Errorf("deploy: need at least one edge, got %d", cfg.Edges)
+	}
+	if cfg.Regions <= 0 || cfg.Regions > cfg.Edges {
+		return nil, fmt.Errorf("deploy: %d regions for %d edges", cfg.Regions, cfg.Edges)
+	}
+	if len(cfg.DownloadCosts) != cfg.Edges {
+		return nil, fmt.Errorf("deploy: %d download costs for %d edges", len(cfg.DownloadCosts), cfg.Edges)
+	}
+	if cfg.Prices == nil || cfg.Prices.Horizon() < cfg.Horizon {
+		return nil, fmt.Errorf("deploy: price series shorter than horizon")
+	}
+	if cfg.NumModels <= 0 {
+		return nil, fmt.Errorf("deploy: NumModels must be positive, got %d", cfg.NumModels)
+	}
+	if cfg.Policy != engine.FailFast && cfg.Policy != engine.Degrade {
+		return nil, fmt.Errorf("deploy: unknown error policy %d", cfg.Policy)
+	}
+	ctrl, err := core.New(core.Config{
+		NumModels:     cfg.NumModels,
+		DownloadCosts: cfg.DownloadCosts,
+		Horizon:       cfg.Horizon,
+		InitialCap:    cfg.InitialCap,
+		EmissionScale: cfg.EmissionScale,
+		PriceScale:    avgBuyPrice(cfg.Prices, cfg.Horizon),
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: controller: %w", err)
+	}
+	if _, err := energy.NewMeter(cfg.EmissionRate); err != nil {
+		return nil, err
+	}
+	return &Root{cfg: cfg, ctrl: ctrl, ranges: engine.PartitionEdges(cfg.Edges, cfg.Regions)}, nil
+}
+
+// Serve admits cfg.Regions coordinators from ln, runs the full horizon
+// through engine.RunSharded with one regionStepper per shard, and returns
+// the summary. Unlike the monolithic cloud's listener, ln only admits the
+// initial coordinator handshakes — a dropped region cannot redial (a lost
+// region link is fatal), so the acceptor stops once the fleet is complete.
+func (r *Root) Serve(ln net.Listener) (*Summary, error) {
+	regions := make([]*regionStepper, len(r.ranges))
+	admitted := make(chan *regionStepper, len(r.ranges))
+	acceptErr := make(chan error, 1)
+	go r.acceptLoop(ln, admitted, acceptErr)
+	defer func() {
+		r.done.Store(true)
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // best-effort unblock
+		}
+	}()
+	connected := 0
+	for connected < len(regions) {
+		select {
+		case rs := <-admitted:
+			regions[rs.index] = rs
+			connected++
+		case err := <-acceptErr:
+			for {
+				select {
+				case rs := <-admitted:
+					regions[rs.index] = rs
+					connected++
+					continue
+				default:
+				}
+				break
+			}
+			if connected < len(regions) {
+				return nil, fmt.Errorf("deploy: accept: %w", err)
+			}
+		}
+	}
+	defer func() {
+		for _, rs := range regions {
+			rs.conn.Close()
+		}
+	}()
+
+	shards := make([]engine.ShardStepper, len(regions))
+	for k, rs := range regions {
+		shards[k] = rs
+	}
+	res, err := engine.RunSharded(engine.Config{
+		Name:         "deploy",
+		Horizon:      r.cfg.Horizon,
+		NumModels:    r.cfg.NumModels,
+		InitialCap:   r.cfg.InitialCap,
+		EmissionRate: r.cfg.EmissionRate,
+		Prices:       r.cfg.Prices,
+		SwitchCosts:  r.cfg.DownloadCosts,
+		Policy:       r.cfg.Policy,
+	}, r.ctrl, shards)
+	if err != nil {
+		msg := &Message{Type: MsgError, Reason: err.Error()}
+		for _, rs := range regions {
+			_ = WriteMessage(rs.conn, msg) // best effort; we are already failing
+		}
+		return nil, err
+	}
+	var finishErrs []error
+	for _, rs := range regions {
+		if werr := WriteMessage(rs.conn, &Message{Type: MsgDone}); werr != nil {
+			finishErrs = append(finishErrs, fmt.Errorf("deploy: send done to region %d: %w", rs.index, werr))
+		}
+	}
+	if err := errors.Join(finishErrs...); err != nil && r.cfg.Policy == engine.FailFast {
+		return nil, err
+	}
+	// Edge resumes are region-local; the root does not observe them.
+	return summaryFromResult(res, make([]int, r.cfg.Edges)), nil
+}
+
+// acceptLoop admits the coordinators' initial handshakes concurrently.
+func (r *Root) acceptLoop(ln net.Listener, admitted chan<- *regionStepper, acceptErr chan<- error) {
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	claimed := make([]bool, len(r.ranges))
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if !r.done.Load() {
+				select {
+				case acceptErr <- err:
+				default:
+				}
+			}
+			return
+		}
+		if r.done.Load() {
+			conn.Close()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.admit(conn, claimed, &mu, admitted)
+		}()
+	}
+}
+
+// admit performs one coordinator's handshake under the handshake deadline.
+func (r *Root) admit(conn net.Conn, claimed []bool, mu *sync.Mutex, admitted chan<- *regionStepper) {
+	ok := false
+	defer func() {
+		if !ok {
+			conn.Close()
+		}
+	}()
+	timeout := r.cfg.HandshakeTimeout
+	if timeout == 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	if timeout > 0 {
+		//lint:allow nodeterm real I/O deadline on a live connection; wall time is the only clock the kernel honors
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return
+		}
+	}
+	m, err := ReadMessage(conn)
+	if err != nil {
+		return
+	}
+	if m.Type != MsgRegionHello {
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "expected RegionHello"})
+		return
+	}
+	if m.RegionID < 0 || m.RegionID >= len(r.ranges) {
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("bad region id %d", m.RegionID)})
+		return
+	}
+	mu.Lock()
+	if claimed[m.RegionID] {
+		mu.Unlock()
+		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("duplicate region id %d", m.RegionID)})
+		return
+	}
+	claimed[m.RegionID] = true
+	mu.Unlock()
+	rg := r.ranges[m.RegionID]
+	welcome := &Message{
+		Type:      MsgRegionWelcome,
+		RegionID:  m.RegionID,
+		Start:     rg.Start,
+		Count:     rg.Count,
+		Horizon:   r.cfg.Horizon,
+		NumModels: r.cfg.NumModels,
+		Degrade:   r.cfg.Policy == engine.Degrade,
+	}
+	if err := WriteMessage(conn, welcome); err != nil {
+		mu.Lock()
+		claimed[m.RegionID] = false
+		mu.Unlock()
+		return
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	admitted <- &regionStepper{root: r, index: m.RegionID, rng: rg, conn: conn}
+	ok = true
+}
+
+// regionStepper is the root-side engine.ShardStepper of one region: Step is
+// one ShardAssign/ShardDelta round trip on the region link.
+type regionStepper struct {
+	root  *Root
+	index int
+	rng   engine.Range
+	conn  net.Conn
+	delta engine.SlotDelta // decoded in place per slot; valid until next Step
+}
+
+var _ engine.ShardStepper = (*regionStepper)(nil)
+
+// Range implements engine.ShardStepper.
+func (rs *regionStepper) Range() (start, count int) { return rs.rng.Start, rs.rng.Count }
+
+// Step implements engine.ShardStepper. A failed exchange is a shard-level
+// error — it aborts the run regardless of policy (a lost region link is
+// fatal; per-edge failures were already resolved inside the region's shard).
+func (rs *regionStepper) Step(slot int, arms []int, downloads []bool) (engine.SlotDelta, error) {
+	if t := rs.root.cfg.SlotTimeout; t > 0 {
+		//lint:allow nodeterm real I/O deadline on a live TCP connection; wall time is the only clock the kernel honors
+		if err := rs.conn.SetDeadline(time.Now().Add(t)); err != nil {
+			return engine.SlotDelta{}, fmt.Errorf("deploy: region %d deadline: %w", rs.index, err)
+		}
+		defer rs.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	assign := &Message{Type: MsgShardAssign, Slot: slot, Arms: arms, Downloads: downloads}
+	if err := WriteMessage(rs.conn, assign); err != nil {
+		return engine.SlotDelta{}, fmt.Errorf("deploy: region %d assign: %w", rs.index, err)
+	}
+	m, err := ReadMessage(rs.conn)
+	if err != nil {
+		return engine.SlotDelta{}, fmt.Errorf("deploy: region %d delta: %w", rs.index, err)
+	}
+	if m.Type == MsgError {
+		// The region forwards its shard's error verbatim (e.g. the engine's
+		// FailFast "engine: edge %d slot %d: ..." wrapping), so the root run
+		// fails with the same error string a monolithic run would report.
+		return engine.SlotDelta{}, errors.New(m.Reason)
+	}
+	if err := ValidateDelta(m, rs.rng.Start, rs.rng.Count, slot); err != nil {
+		return engine.SlotDelta{}, fmt.Errorf("deploy: region %d: %w", rs.index, err)
+	}
+	rs.delta = *m.Delta
+	return rs.delta, nil
+}
+
+// RegionConfig parameterizes a regional coordinator.
+type RegionConfig struct {
+	// RegionID identifies the shard this coordinator claims from the root.
+	RegionID int
+	// Source supplies the region's model zoo. Its size must match the
+	// root's NumModels; the region ships checkpoints to its edges itself.
+	Source ModelSource
+	// Seed drives the region's resume-token issue and backoff jitter.
+	Seed int64
+	// Workers bounds how many of the region's edges step concurrently
+	// (0 = one per edge).
+	Workers int
+	// SlotTimeout and HandshakeTimeout bound the per-edge exchanges and the
+	// edge handshakes, exactly as CloudConfig's fields do.
+	SlotTimeout      time.Duration
+	HandshakeTimeout time.Duration
+	// Retry is the region-local per-slot transient-failure budget.
+	Retry RetryConfig
+}
+
+// RunRegion runs one regional coordinator to completion: it claims its
+// shard from the root over upstream, admits the shard's edges from ln
+// (global edge ids, exactly the monolithic cloud's admission protocol), and
+// serves ShardAssign/ShardDelta rounds until the root sends Done or Error.
+// The returned error is nil on a completed run.
+func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
+	if cfg.Source == nil {
+		return fmt.Errorf("deploy: nil model source")
+	}
+	if cfg.RegionID < 0 {
+		return fmt.Errorf("deploy: negative region id %d", cfg.RegionID)
+	}
+	if cfg.Retry.Attempts < 0 {
+		return fmt.Errorf("deploy: negative retry budget %d", cfg.Retry.Attempts)
+	}
+	if err := WriteMessage(upstream, &Message{Type: MsgRegionHello, RegionID: cfg.RegionID}); err != nil {
+		return fmt.Errorf("deploy: region hello: %w", err)
+	}
+	w, err := ReadMessage(upstream)
+	if err != nil {
+		return fmt.Errorf("deploy: region welcome: %w", err)
+	}
+	if w.Type == MsgError {
+		return fmt.Errorf("deploy: root rejected region %d: %s", cfg.RegionID, w.Reason)
+	}
+	if w.Type != MsgRegionWelcome {
+		return protocolErrorf("expected RegionWelcome, got type %d", w.Type)
+	}
+	if w.Count <= 0 || w.Start < 0 || w.Horizon <= 0 {
+		return protocolErrorf("implausible shard [%d,%d) over %d slots", w.Start, w.Start+w.Count, w.Horizon)
+	}
+	if w.NumModels != cfg.Source.NumModels() {
+		return fmt.Errorf("deploy: root announces %d models, region zoo has %d", w.NumModels, cfg.Source.NumModels())
+	}
+	policy := engine.FailFast
+	if w.Degrade {
+		policy = engine.Degrade
+	}
+
+	fleet := newEdgeFleet(fleetConfig{
+		count:   w.Count,
+		offset:  w.Start,
+		horizon: w.Horizon,
+		seed:    cfg.Seed,
+		timeouts: func() (time.Duration, time.Duration) {
+			return cfg.HandshakeTimeout, cfg.SlotTimeout
+		},
+		retry: cfg.Retry,
+	}, cfg.Source)
+	stop, err := fleet.awaitFleet(ln)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	tcp := fleet.steppers()
+	defer fleet.closeAll(tcp)
+	steppers := make([]engine.EdgeStepper, len(tcp))
+	for i, s := range tcp {
+		steppers[i] = s
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = len(steppers)
+	}
+	shard, err := engine.NewShard(engine.ShardConfig{Start: w.Start, Workers: workers, Policy: policy}, steppers)
+	if err != nil {
+		return err
+	}
+
+	for {
+		m, err := ReadMessage(upstream)
+		if err != nil {
+			err = fmt.Errorf("deploy: region %d upstream: %w", cfg.RegionID, err)
+			return fleet.abort(tcp, err)
+		}
+		switch m.Type {
+		case MsgShardAssign:
+			if len(m.Arms) != w.Count || len(m.Downloads) != w.Count {
+				err := protocolErrorf("shard assign slot %d: %d arms / %d downloads for %d edges",
+					m.Slot, len(m.Arms), len(m.Downloads), w.Count)
+				_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
+				return fleet.abort(tcp, err)
+			}
+			delta, err := shard.Step(m.Slot, m.Arms, m.Downloads)
+			if err != nil {
+				// Forward the shard's error verbatim so the root aborts with
+				// the exact error a monolithic run would report.
+				_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
+				return fleet.abort(tcp, err)
+			}
+			if err := WriteMessage(upstream, &Message{Type: MsgShardDelta, Slot: m.Slot, Delta: &delta}); err != nil {
+				err = fmt.Errorf("deploy: region %d delta: %w", cfg.RegionID, err)
+				return fleet.abort(tcp, err)
+			}
+		case MsgDone:
+			if err := fleet.finish(tcp); err != nil && policy == engine.FailFast {
+				return err
+			}
+			return nil
+		case MsgError:
+			err := fmt.Errorf("deploy: root aborted: %s", m.Reason)
+			_ = fleet.abort(tcp, err)
+			return err
+		default:
+			err := protocolErrorf("unexpected message type %d from root", m.Type)
+			_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
+			return fleet.abort(tcp, err)
+		}
+	}
+}

@@ -6,12 +6,16 @@
 // all supply their own EdgeStepper implementations and let Run drive the
 // slots; core.Controller remains the single algorithmic brain.
 //
-// Within a slot, edges step concurrently on a bounded worker pool. Results
-// are bit-for-bit deterministic for any worker count because every source
-// of randomness is confined to one edge's stepper (each edge carries its
-// own split RNG streams and scratch buffers) and all cross-edge accounting
-// happens serially, in edge-index order, after a per-slot barrier.
-// Workers=1 reproduces the canonical serial order.
+// Per-slot accounting is an associative, mergeable reduction: contiguous
+// edge ranges (Shards) step concurrently — each with its own worker pool —
+// and report SlotDeltas of per-edge terms, which the root merges in
+// canonical shard order and folds serially in edge-index order. Results are
+// bit-for-bit deterministic for any shard×worker decomposition because
+// every source of randomness is confined to one edge's stepper (each edge
+// carries its own split RNG streams and scratch buffers), Merge is exact
+// ordered concatenation, and every non-associative float accumulation
+// happens once, at the root, in the canonical serial order.
+// Shards=1, Workers=1 reproduces that order literally.
 package engine
 
 import (
@@ -78,10 +82,15 @@ type Config struct {
 	// SwitchCosts holds the per-edge download cost u_i charged whenever the
 	// controller schedules a switch; length must equal the edge count.
 	SwitchCosts []float64
-	// Workers bounds how many edges step concurrently within a slot.
+	// Workers bounds how many edges step concurrently within each shard.
 	// 0 or 1 runs the canonical serial order; the result is identical for
 	// every value.
 	Workers int
+	// Shards splits the edges into this many contiguous shards, each stepping
+	// with its own worker pool of up to Workers goroutines. 0 or 1 runs a
+	// single shard. The Result is bit-identical for every shard count (see
+	// RunSharded), so Shards is purely a throughput knob for large fleets.
+	Shards int
 	// Policy selects how the run reacts to a failing edge stepper. The zero
 	// value (FailFast) aborts on the first error, preserving historical
 	// sim/deploy parity semantics.
@@ -147,10 +156,13 @@ type Result struct {
 	DownErrors   []string
 }
 
-// Run drives the full horizon: per slot it asks the controller for the
-// placement, steps every edge (in parallel up to cfg.Workers), accounts
-// costs and emissions in edge-index order, executes the controller's trade
-// against the ledger, and feeds the observations back.
+// Run drives the full horizon: it partitions the edges into cfg.Shards
+// contiguous in-process Shards (each stepping with its own worker pool of up
+// to cfg.Workers goroutines) and hands them to RunSharded, which per slot
+// asks the controller for the placement, fans the slot out to the shards,
+// merges their deltas in canonical shard order, accounts costs and emissions
+// in edge-index order, executes the controller's trade against the ledger,
+// and feeds the observations back.
 func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error) {
 	if ctrl == nil {
 		return nil, fmt.Errorf("engine: nil controller")
@@ -166,14 +178,73 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 			return nil, fmt.Errorf("engine: nil stepper for edge %d", i)
 		}
 	}
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = 1
+	}
+	ranges := PartitionEdges(len(edges), nshards)
+	shards := make([]ShardStepper, 0, len(ranges))
+	for _, r := range ranges {
+		sh, err := NewShard(ShardConfig{
+			Start:   r.Start,
+			Workers: cfg.Workers,
+			Policy:  cfg.Policy,
+		}, edges[r.Start:r.Start+r.Count])
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, sh)
+	}
+	return RunSharded(cfg, ctrl, shards)
+}
+
+// RunSharded is the engine's root loop over an explicit shard decomposition:
+// per slot it fans the controller's placement out to every shard, merges the
+// shard deltas in canonical shard order, and runs the unchanged global
+// accounting/trade/ledger/controller feedback over the merged delta.
+//
+// The Result is bit-identical for every contiguous shard decomposition and
+// every per-shard worker count, including Degrade and FailFast runs: shards
+// report per-edge terms (never partial float sums), Merge is exact ordered
+// concatenation, and the root folds the merged delta serially in edge-index
+// order — the very accumulation order the single-shard serial loop performs.
+// Shards must cover [0, ctrl.NumEdges()) contiguously in ascending order.
+//
+// A shard-level Step error (as opposed to an edge-level failure, which the
+// shard's ErrorPolicy governs internally) aborts the run regardless of
+// cfg.Policy: the root scans shard errors in canonical shard order, so under
+// FailFast the reported error is the slot's lowest-indexed failing edge,
+// exactly as the serial path reports it.
+func RunSharded(cfg Config, ctrl *core.Controller, shards []ShardStepper) (*Result, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("engine: nil controller")
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("engine: no shards")
+	}
+	numEdges := 0
+	for k, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("engine: nil shard %d", k)
+		}
+		start, count := sh.Range()
+		if start != numEdges || count <= 0 {
+			return nil, fmt.Errorf("engine: shard %d covers [%d,%d), want a positive range starting at edge %d",
+				k, start, start+count, numEdges)
+		}
+		numEdges += count
+	}
+	if ctrl.NumEdges() != numEdges {
+		return nil, fmt.Errorf("engine: controller has %d edges, shards cover %d", ctrl.NumEdges(), numEdges)
+	}
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("engine: Horizon must be positive, got %d", cfg.Horizon)
 	}
 	if cfg.NumModels <= 0 {
 		return nil, fmt.Errorf("engine: NumModels must be positive, got %d", cfg.NumModels)
 	}
-	if len(cfg.SwitchCosts) != len(edges) {
-		return nil, fmt.Errorf("engine: %d switch costs for %d edges", len(cfg.SwitchCosts), len(edges))
+	if len(cfg.SwitchCosts) != numEdges {
+		return nil, fmt.Errorf("engine: %d switch costs for %d edges", len(cfg.SwitchCosts), numEdges)
 	}
 	if cfg.Prices == nil || cfg.Prices.Horizon() < cfg.Horizon {
 		return nil, fmt.Errorf("engine: price series shorter than horizon")
@@ -194,28 +265,20 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 		Decisions:     make([]trading.Decision, cfg.Horizon),
 		WorkloadTotal: make([]int, cfg.Horizon),
 		Accuracy:      make([]float64, cfg.Horizon),
-		Selections:    make([][]int, len(edges)),
-		Downtime:      make([]int, len(edges)),
-		Retries:       make([]int, len(edges)),
-		DownErrors:    make([]string, len(edges)),
+		Selections:    make([][]int, numEdges),
+		Downtime:      make([]int, numEdges),
+		Retries:       make([]int, numEdges),
+		DownErrors:    make([]string, numEdges),
 	}
 	for i := range res.Selections {
 		res.Selections[i] = make([]int, cfg.NumModels)
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = 1
-	}
-	if workers > len(edges) {
-		workers = len(edges)
-	}
-
-	obs := make([]Observation, len(edges))
-	stepErrs := make([]error, len(edges))
-	losses := make([]float64, len(edges))
-	served := make([]bool, len(edges))
-	down := make([]bool, len(edges))
+	deltas := make([]SlotDelta, len(shards))
+	stepErrs := make([]error, len(shards))
+	accEdges := make([]EdgeDelta, 0, numEdges)
+	losses := make([]float64, numEdges)
+	served := make([]bool, numEdges)
 	totalCorrect, totalSamples := 0, 0
 
 	for t := 0; t < cfg.Horizon; t++ {
@@ -228,86 +291,84 @@ func Run(cfg Config, ctrl *core.Controller, edges []EdgeStepper) (*Result, error
 			return nil, err
 		}
 
-		if workers == 1 {
-			for i, e := range edges {
-				if down[i] {
-					obs[i], stepErrs[i] = Observation{}, nil
-					continue
-				}
-				obs[i], stepErrs[i] = safeStep(e, t, arms[i], downloads[i])
-			}
+		if len(shards) == 1 {
+			deltas[0], stepErrs[0] = stepShard(shards[0], t, arms, downloads)
 		} else {
 			var wg sync.WaitGroup
-			jobs := make(chan int)
-			for w := 0; w < workers; w++ {
+			for k, sh := range shards {
+				start, count := sh.Range()
 				wg.Add(1)
-				go func() {
+				go func(k int, sh ShardStepper, arms []int, downloads []bool) {
 					defer wg.Done()
-					for i := range jobs {
-						obs[i], stepErrs[i] = safeStep(edges[i], t, arms[i], downloads[i])
-					}
-				}()
+					deltas[k], stepErrs[k] = stepShard(sh, t, arms, downloads)
+				}(k, sh, arms[start:start+count], downloads[start:start+count])
 			}
-			for i := range edges {
-				if down[i] {
-					obs[i], stepErrs[i] = Observation{}, nil
-					continue
-				}
-				jobs <- i
-			}
-			close(jobs)
 			wg.Wait()
 		}
-		// Failures are handled serially in edge-index order, so the outcome
-		// (the aborting error under FailFast, the down-marking order under
-		// Degrade) is deterministic regardless of step completion order.
-		for i, err := range stepErrs {
-			if err == nil {
+		// Shard errors resolve in canonical shard order after the per-slot
+		// barrier; shards cover ascending ranges and report their own
+		// lowest-local-edge failure, so the first error here is the slot's
+		// lowest-indexed failing edge — the serial FailFast outcome.
+		for k := range shards {
+			if stepErrs[k] != nil {
+				return nil, stepErrs[k]
+			}
+		}
+
+		// Merge in canonical shard order. Merging is exact concatenation, so
+		// every contiguous decomposition yields the identical merged delta;
+		// the non-associative float folding happens below, serially, in
+		// edge-index order.
+		acc := SlotDelta{Edges: accEdges[:0]}
+		for k := range shards {
+			if err := acc.Merge(deltas[k]); err != nil {
+				return nil, fmt.Errorf("engine: shard %d: %w", k, err)
+			}
+		}
+		accEdges = acc.Edges[:0]
+
+		// Down-marking callbacks fire serially in edge-index order, exactly
+		// once per edge, before the slot's accounting — as the serial path
+		// interleaves them.
+		for i := range acc.Edges {
+			ed := &acc.Edges[i]
+			if !ed.WentDown {
 				continue
 			}
-			if cfg.Policy == FailFast {
-				return nil, fmt.Errorf("engine: edge %d slot %d: %w", i, t, err)
-			}
-			// Degrade: keep the retries the stepper burned, zero the rest of
-			// the failed observation, and mark the edge down for the
-			// remainder of the run.
-			down[i] = true
-			res.DownErrors[i] = err.Error()
-			obs[i] = Observation{Retries: obs[i].Retries}
-			stepErrs[i] = nil
+			res.DownErrors[i] = ed.DownError
 			if cfg.OnEdgeDown != nil {
-				cfg.OnEdgeDown(i, t, err)
+				cfg.OnEdgeDown(i, t, ed.err())
 			}
 		}
 
 		// Cross-edge accounting is serial and in edge-index order so the
-		// result is independent of step completion order. A down edge
+		// result is independent of shard completion order. A down edge
 		// contributes the well-defined fallback: zero samples, zero energy,
 		// no switch charge (nothing was shipped), and no bandit feedback.
 		var slotCost metrics.CostBreakdown
 		slotEmission := 0.0
 		slotCorrect, slotSamples := 0, 0
-		for i := range edges {
-			o := obs[i]
-			losses[i] = o.Loss
-			served[i] = !down[i]
-			res.Retries[i] += o.Retries
-			if down[i] {
+		for i := range acc.Edges {
+			ed := &acc.Edges[i]
+			losses[i] = ed.Loss
+			served[i] = ed.Served
+			res.Retries[i] += ed.Retries
+			if !ed.Served {
 				res.Downtime[i]++
 				res.DroppedSlots++
 				continue
 			}
 			res.Selections[i][arms[i]]++
-			slotCost.InferLoss += o.InferLoss
-			slotCost.Compute += o.Compute
+			slotCost.InferLoss += ed.InferLoss
+			slotCost.Compute += ed.Compute
 			if downloads[i] {
 				slotCost.Switching += cfg.SwitchCosts[i]
 				res.Switches++
-				slotEmission += meter.RecordTransfer(o.TransferKWh)
+				slotEmission += meter.RecordTransfer(ed.TransferKWh)
 			}
-			slotEmission += meter.RecordInference(o.InferKWh)
-			slotCorrect += o.Correct
-			slotSamples += o.Samples
+			slotEmission += meter.RecordInference(ed.InferKWh)
+			slotCorrect += ed.Correct
+			slotSamples += ed.Samples
 		}
 
 		q := trading.Quote{Buy: cfg.Prices.Buy[t], Sell: cfg.Prices.Sell[t]}

@@ -136,6 +136,7 @@ func New(conn net.Conn, sched Schedule, rng *rand.Rand, sleep func(time.Duration
 		}
 	}
 	if sleep == nil {
+		//lint:allow nodeterm Latency faults really wait by default; tests inject a recording sleep
 		sleep = time.Sleep
 	}
 	pending := make(Schedule, len(sched))

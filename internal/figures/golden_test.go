@@ -1,0 +1,37 @@
+package figures
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFig3MatchesCommittedGolden regenerates Fig. 3 at the committed options
+// (benchgen -fig 3 -runs 3, the invocation that produced results/fig3.txt)
+// and requires the rendered table to be byte-identical to the committed file.
+// This is the regression fence for the Result export/golden coupling: any
+// change that perturbs the simulation's float stream or the renderer — the
+// engine's sharded reduction included — fails here before it silently skews
+// the committed artifacts.
+//
+// Note it diffs against results/fig3.txt, a golden pinned at the revision
+// that introduced this test; the older results/figures.txt predates earlier
+// accuracy-affecting changes and is retained as-committed.
+func TestFig3MatchesCommittedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerating Fig. 3 runs 18 simulations")
+	}
+	fig, err := Fig3CumulativeCost(Options{Runs: 3, Seed: 1, Edges: 10, Horizon: 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := Render(fig)
+	golden, err := os.ReadFile("../../results/fig3.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rendered != string(golden) {
+		t.Fatalf("regenerated Fig. 3 diverged from the committed results/fig3.txt;\n"+
+			"if the change is intentional, regenerate with "+
+			"`go run ./cmd/benchgen -fig 3 -runs 3 -out results/fig3.txt`.\nregenerated:\n%s", rendered)
+	}
+}

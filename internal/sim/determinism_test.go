@@ -51,6 +51,39 @@ func TestRunWorkersDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunShardedDeterministic extends the regression to the shard dimension:
+// every shard×worker decomposition must reproduce the canonical serial
+// Result bit for bit (this is the sim-level face of the engine's SlotDelta
+// reduction; carbonsim -shards rides this path).
+func TestRunShardedDeterministic(t *testing.T) {
+	const edges, horizon, seed = 6, 80, 11
+	runWith := func(shards, workers int) *Result {
+		s := testScenario(t, edges, horizon, seed)
+		res, err := RunSharded(s, "Ours", PolicyOurs, TraderOurs, shards, workers)
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+		}
+		return res
+	}
+	serial := runWith(1, 1)
+	for _, shards := range []int{2, 3, edges, edges + 5} {
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			if got := runWith(shards, workers); !reflect.DeepEqual(serial, got) {
+				t.Errorf("shards=%d workers=%d: Result diverged from serial", shards, workers)
+			}
+		}
+	}
+	// RunWorkers is the shards=1 path: it must reproduce the canonical order.
+	s := testScenario(t, edges, horizon, seed)
+	viaWorkers, err := RunWorkers(s, "Ours", PolicyOurs, TraderOurs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, viaWorkers) {
+		t.Error("RunWorkers diverged from RunSharded(..., 1, 1)")
+	}
+}
+
 // TestOfflineDeterministic pins the clairvoyant scheme's determinism on the
 // rebased engine path.
 func TestOfflineDeterministic(t *testing.T) {

@@ -47,3 +47,23 @@ func BenchmarkSlotStepParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineSharded measures the sharded reduction at a fixed edge
+// scale across shard counts (one worker per shard edge range), isolating the
+// fan-out/merge overhead the regional tier inherits. The Result is
+// bit-identical across every row; only wall time may move.
+func BenchmarkEngineSharded(b *testing.B) {
+	const edges = 50
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("edges=%d/shards=%d", edges, shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := benchScenario(b, edges)
+				b.StartTimer()
+				if _, err := RunSharded(s, "Ours", PolicyOurs, TraderOurs, shards, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

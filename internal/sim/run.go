@@ -34,6 +34,15 @@ func Run(s *Scenario, name string, pf PolicyFactory, tf TraderFactory) (*Result,
 // cross-edge accounting is serialized in edge order by the engine), so
 // workers is purely a throughput knob for large edge counts.
 func RunWorkers(s *Scenario, name string, pf PolicyFactory, tf TraderFactory, workers int) (*Result, error) {
+	return RunSharded(s, name, pf, tf, 1, workers)
+}
+
+// RunSharded is RunWorkers with the edges additionally split into `shards`
+// contiguous engine shards, each stepping with its own pool of up to workers
+// goroutines (see engine.Config.Shards). Like the worker count, the shard
+// count never changes a bit of the Result — it is the throughput knob the
+// 100k-edge runs use.
+func RunSharded(s *Scenario, name string, pf PolicyFactory, tf TraderFactory, shards, workers int) (*Result, error) {
 	cfg := s.Cfg
 	policies := make([]bandit.Policy, cfg.Edges)
 	for i := range policies {
@@ -66,6 +75,7 @@ func RunWorkers(s *Scenario, name string, pf PolicyFactory, tf TraderFactory, wo
 		Prices:       s.Prices,
 		SwitchCosts:  s.Delays,
 		Workers:      workers,
+		Shards:       shards,
 	}, ctrl, s.steppers(name))
 }
 
