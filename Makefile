@@ -32,7 +32,7 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/carbonlint ./...
+	$(GO) run ./cmd/carbonlint -cache .lintcache ./...
 
 race:
 	$(GO) test -race ./internal/...

@@ -7,9 +7,18 @@ import (
 )
 
 // TestSuiteComplete pins the analyzer roster: DESIGN.md's "Static
-// invariants" section documents exactly these four.
+// invariants" section documents exactly these eight.
 func TestSuiteComplete(t *testing.T) {
-	want := map[string]bool{"floateq": true, "maporder": true, "nodeterm": true, "panicpolicy": true}
+	want := map[string]bool{
+		"deltapure":   true,
+		"errtaxonomy": true,
+		"floateq":     true,
+		"hotalloc":    true,
+		"maporder":    true,
+		"nodeterm":    true,
+		"panicpolicy": true,
+		"simdcover":   true,
+	}
 	for _, a := range All {
 		if !want[a.Name] {
 			t.Errorf("undocumented analyzer %q: update DESIGN.md and this test", a.Name)

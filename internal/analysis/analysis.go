@@ -38,6 +38,19 @@ type Analyzer struct {
 	// pass.Report/Reportf, not the return value; the returned value exists
 	// only for API compatibility with x/tools and is ignored.
 	Run func(*Pass) (any, error)
+
+	// Global marks a program-scoped analyzer. Run still executes once per
+	// package, but its diagnostics become pending Candidates: after every
+	// package's call-graph contribution is merged, Select decides which
+	// candidates turn into findings. Global diagnostics must set FuncKey
+	// (via FuncKeyOf) so Select can place them in the graph.
+	Global bool
+	// Select is consulted once per run, on the merged program call graph.
+	// It returns a predicate deciding, for each candidate's FuncKey,
+	// whether the diagnostic applies; the returned note (e.g. a hot call
+	// path) is appended to the diagnostic message. A nil Select keeps
+	// every candidate.
+	Select func(g *Graph) func(funcKey string) (note string, keep bool)
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -62,10 +75,13 @@ type Pass struct {
 	diagnostics []Diagnostic
 }
 
-// A Diagnostic is one finding, positioned at Pos.
+// A Diagnostic is one finding, positioned at Pos. Diagnostics from Global
+// analyzers additionally carry the enclosing function's call-graph key in
+// FuncKey; local analyzers leave it empty.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	FuncKey string
 }
 
 // Report records a diagnostic.

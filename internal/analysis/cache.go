@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Package-level lint cache. A package's summary (local findings, call-graph
+// contribution, global-analyzer candidates — see PkgSummary) depends only
+// on the package's own sources and the export data of its dependencies, so
+// it can be keyed on the export-data path `go list -export` reports: the
+// path embeds the build action ID, a hash of the compile inputs (every
+// source byte, comments included) and, transitively, of everything
+// imported. Any edit anywhere below a package produces a new path and
+// therefore a cache miss; nothing is ever invalidated by hand.
+//
+// Program-wide soundness is preserved because caching stops at the summary:
+// MergeSummaries recomputes the whole-program call graph and every Global
+// analyzer's reachability decision from scratch on each run, over cached
+// and fresh summaries alike. A cached package whose function becomes
+// hot-reachable through an edit in a *different* package still has its
+// candidates re-selected correctly.
+
+// CacheStats reports how a LintCached run split between cache hits and
+// freshly analyzed packages.
+type CacheStats struct {
+	Hits, Misses int
+}
+
+// cacheFormat versions the serialized PkgSummary layout; bump it when the
+// schema changes meaning.
+const cacheFormat = "carbonlint-cache-v1"
+
+// cacheMaxEntries bounds the cache directory; past it the cache is simply
+// reset (entries are content-keyed, so a reset only costs one cold run).
+const cacheMaxEntries = 1024
+
+// toolSalt fingerprints the running linter binary. Summaries depend on
+// analyzer code, not just analyzed sources, so every cache key folds in the
+// executable's content hash; rebuilding carbonlint (including implicitly
+// via `go run` after editing an analyzer) invalidates the cache wholesale.
+func toolSalt() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return cacheFormat + "-noexe"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return cacheFormat + "-noexe"
+	}
+	sum := sha256.Sum256(data)
+	return cacheFormat + "-" + hex.EncodeToString(sum[:8])
+}
+
+func cacheKey(salt, pkgPath, exportFile string) string {
+	h := sha256.New()
+	for _, s := range []string{salt, pkgPath, exportFile} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func readCachedSummary(path string) *PkgSummary {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	s := new(PkgSummary)
+	if json.Unmarshal(data, s) != nil {
+		return nil
+	}
+	return s
+}
+
+// writeCachedSummary stores a summary atomically (temp file + rename) so
+// concurrent lint runs never observe torn entries. Failures are ignored:
+// the cache is an accelerator, never a correctness dependency.
+func writeCachedSummary(path string, s *PkgSummary) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// pruneCache resets the cache directory when it outgrows cacheMaxEntries.
+func pruneCache(cacheDir string) {
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) <= cacheMaxEntries {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			os.Remove(filepath.Join(cacheDir, e.Name()))
+		}
+	}
+}
+
+// LintCached is the caching front door: it lists the packages matching
+// patterns (relative to dir), replays cached summaries for packages whose
+// export-data key is unchanged, parses/type-checks/summarizes only the
+// rest, and merges everything exactly as RunAnalyzers would. The expensive
+// per-package work — parsing and type-checking — is what a hit skips.
+func LintCached(dir, cacheDir string, analyzers []*Analyzer, patterns ...string) ([]Finding, CacheStats, error) {
+	var stats CacheStats
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, stats, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, stats, errListed(lp)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, stats, err
+	}
+	pruneCache(cacheDir)
+	salt := toolSalt()
+
+	fset := token.NewFileSet()
+	imp := makeResolver(fset, exports)
+	var sums []*PkgSummary
+	for _, lp := range targets {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var path string
+		if lp.Export != "" {
+			path = filepath.Join(cacheDir, cacheKey(salt, lp.ImportPath, lp.Export)+".json")
+			if s := readCachedSummary(path); s != nil && s.PkgPath == lp.ImportPath {
+				stats.Hits++
+				sums = append(sums, s)
+				continue
+			}
+		}
+		stats.Misses++
+		pkg, err := typeCheck(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, stats, err
+		}
+		pkg.ExportFile = lp.Export
+		s, err := Summarize(pkg, analyzers)
+		if err != nil {
+			return nil, stats, err
+		}
+		if path != "" {
+			writeCachedSummary(path, s)
+		}
+		sums = append(sums, s)
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i].PkgPath < sums[j].PkgPath })
+	return MergeSummaries(sums, analyzers), stats, nil
+}

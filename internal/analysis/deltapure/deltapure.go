@@ -1,0 +1,231 @@
+// Package deltapure enforces the sharded engine's mergeable-reduction
+// contract on engine.SlotDelta/EdgeDelta: delta fields carry raw per-edge
+// terms, never partial sums. Bit-identical Results for every shard × worker
+// decomposition hold only because float accumulation happens exactly once,
+// serially, in edge-index order — inside Fold. So outside Fold, float delta
+// fields may not be accumulated, assigned computed float expressions, or
+// used as float-arithmetic operands; and Merge must remain a pure ordered
+// concatenation (PR 6's property tests sample this associativity invariant,
+// deltapure enforces it exhaustively).
+package deltapure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "deltapure",
+	Doc: "engine.SlotDelta/EdgeDelta fields must hold raw per-edge terms: no " +
+		"float accumulation or arithmetic on delta fields outside SlotDelta.Fold, " +
+		"and Merge must remain a pure ordered concatenation",
+	Run: run,
+}
+
+// deltaNamed reports whether t (after pointer stripping) is one of the
+// engine's delta types. Matching is by package path and name so the check
+// follows the types across every importing package; a testdata package
+// placed at src/internal/engine exercises the same path.
+func deltaNamed(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if name := obj.Name(); name != "SlotDelta" && name != "EdgeDelta" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/engine" || strings.HasSuffix(path, "/internal/engine")
+}
+
+// deltaFloatField reports whether e selects a float-typed field of a delta
+// value, returning the field name. Int fields (Samples, Retries) are exact
+// and exempt; only float fields can smuggle order-dependent rounding.
+func deltaFloatField(info *types.Info, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || !deltaNamed(s.Recv()) {
+		return "", false
+	}
+	b, ok := s.Obj().Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return "", false
+	}
+	return s.Obj().Name(), true
+}
+
+// isFloatArith reports whether e is a float-typed arithmetic expression.
+func isFloatArith(info *types.Info, e ast.Expr) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	t := info.TypeOf(be)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isArithAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// deltaMethod reports whether fd is a method with a delta-typed receiver
+// named name.
+func deltaMethod(info *types.Info, fd *ast.FuncDecl, name string) bool {
+	if fd.Name.Name != name || fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	return deltaNamed(info.TypeOf(fd.Recv.List[0].Type))
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case deltaMethod(info, fd, "Fold"):
+				// Fold is the one blessed accumulation site.
+			case deltaMethod(info, fd, "Merge"):
+				checkMerge(pass, fd)
+			default:
+				checkRawTerms(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkMerge keeps Merge a pure ordered concatenation: no float arithmetic
+// of any kind, and no rewriting of per-edge elements.
+func checkMerge(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if isFloatArith(info, n) {
+				pass.Reportf(n.Pos(),
+					"float arithmetic in Merge; Merge must remain a pure ordered concatenation of raw per-edge terms")
+			}
+		case *ast.AssignStmt:
+			if isArithAssign(n.Tok) {
+				if t := info.TypeOf(n.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						pass.Reportf(n.Pos(),
+							"float accumulation in Merge; Merge must remain a pure ordered concatenation of raw per-edge terms")
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				l := ast.Unparen(lhs)
+				if ie, ok := l.(*ast.IndexExpr); ok && deltaNamed(info.TypeOf(ie)) {
+					pass.Reportf(lhs.Pos(),
+						"Merge rewrites a per-edge element; Merge must only concatenate, never edit deltas")
+					continue
+				}
+				if name, ok := deltaFloatField(info, l); ok {
+					pass.Reportf(lhs.Pos(),
+						"Merge writes delta field %s; Merge must only concatenate, never edit per-edge terms", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkRawTerms enforces the raw-term discipline everywhere outside
+// Fold/Merge.
+func checkRawTerms(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if isArithAssign(n.Tok) && len(n.Lhs) == 1 {
+				if name, ok := deltaFloatField(info, n.Lhs[0]); ok {
+					pass.Reportf(n.Pos(),
+						"delta field %s accumulated outside Fold; deltas carry raw per-edge terms, folded once in edge-index order", name)
+					return true
+				}
+			}
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					if name, ok := deltaFloatField(info, lhs); ok && isFloatArith(info, n.Rhs[i]) {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"delta field %s assigned a computed float expression; assign the raw per-edge term and let Fold accumulate", name)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := deltaFloatField(info, n.X); ok {
+				pass.Reportf(n.Pos(),
+					"delta field %s accumulated outside Fold; deltas carry raw per-edge terms, folded once in edge-index order", name)
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				return true
+			}
+			if !isFloatArith(info, n) {
+				return true
+			}
+			for _, op := range [2]ast.Expr{n.X, n.Y} {
+				if name, ok := deltaFloatField(info, op); ok {
+					pass.Reportf(n.Pos(),
+						"float arithmetic on delta field %s outside Fold; fold raw terms once, serially, in edge-index order", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if !deltaNamed(info.TypeOf(n)) {
+				return true
+			}
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isFloatArith(info, v) {
+					pass.Reportf(v.Pos(),
+						"delta literal field assigned a computed float expression; store the raw per-edge term and let Fold accumulate")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package deltapure_test
+
+import (
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis/analyzertest"
+	"github.com/carbonedge/carbonedge/internal/analysis/deltapure"
+)
+
+func TestDeltapure(t *testing.T) {
+	analyzertest.Run(t, deltapure.Analyzer, "internal/engine", "b/internal/engine", "a")
+}

@@ -1,0 +1,21 @@
+// Package a proves the delta contract follows engine's real types across
+// package boundaries.
+package a
+
+import "github.com/carbonedge/carbonedge/internal/engine"
+
+func addLoss(d *engine.SlotDelta, v float64) {
+	d.Edges[0].Loss += v // want `accumulated outside Fold`
+}
+
+func scale(ed *engine.EdgeDelta, f float64) float64 {
+	return ed.InferKWh * f // want `float arithmetic on delta field InferKWh`
+}
+
+func raw(ed *engine.EdgeDelta, v float64) {
+	ed.Loss = v // raw term: clean
+}
+
+func spare(v float64) float64 {
+	return v + 1 //lint:allow deltapure stale excuse // want `unused directive`
+}

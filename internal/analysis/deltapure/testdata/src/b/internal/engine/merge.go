@@ -1,0 +1,20 @@
+// Package engine (under b/) exercises the Merge purity rules with a
+// deliberately impure Merge.
+package engine
+
+type EdgeDelta struct {
+	Loss float64
+}
+
+type SlotDelta struct {
+	Start int
+	Edges []EdgeDelta
+}
+
+func (d *SlotDelta) Merge(o SlotDelta) {
+	d.Edges[0] = o.Edges[0]    // want `Merge rewrites a per-edge element`
+	d.Edges[0].Loss = 1        // want `Merge writes delta field Loss`
+	s := o.Edges[0].Loss + 1.0 // want `float arithmetic in Merge`
+	_ = s
+	d.Edges = append(d.Edges, o.Edges...)
+}

@@ -1,0 +1,61 @@
+// Package engine is a testdata stand-in placed at the real path suffix so
+// deltapure's path-based type matching applies to it.
+package engine
+
+type EdgeDelta struct {
+	Loss     float64
+	Compute  float64
+	InferKWh float64
+	Samples  int
+}
+
+type SlotDelta struct {
+	Start int
+	Edges []EdgeDelta
+}
+
+// Merge is a pure ordered concatenation: clean.
+func (d *SlotDelta) Merge(o SlotDelta) {
+	if o.Start != d.Start+len(d.Edges) {
+		panic("engine: non-adjacent merge")
+	}
+	d.Edges = append(d.Edges, o.Edges...)
+}
+
+// Fold is the one blessed accumulation site: exempt.
+func (d *SlotDelta) Fold() (loss, kwh float64) {
+	for _, ed := range d.Edges {
+		loss += ed.Loss
+		kwh += ed.InferKWh * 0.5
+	}
+	return loss, kwh
+}
+
+func fill(d *SlotDelta, obs float64, n int) {
+	ed := EdgeDelta{
+		Loss:    obs,       // raw term: clean
+		Compute: obs * 0.5, // want `computed float expression`
+		Samples: n * 2,     // int arithmetic is exact: clean
+	}
+	ed.InferKWh = obs // raw term: clean
+	d.Edges[0] = ed
+}
+
+func accumulate(d *SlotDelta, v float64) {
+	d.Edges[0].Loss += v // want `accumulated outside Fold`
+}
+
+func compute(ed *EdgeDelta, a, b float64) {
+	ed.Compute = a * b // want `assigned a computed float expression`
+}
+
+func readBack(ed *EdgeDelta, f float64) float64 {
+	if ed.InferKWh > 1.0 { // comparison, not arithmetic: clean
+		return 0
+	}
+	return ed.Loss * f // want `float arithmetic on delta field Loss`
+}
+
+func allowed(ed *EdgeDelta) {
+	ed.Loss += 1 //lint:allow deltapure testdata demonstrates suppression
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis/analyzertest"
+	"github.com/carbonedge/carbonedge/internal/analysis/errtaxonomy"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	analyzertest.Run(t, errtaxonomy.Analyzer, "a", "b")
+}

@@ -1,0 +1,53 @@
+// Package a defines its own wire functions so coverage anchors locally:
+// step calls the wire directly, caller reaches it transitively, validate
+// never touches it.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+func ReadMessage(r io.Reader) (int, error)  { return 0, nil }
+func WriteMessage(w io.Writer, v int) error { return nil }
+func Transient(err error) bool              { return false }
+
+func step(r io.Reader) error {
+	_, err := ReadMessage(r)
+	if err != nil {
+		if Transient(err) {
+			return fmt.Errorf("retrying: %w", err) // wraps with %w: clean
+		}
+		return errors.New("link down") // want `errors.New constructs an unclassified error`
+	}
+	return nil
+}
+
+func caller(r io.Reader) error {
+	if err := step(r); err != nil {
+		return fmt.Errorf("edge gone") // want `fmt.Errorf without %w`
+	}
+	return nil
+}
+
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // clean: never reaches the wire
+	}
+	return nil
+}
+
+func dynamic(format string, r io.Reader) error {
+	_, _ = ReadMessage(r)
+	return fmt.Errorf(format) // want `non-literal format`
+}
+
+func allowed(r io.Reader) error {
+	_, _ = ReadMessage(r)
+	return errors.New("forwarded reason") //lint:allow errtaxonomy reason is forwarded verbatim from the peer
+}
+
+func spare(n int) int {
+	return n + 1 //lint:allow errtaxonomy stale excuse // want `unused directive`
+}

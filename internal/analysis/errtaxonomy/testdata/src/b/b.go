@@ -1,0 +1,12 @@
+// Package b has no wire functions, so nothing here is covered: plain error
+// construction stays legal in packages that never touch the deploy wire.
+package b
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mk() error { return errors.New("fine") }
+
+func wrapless(n int) error { return fmt.Errorf("count %d", n) }

@@ -1,0 +1,261 @@
+// Package hotalloc turns the engine's zero-alloc hot-path contract from a
+// runtime spot-check into a compile-time fence. Functions whose doc comment
+// carries //lint:hotroot (Shard.Step, Network.ForwardBatch, NNRuntime.RunSlot)
+// anchor the steady-state slot-stepping paths; every function statically
+// reachable from a root — through direct calls, interface dispatch, or
+// function values — must not contain an allocating construct:
+//
+//   - make, new, append
+//   - map and slice composite literals
+//   - string concatenation (+ / +=)
+//   - function literals that capture variables (closures allocate)
+//   - interface boxing: converting or assigning a non-pointer concrete
+//     value into an interface
+//
+// Deliberate exceptions carry //lint:allow hotalloc <reason> at the site
+// (the grow-only arena appends), and whole subtrees that are off the hot
+// path by design carry //lint:cold <reason> on the declaration (the TCP
+// wire stepper, whose JSON framing allocates by construction). Reachability
+// is recomputed program-wide on every run, so a new call edge anywhere can
+// pull previously-cold code into the fence.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbids allocating constructs (make/append/new, map and slice literals, " +
+		"string concat, capturing closures, interface boxing) in any function " +
+		"statically reachable from a //lint:hotroot declaration; mark deliberate " +
+		"off-path subtrees //lint:cold <reason>",
+	Run:    run,
+	Global: true,
+	Select: selectHot,
+}
+
+// selectHot keeps a candidate only when its function is reachable from a
+// hot root, and appends an example call chain so the finding explains how
+// the hot path gets there.
+func selectHot(g *analysis.Graph) func(string) (string, bool) {
+	roots := g.HotRoots()
+	reached, parent := g.Reachable(roots)
+	return func(funcKey string) (string, bool) {
+		if !reached[funcKey] {
+			return "", false
+		}
+		return " (hot path: " + g.CallPath(parent, funcKey) + ")", true
+	}
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkBody(pass, fd, analysis.FuncKeyOf(obj))
+		}
+	}
+	return nil, nil
+}
+
+// report attaches the function key so merge-time reachability can place the
+// candidate in the program call graph.
+func report(pass *analysis.Pass, pos token.Pos, funcKey, format string, args ...any) {
+	pass.Report(analysis.Diagnostic{
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+		FuncKey: funcKey,
+	})
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, funcKey string) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						report(pass, n.Pos(), funcKey, "make allocates; hot-path code must reuse preallocated buffers")
+					case "new":
+						report(pass, n.Pos(), funcKey, "new allocates; hot-path code must reuse preallocated values")
+					case "append":
+						report(pass, n.Pos(), funcKey, "append may grow its backing array; hot-path code must write into preallocated capacity")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(pass, n.Pos(), funcKey, "map literal allocates; hoist it out of the hot path")
+			case *types.Slice:
+				report(pass, n.Pos(), funcKey, "slice literal allocates; hoist it out of the hot path")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) && !isConst(info, n) {
+				report(pass, n.Pos(), funcKey, "string concatenation allocates; format outside the hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				report(pass, n.Pos(), funcKey, "string concatenation allocates; format outside the hot path")
+			}
+			checkBoxing(pass, funcKey, n)
+		case *ast.GenDecl:
+			checkVarBoxing(pass, funcKey, n)
+		case *ast.FuncLit:
+			if names := capturedVars(info, n); len(names) > 0 {
+				report(pass, n.Pos(), funcKey, "function literal captures %s; the closure allocates", strings.Join(names, ", "))
+			}
+		}
+		return true
+	})
+	checkConversions(pass, fd, funcKey)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConst reports whether the expression folds to a constant (constant
+// string concatenation happens at compile time and allocates nothing).
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// boxes reports whether assigning an expression of type rhs into a location
+// of type lhs stores a concrete non-pointer value in an interface — the
+// conversion Go implements with a heap allocation (pointers and interfaces
+// re-use their word; untyped nil boxes nothing).
+func boxes(lhs, rhs types.Type) bool {
+	if lhs == nil || rhs == nil || !types.IsInterface(lhs) {
+		return false
+	}
+	if types.IsInterface(rhs) {
+		return false
+	}
+	switch rhs.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return false // single-pointer-word values need no box
+	case *types.Basic:
+		if rhs.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBoxing flags assignments that box a concrete value into an
+// interface-typed location.
+func checkBoxing(pass *analysis.Pass, funcKey string, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		return
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return // multi-value RHS: types come from the call, nothing to convert
+	}
+	for i, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		lt := pass.TypeOf(lhs)
+		rt := pass.TypeOf(n.Rhs[i])
+		if n.Tok == token.DEFINE {
+			// x := v never boxes: x's type is v's type.
+			continue
+		}
+		if boxes(lt, rt) {
+			report(pass, n.Rhs[i].Pos(), funcKey,
+				"assigning %s into an interface allocates the box; keep hot-path values concrete", rt)
+		}
+	}
+}
+
+// checkVarBoxing flags `var x I = v` declarations that box.
+func checkVarBoxing(pass *analysis.Pass, funcKey string, n *ast.GenDecl) {
+	if n.Tok != token.VAR {
+		return
+	}
+	for _, spec := range n.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || vs.Type == nil {
+			continue
+		}
+		lt := pass.TypeOf(vs.Type)
+		for _, v := range vs.Values {
+			if rt := pass.TypeOf(v); boxes(lt, rt) {
+				report(pass, v.Pos(), funcKey,
+					"assigning %s into an interface allocates the box; keep hot-path values concrete", rt)
+			}
+		}
+	}
+}
+
+// checkConversions flags explicit I(x) conversions that box.
+func checkConversions(pass *analysis.Pass, fd *ast.FuncDecl, funcKey string) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		if boxes(tv.Type, info.TypeOf(call.Args[0])) {
+			report(pass, call.Pos(), funcKey,
+				"converting %s to an interface allocates the box; keep hot-path values concrete", info.TypeOf(call.Args[0]))
+		}
+		return true
+	})
+}
+
+// capturedVars lists the free variables of a function literal: variables
+// used inside the literal but declared outside it (package-level state and
+// struct fields excluded — those are not closed over).
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v.Name()] {
+			return true
+		}
+		// Package-level variables are accessed directly, not captured.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		// Declared inside the literal (params included): not free.
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		seen[v.Name()] = true
+		names = append(names, v.Name())
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

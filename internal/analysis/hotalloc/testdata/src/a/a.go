@@ -1,0 +1,62 @@
+// Package a exercises hotalloc reachability: static calls, interface
+// dispatch, dynamic calls through function values, //lint:cold pruning, and
+// unreachable code staying unflagged.
+package a
+
+type Stepper interface{ Step(int) int }
+
+type impl struct{ acc int }
+
+func (p *impl) Step(x int) int {
+	p.acc += x
+	return grow(p.acc) // static call out of an interface-reached method
+}
+
+type holder struct {
+	fn func(int) int
+}
+
+var sink []int
+
+//lint:hotroot steady-state stepping must not allocate
+func Root(s Stepper, h holder, n int) int {
+	n += s.Step(1) // interface dispatch resolves to impl.Step
+	n += h.fn(n)   // dynamic call resolves to the address-taken target
+	n += helper(n)
+	cold(n)
+	return n
+}
+
+func helper(n int) int {
+	buf := make([]int, n) // want `make allocates`
+	return len(buf)
+}
+
+func grow(n int) int {
+	sink = append(sink, n) // want `append may grow`
+	return len(sink)
+}
+
+func target(n int) int {
+	m := map[int]int{n: n} // want `map literal allocates`
+	s := []int{n}          // want `slice literal allocates`
+	p := new(int)          // want `new allocates`
+	return m[n] + s[0] + *p
+}
+
+// wire takes target's address so Root's dynamic call can reach it.
+func wire() holder { return holder{fn: target} }
+
+//lint:cold fixture assembly is off the hot path by design
+func cold(n int) {
+	_ = make([]int, n) // no finding: cold is never entered
+	coldCallee(n)
+}
+
+func coldCallee(n int) {
+	_ = make([]int, n) // no finding: only reachable through a cold function
+}
+
+func unreached(n int) {
+	_ = make([]int, n) // no finding: not reachable from any root
+}

@@ -1,0 +1,41 @@
+// String concatenation, interface boxing, capturing closures, and the
+// suppression/directive-hygiene behavior of a Global analyzer.
+package a
+
+type ifc interface{ M() }
+
+type conc struct{ v int }
+
+func (c conc) M() {}
+
+//lint:hotroot the formatting path is hot in this fixture
+func Root2(label string, c conc) string {
+	s := label + "!" // want `string concatenation allocates`
+	s += label       // want `string concatenation allocates`
+	var i ifc
+	i = c // want `assigning a.conc into an interface allocates`
+	i.M()
+	f := func() int { return len(s) } // want `function literal captures s`
+	plain := func() int { return 0 }  // no capture: a plain function value does not allocate
+	allowed(f() + plain())
+	return s
+}
+
+func allowed(n int) {
+	_ = make([]int, n) //lint:allow hotalloc fixture warm-up buffer, measured off the steady state
+	blockAllowed(n)
+}
+
+func blockAllowed(n int) {
+	_ = make([]int, n) /*lint:allow hotalloc block-form directives suppress too*/
+}
+
+func unreached2(n int) {
+	_ = make([]int, n) //lint:allow hotalloc stale excuse // want `unused directive`
+}
+
+//lint:hotroot misplaced, a var is not a function declaration // want `misplaced //lint:hotroot directive`
+var notAFunc = 3
+
+//lint:cold // want `malformed directive: missing reason`
+func noReason() {}

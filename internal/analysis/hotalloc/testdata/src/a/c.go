@@ -1,0 +1,15 @@
+// Suppression inside grouped declarations: directives ride individual specs
+// of a var block, both same-line and line-above.
+package a
+
+//lint:hotroot grouped-declaration fixture
+func Root3(n int) int {
+	var (
+		buf = make([]int, n) //lint:allow hotalloc grouped spec suppressed on its own line
+		//lint:allow hotalloc grouped spec suppressed from the line above
+		big = make([]float64, n)
+		m   map[string]int
+	)
+	m = map[string]int{} // want `map literal allocates`
+	return len(buf) + len(big) + len(m)
+}

@@ -1,0 +1,12 @@
+//go:build carbonlint_exclude_fixture
+
+// This file is excluded by its build tag, so nothing in it may load or be
+// analyzed: the blatant violations below carry no want comments, and the
+// suite fails with unexpected diagnostics if the loader stops honoring
+// build constraints.
+package a
+
+//lint:hotroot excluded file; this root must never enter the graph
+func ExcludedRoot() []int {
+	return make([]int, 9)
+}

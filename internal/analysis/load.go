@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -26,6 +27,12 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	// ExportFile is the build-cache path of the package's compiled export
+	// data, as reported by `go list -export`. The path embeds the build
+	// action ID — a hash of the package's sources and the export data of
+	// everything it imports — which is what the lint cache keys on.
+	// Empty for testdata packages.
+	ExportFile string
 }
 
 // listedPackage is the subset of `go list -json` output the loader reads.
@@ -65,6 +72,11 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 		pkgs = append(pkgs, lp)
 	}
 	return pkgs, nil
+}
+
+// errListed formats a `go list` per-package error.
+func errListed(lp *listedPackage) error {
+	return fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
 }
 
 // makeResolver builds a types.Importer that satisfies imports from the
@@ -138,7 +150,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var targets []*listedPackage
 	for _, lp := range listed {
 		if lp.Error != nil {
-			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+			return nil, errListed(lp)
 		}
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
@@ -158,6 +170,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.ExportFile = lp.Export
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
@@ -187,7 +200,14 @@ func LoadTestdata(moduleDir, testdata string, rels ...string) ([]*Package, error
 		}
 		p := parsed{rel: rel, dir: dir}
 		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			// Honor build constraints (//go:build tags and _GOOS/_GOARCH
+			// file suffixes) exactly as `go list` would, so testdata can
+			// carry e.g. an amd64 asm declaration alongside its !amd64
+			// generic fallback without declaring the symbol twice.
+			if match, err := build.Default.MatchFile(dir, e.Name()); err != nil || !match {
 				continue
 			}
 			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

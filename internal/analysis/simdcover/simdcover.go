@@ -1,0 +1,159 @@
+// Package simdcover makes the SIMD bit-identity contract structural. Every
+// assembly-declared kernel (a bodyless func declaration, e.g. in
+// simd_amd64.go) must be covered twice:
+//
+//   - a generic fallback with an identical signature must exist in a
+//     build-tag-excluded file of the same package (simd_generic.go), so
+//     non-amd64 builds keep the kernel semantics — names may differ, since
+//     kernels dispatch through wrappers (axpyAVX2 falls back to axpySIMD);
+//   - some simd*_test.go in the package must reference the kernel by name,
+//     pinning it against the scalar reference bit for bit.
+//
+// The analyzer reads the excluded files and test files straight from disk
+// (they are, by construction, outside the loaded build), compares
+// signatures textually, and reports kernels whose fallback or equivalence
+// test is missing. Kernels with no meaningful scalar twin (register-tiled
+// drivers that fall back through a different code path) carry
+// //lint:allow simdcover <reason>.
+package simdcover
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/carbonedge/carbonedge/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdcover",
+	Doc: "every asm-declared kernel needs a build-tagged generic fallback with " +
+		"an identical signature and a simd*_test.go reference pinning bit-for-bit " +
+		"equivalence with the scalar semantics",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var kernels []*ast.FuncDecl
+	loaded := make(map[string]bool)
+	dir := ""
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		loaded[filepath.Base(name)] = true
+		if dir == "" {
+			dir = filepath.Dir(name)
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body == nil {
+				kernels = append(kernels, fd)
+			}
+		}
+	}
+	if len(kernels) == 0 {
+		return nil, nil
+	}
+
+	fallbacks, testIdents, err := scanPackageDir(dir, loaded)
+	if err != nil {
+		return nil, err
+	}
+	for _, fd := range kernels {
+		sig := renderFuncType(fd.Type)
+		if !fallbacks[sig] {
+			pass.Reportf(fd.Pos(),
+				"asm-declared %s has no build-tagged generic fallback with signature %s; non-amd64 builds lose the kernel semantics",
+				fd.Name.Name, sig)
+		}
+		if !testIdents[fd.Name.Name] {
+			pass.Reportf(fd.Pos(),
+				"asm-declared %s is not referenced by any simd*_test.go; add an equivalence test pinning it against the scalar reference",
+				fd.Name.Name)
+		}
+	}
+	return nil, nil
+}
+
+// scanPackageDir raw-parses the package files outside the loaded build:
+// build-tag-excluded sources contribute fallback signatures, simd*_test.go
+// files contribute the referenced identifier set.
+func scanPackageDir(dir string, loaded map[string]bool) (fallbacks, testIdents map[string]bool, err error) {
+	fallbacks = make(map[string]bool)
+	testIdents = make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		isSimdTest := isTest && strings.HasPrefix(name, "simd")
+		if loaded[name] || (isTest && !isSimdTest) {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if perr != nil {
+			continue // a file the build also can't read is not this analyzer's finding
+		}
+		if isSimdTest {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					testIdents[id.Name] = true
+				}
+				return true
+			})
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && fd.Recv == nil {
+				fallbacks[renderFuncType(fd.Type)] = true
+			}
+		}
+	}
+	return fallbacks, testIdents, nil
+}
+
+// renderFuncType canonicalizes a signature as "(types...)(results...)" with
+// parameter names dropped, so declarations can be compared across files
+// without type information (the excluded files have none by definition).
+func renderFuncType(ft *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	writeFieldTypes(&b, ft.Params)
+	b.WriteString(")(")
+	writeFieldTypes(&b, ft.Results)
+	b.WriteByte(')')
+	return b.String()
+}
+
+func writeFieldTypes(b *strings.Builder, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	first := true
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		var buf bytes.Buffer
+		printer.Fprint(&buf, token.NewFileSet(), f.Type)
+		ts := buf.String()
+		for i := 0; i < n; i++ {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(ts)
+			first = false
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package simdcover_test
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/carbonedge/carbonedge/internal/analysis/analyzertest"
+	"github.com/carbonedge/carbonedge/internal/analysis/simdcover"
+)
+
+func TestSimdcover(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skip("testdata plants amd64 asm declarations; on other arches only the generic files load")
+	}
+	analyzertest.Run(t, simdcover.Analyzer, "ok", "bad")
+}

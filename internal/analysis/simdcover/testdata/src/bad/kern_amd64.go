@@ -1,0 +1,19 @@
+//go:build amd64
+
+// Package bad plants one violation per rule: a kernel with neither fallback
+// nor test, one whose fallback signature drifted, one nobody pins, and one
+// whose missing scalar twin is deliberate and annotated.
+package bad
+
+// mulAVX2 has no generic twin at all and no pinning test.
+func mulAVX2(x []float64, s float64) // want `mulAVX2 has no build-tagged generic fallback` `mulAVX2 is not referenced by any simd`
+
+// subAVX2 is pinned by a test, but its fallback grew an extra result.
+func subAVX2(x, y []float64) // want `subAVX2 has no build-tagged generic fallback`
+
+// dotAVX2 falls back correctly, but nothing pins it bit for bit.
+func dotAVX2(out, a, b []float64, n int) // want `dotAVX2 is not referenced by any simd`
+
+// tile4x8AVX2 deliberately has no scalar twin: on !amd64 its quad driver
+// returns zero rows handled and the row path takes over.
+func tile4x8AVX2(out []float64, on int) //lint:allow simdcover register tile falls back through the row path

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package bad
+
+func subSIMD(x, y []float64) bool { return len(x) == len(y) }
+
+func dotSIMD(out, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		out[i] = a[i] * b[i]
+	}
+}

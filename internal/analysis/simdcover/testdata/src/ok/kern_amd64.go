@@ -1,0 +1,11 @@
+//go:build amd64
+
+// Package ok mirrors the nn SIMD layout: a bodyless asm kernel, a
+// dispatching wrapper, a !amd64 fallback with the kernel's signature, and a
+// simd*_test.go pinning the kernel. Nothing here should be flagged.
+package ok
+
+// addAVX2 is implemented in kern_amd64.s.
+func addAVX2(x, y []float64)
+
+func addSIMD(x, y []float64) { addAVX2(x, y) }

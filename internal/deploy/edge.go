@@ -90,7 +90,7 @@ func (s *EdgeSession) Run(conn net.Conn) (done bool, err error) {
 		case MsgDone:
 			return true, nil
 		case MsgError:
-			return true, fmt.Errorf("deploy: cloud aborted: %s", m.Reason)
+			return true, fmt.Errorf("deploy: cloud aborted: %s", m.Reason) //lint:allow errtaxonomy abort reason is forwarded verbatim and the session is already terminal
 		case MsgAssign:
 			if s.last != nil && m.Slot == s.last.Slot {
 				// Duplicate assign: the cloud never saw our report for this
@@ -131,7 +131,7 @@ func (s *EdgeSession) Run(conn net.Conn) (done bool, err error) {
 				return !Transient(err), fmt.Errorf("deploy: report: %w", err)
 			}
 		default:
-			return true, fmt.Errorf("deploy: unexpected message type %d", m.Type)
+			return true, protocolErrorf("unexpected message type %d", m.Type)
 		}
 	}
 }
@@ -175,7 +175,7 @@ func (s *EdgeSession) handshake(conn net.Conn) error {
 // harnesses stay in control of time.
 func RunEdgeResumable(dial func() (net.Conn, error), edgeID int, rt Runtime, maxResumes int) error {
 	if dial == nil {
-		return fmt.Errorf("deploy: nil dialer")
+		return fmt.Errorf("deploy: nil dialer") //lint:allow errtaxonomy argument validation before any wire traffic
 	}
 	s, err := NewEdgeSession(edgeID, rt)
 	if err != nil {
@@ -291,6 +291,8 @@ func (r *NNRuntime) LoadModel(modelID int, checkpoint []byte) error {
 }
 
 // RunSlot implements Runtime: serve M samples with the loaded model.
+//
+//lint:hotroot steady-state slot serving must report 0 allocs/op (bench_test.go pins it)
 func (r *NNRuntime) RunSlot(slot, modelID int) (SlotReport, error) {
 	net, ok := r.loaded[modelID]
 	if !ok {
@@ -307,7 +309,7 @@ func (r *NNRuntime) RunSlot(slot, modelID int) (SlotReport, error) {
 	// serve them in fixed-size batched forward passes. All scratch comes
 	// from the runtime-owned grow-only arena: steady state is 0 allocs/op.
 	if cap(r.idx) < m {
-		r.idx = make([]int, m)
+		r.idx = make([]int, m) //lint:allow hotalloc grow-only index buffer; steady state reuses capacity
 	}
 	idx := r.idx[:m]
 	for j := range idx {
@@ -322,8 +324,8 @@ func (r *NNRuntime) RunSlot(slot, modelID int) (SlotReport, error) {
 		}
 		b := end - start
 		r.arena.Reset()
-		r.batchShape = append(r.batchShape[:0], b)
-		r.batchShape = append(r.batchShape, r.Pool[0].X.Shape...)
+		r.batchShape = append(r.batchShape[:0], b)                //lint:allow hotalloc appends into the recycled shape buffer; capacity is grown once and reused
+		r.batchShape = append(r.batchShape, r.Pool[0].X.Shape...) //lint:allow hotalloc appends into the recycled shape buffer; capacity is grown once and reused
 		in := r.arena.Tensor(r.batchShape...)
 		for j := 0; j < b; j++ {
 			copy(in.Data[j*sampleLen:(j+1)*sampleLen], r.Pool[idx[start+j]].X.Data)

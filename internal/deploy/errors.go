@@ -27,7 +27,7 @@ type ProtocolError struct {
 }
 
 // Error implements error.
-func (e *ProtocolError) Error() string { return "deploy: protocol: " + e.Reason }
+func (e *ProtocolError) Error() string { return "deploy: protocol: " + e.Reason } //lint:allow hotalloc error formatting runs on failure paths only
 
 // protocolErrorf builds a ProtocolError.
 func protocolErrorf(format string, args ...any) error {
@@ -46,12 +46,33 @@ func (e *EdgeError) Error() string {
 	return fmt.Sprintf("deploy: edge %d failed: %s", e.EdgeID, e.Reason)
 }
 
+// TransientError marks a failure the retry layer may spend budget on even
+// though it is not itself a connection-level I/O error — e.g. no live
+// connection arrived within the resume window. Error is a passthrough so
+// wrapping a message in the taxonomy never changes its string.
+type TransientError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return e.Reason }
+
+// Transientf builds a TransientError.
+func Transientf(format string, args ...any) error {
+	return &TransientError{Reason: fmt.Sprintf(format, args...)}
+}
+
 // Transient reports whether err is worth retrying over a fresh connection.
-// Fatal taxonomy members are never transient; connection-level I/O failures
-// (net.Error, closed/reset connections, EOF and mid-frame EOF) are.
+// Fatal taxonomy members are never transient; explicit TransientError and
+// connection-level I/O failures (net.Error, closed/reset connections, EOF
+// and mid-frame EOF) are.
 func Transient(err error) bool {
 	if err == nil {
 		return false
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
 	}
 	var pe *ProtocolError
 	if errors.As(err, &pe) {

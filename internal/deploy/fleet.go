@@ -358,6 +358,8 @@ type tcpStepper struct {
 }
 
 // Step implements engine.EdgeStepper.
+//
+//lint:cold a TCP round trip per slot dominates any allocation; the alloc-free contract covers in-process steppers only
 func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, error) {
 	retry := s.fleet.fcfg.retry.withDefaults()
 	attempts := 0
@@ -367,7 +369,7 @@ func (s *tcpStepper) Step(slot, arm int, download bool) (engine.Observation, err
 			if conn := s.await(retry.ResumeWait); conn != nil {
 				s.conn = conn
 			} else {
-				lastErr = fmt.Errorf("edge %d: no live connection within %v", s.id, retry.ResumeWait)
+				lastErr = Transientf("edge %d: no live connection within %v", s.id, retry.ResumeWait)
 			}
 		}
 		if s.conn != nil {

@@ -319,7 +319,7 @@ func (rs *regionStepper) Step(slot int, arms []int, downloads []bool) (engine.Sl
 		// The region forwards its shard's error verbatim (e.g. the engine's
 		// FailFast "engine: edge %d slot %d: ..." wrapping), so the root run
 		// fails with the same error string a monolithic run would report.
-		return engine.SlotDelta{}, errors.New(m.Reason)
+		return engine.SlotDelta{}, errors.New(m.Reason) //lint:allow errtaxonomy the shard error string must round-trip verbatim so distributed and monolithic runs fail identically
 	}
 	if err := ValidateDelta(m, rs.rng.Start, rs.rng.Count, slot); err != nil {
 		return engine.SlotDelta{}, fmt.Errorf("deploy: region %d: %w", rs.index, err)
@@ -348,12 +348,10 @@ type RegionConfig struct {
 	Retry RetryConfig
 }
 
-// RunRegion runs one regional coordinator to completion: it claims its
-// shard from the root over upstream, admits the shard's edges from ln
-// (global edge ids, exactly the monolithic cloud's admission protocol), and
-// serves ShardAssign/ShardDelta rounds until the root sends Done or Error.
-// The returned error is nil on a completed run.
-func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
+// validateRegionConfig checks a RegionConfig before any wire traffic. It is
+// deliberately a separate function: it never reaches the wire, so its plain
+// validation errors stay outside the wire error taxonomy.
+func validateRegionConfig(cfg RegionConfig) error {
 	if cfg.Source == nil {
 		return fmt.Errorf("deploy: nil model source")
 	}
@@ -363,6 +361,18 @@ func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
 	if cfg.Retry.Attempts < 0 {
 		return fmt.Errorf("deploy: negative retry budget %d", cfg.Retry.Attempts)
 	}
+	return nil
+}
+
+// RunRegion runs one regional coordinator to completion: it claims its
+// shard from the root over upstream, admits the shard's edges from ln
+// (global edge ids, exactly the monolithic cloud's admission protocol), and
+// serves ShardAssign/ShardDelta rounds until the root sends Done or Error.
+// The returned error is nil on a completed run.
+func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
+	if err := validateRegionConfig(cfg); err != nil {
+		return err
+	}
 	if err := WriteMessage(upstream, &Message{Type: MsgRegionHello, RegionID: cfg.RegionID}); err != nil {
 		return fmt.Errorf("deploy: region hello: %w", err)
 	}
@@ -371,7 +381,7 @@ func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
 		return fmt.Errorf("deploy: region welcome: %w", err)
 	}
 	if w.Type == MsgError {
-		return fmt.Errorf("deploy: root rejected region %d: %s", cfg.RegionID, w.Reason)
+		return fmt.Errorf("deploy: root rejected region %d: %s", cfg.RegionID, w.Reason) //lint:allow errtaxonomy rejection reason is forwarded verbatim and the handshake is already terminal
 	}
 	if w.Type != MsgRegionWelcome {
 		return protocolErrorf("expected RegionWelcome, got type %d", w.Type)
@@ -380,7 +390,7 @@ func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
 		return protocolErrorf("implausible shard [%d,%d) over %d slots", w.Start, w.Start+w.Count, w.Horizon)
 	}
 	if w.NumModels != cfg.Source.NumModels() {
-		return fmt.Errorf("deploy: root announces %d models, region zoo has %d", w.NumModels, cfg.Source.NumModels())
+		return protocolErrorf("root announces %d models, region zoo has %d", w.NumModels, cfg.Source.NumModels())
 	}
 	policy := engine.FailFast
 	if w.Degrade {
@@ -448,7 +458,7 @@ func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
 			}
 			return nil
 		case MsgError:
-			err := fmt.Errorf("deploy: root aborted: %s", m.Reason)
+			err := fmt.Errorf("deploy: root aborted: %s", m.Reason) //lint:allow errtaxonomy abort reason is forwarded verbatim and the run is already terminal
 			_ = fleet.abort(tcp, err)
 			return err
 		default:

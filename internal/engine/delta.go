@@ -3,6 +3,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+
+	"github.com/carbonedge/carbonedge/internal/energy"
+	"github.com/carbonedge/carbonedge/internal/metrics"
 )
 
 // EdgeDelta is one edge's fully-resolved contribution to one slot: the
@@ -69,6 +72,59 @@ func (d *SlotDelta) Merge(o SlotDelta) error {
 	}
 	d.Edges = append(d.Edges, o.Edges...)
 	return nil
+}
+
+// SlotFold is the accounting state Fold reads and writes for one slot: the
+// inputs the fold consumes (meter, placement, per-edge switch costs, the
+// Result under construction, and the controller feedback buffers) and the
+// slot totals it produces.
+type SlotFold struct {
+	Meter       *energy.Meter
+	Arms        []int
+	Downloads   []bool
+	SwitchCosts []float64
+	Res         *Result
+	Losses      []float64
+	Served      []bool
+
+	// Outputs, accumulated over the delta's edges.
+	Cost     metrics.CostBreakdown
+	Emission float64
+	Correct  int
+	Samples  int
+}
+
+// Fold runs the slot's cross-edge accounting serially in edge-index order —
+// the one place a per-edge term may enter a float accumulation. Deltas carry
+// raw terms and Merge is pure concatenation precisely so that every
+// non-associative addition happens here, once, in canonical order: the
+// result is independent of shard decomposition and completion order. A down
+// edge contributes the well-defined fallback: zero samples, zero energy, no
+// switch charge (nothing was shipped), and no bandit feedback.
+func (d *SlotDelta) Fold(f *SlotFold) {
+	for i := range d.Edges {
+		ed := &d.Edges[i]
+		g := d.Start + i
+		f.Losses[g] = ed.Loss
+		f.Served[g] = ed.Served
+		f.Res.Retries[g] += ed.Retries
+		if !ed.Served {
+			f.Res.Downtime[g]++
+			f.Res.DroppedSlots++
+			continue
+		}
+		f.Res.Selections[g][f.Arms[g]]++
+		f.Cost.InferLoss += ed.InferLoss
+		f.Cost.Compute += ed.Compute
+		if f.Downloads[g] {
+			f.Cost.Switching += f.SwitchCosts[g]
+			f.Res.Switches++
+			f.Emission += f.Meter.RecordTransfer(ed.TransferKWh)
+		}
+		f.Emission += f.Meter.RecordInference(ed.InferKWh)
+		f.Correct += ed.Correct
+		f.Samples += ed.Samples
+	}
 }
 
 // Workload returns the delta's total served samples.

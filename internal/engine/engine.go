@@ -341,35 +341,21 @@ func RunSharded(cfg Config, ctrl *core.Controller, shards []ShardStepper) (*Resu
 			}
 		}
 
-		// Cross-edge accounting is serial and in edge-index order so the
-		// result is independent of shard completion order. A down edge
-		// contributes the well-defined fallback: zero samples, zero energy,
-		// no switch charge (nothing was shipped), and no bandit feedback.
-		var slotCost metrics.CostBreakdown
-		slotEmission := 0.0
-		slotCorrect, slotSamples := 0, 0
-		for i := range acc.Edges {
-			ed := &acc.Edges[i]
-			losses[i] = ed.Loss
-			served[i] = ed.Served
-			res.Retries[i] += ed.Retries
-			if !ed.Served {
-				res.Downtime[i]++
-				res.DroppedSlots++
-				continue
-			}
-			res.Selections[i][arms[i]]++
-			slotCost.InferLoss += ed.InferLoss
-			slotCost.Compute += ed.Compute
-			if downloads[i] {
-				slotCost.Switching += cfg.SwitchCosts[i]
-				res.Switches++
-				slotEmission += meter.RecordTransfer(ed.TransferKWh)
-			}
-			slotEmission += meter.RecordInference(ed.InferKWh)
-			slotCorrect += ed.Correct
-			slotSamples += ed.Samples
+		// Cross-edge accounting is SlotDelta.Fold — serial, in edge-index
+		// order, and the only place per-edge terms enter float accumulations.
+		fold := SlotFold{
+			Meter:       meter,
+			Arms:        arms,
+			Downloads:   downloads,
+			SwitchCosts: cfg.SwitchCosts,
+			Res:         res,
+			Losses:      losses,
+			Served:      served,
 		}
+		acc.Fold(&fold)
+		slotCost := fold.Cost
+		slotEmission := fold.Emission
+		slotCorrect, slotSamples := fold.Correct, fold.Samples
 
 		q := trading.Quote{Buy: cfg.Prices.Buy[t], Sell: cfg.Prices.Sell[t]}
 		d, err := ctrl.DecideTrade(q)
@@ -418,7 +404,7 @@ func RunSharded(cfg Config, ctrl *core.Controller, shards []ShardStepper) (*Resu
 // completes, and Run surfaces the failure as the slot's first error in edge
 // order — the same deterministic path an ordinary Step error takes.
 func safeStep(e EdgeStepper, slot, arm int, download bool) (o Observation, err error) {
-	defer func() {
+	defer func() { //lint:allow hotalloc the recover barrier must capture err; the open-coded defer keeps the closure off the heap
 		if r := recover(); r != nil {
 			err = fmt.Errorf("stepper panic: %v", r)
 		}

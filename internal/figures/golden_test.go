@@ -2,6 +2,8 @@ package figures
 
 import (
 	"os"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -13,9 +15,8 @@ import (
 // engine's sharded reduction included — fails here before it silently skews
 // the committed artifacts.
 //
-// Note it diffs against results/fig3.txt, a golden pinned at the revision
-// that introduced this test; the older results/figures.txt predates earlier
-// accuracy-affecting changes and is retained as-committed.
+// Note it diffs against results/fig3.txt; the full-suite fence over
+// results/figures.txt lives in TestFiguresMatchCommittedGolden below.
 func TestFig3MatchesCommittedGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("regenerating Fig. 3 runs 18 simulations")
@@ -33,5 +34,51 @@ func TestFig3MatchesCommittedGolden(t *testing.T) {
 		t.Fatalf("regenerated Fig. 3 diverged from the committed results/fig3.txt;\n"+
 			"if the change is intentional, regenerate with "+
 			"`go run ./cmd/benchgen -fig 3 -runs 3 -out results/fig3.txt`.\nregenerated:\n%s", rendered)
+	}
+}
+
+// TestFiguresMatchCommittedGolden regenerates every deterministic figure
+// (Figs. 3-13) at the committed options (benchgen -runs 3, the invocation
+// that produced results/figures.txt) and requires the rendered tables to be
+// byte-identical to the committed file. Fig. 14 is excluded: its y-axis is
+// wall time (Options.Clock), so its committed section is provenance, not a
+// golden. Together with the Fig. 3 fence above this makes every
+// deterministic committed artifact a regression gate on `make test`.
+func TestFiguresMatchCommittedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerating Figs. 3-13 runs the full simulation grid")
+	}
+	golden, err := os.ReadFile("../../results/figures.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(string(golden), "== Fig14:")
+	if idx < 0 {
+		t.Fatal("results/figures.txt has no Fig14 section; regenerate it with `go run ./cmd/benchgen -runs 3 -out results/figures.txt`")
+	}
+	want := string(golden[:idx])
+
+	opts := Options{Runs: 3, Seed: 1, Edges: 10, Horizon: 160}
+	var b strings.Builder
+	gens := All()
+	ids := make([]int, 0, len(gens))
+	for id := range gens {
+		if id != 14 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fig, err := gens[id](opts)
+		if err != nil {
+			t.Fatalf("figure %d: %v", id, err)
+		}
+		b.WriteString(Render(fig))
+		b.WriteString("\n")
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("regenerated Figs. 3-13 diverged from the committed results/figures.txt;\n" +
+			"if the change is intentional, regenerate with " +
+			"`go run ./cmd/benchgen -runs 3 -out results/figures.txt`.")
 	}
 }

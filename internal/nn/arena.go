@@ -40,9 +40,9 @@ func (a *Arena) Reset() {
 // unspecified: callers must fully overwrite before reading.
 func (a *Arena) Floats(n int) []float64 {
 	if a.nfloats == len(a.floats) {
-		a.floats = append(a.floats, make([]float64, n))
+		a.floats = append(a.floats, make([]float64, n)) //lint:allow hotalloc grow-only arena pool; steady state reuses capacity
 	} else if cap(a.floats[a.nfloats]) < n {
-		a.floats[a.nfloats] = make([]float64, n)
+		a.floats[a.nfloats] = make([]float64, n) //lint:allow hotalloc grow-only arena pool; steady state reuses capacity
 	}
 	buf := a.floats[a.nfloats][:n]
 	a.nfloats++
@@ -75,7 +75,7 @@ func (a *Arena) Tensor(shape ...int) *Tensor {
 		n *= d
 	}
 	t := a.header()
-	t.Shape = append(t.Shape[:0], shape...)
+	t.Shape = append(t.Shape[:0], shape...) //lint:allow hotalloc shape header grows once to its max rank, then reuses capacity
 	t.Data = a.Floats(n)
 	return t
 }
@@ -93,7 +93,7 @@ func (a *Arena) View(data []float64, shape ...int) *Tensor {
 		panic("nn: arena view shape does not match data length")
 	}
 	t := a.header()
-	t.Shape = append(t.Shape[:0], shape...)
+	t.Shape = append(t.Shape[:0], shape...) //lint:allow hotalloc shape header grows once to its max rank, then reuses capacity
 	t.Data = data
 	return t
 }
@@ -110,7 +110,7 @@ func zeroFloats(s []float64) {
 // header hands out a recycled tensor header.
 func (a *Arena) header() *Tensor {
 	if a.nten == len(a.tensors) {
-		a.tensors = append(a.tensors, &Tensor{})
+		a.tensors = append(a.tensors, &Tensor{}) //lint:allow hotalloc grow-only header pool; steady state reuses capacity
 	}
 	t := a.tensors[a.nten]
 	a.nten++

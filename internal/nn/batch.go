@@ -18,6 +18,8 @@ import (
 // (ForwardBatch itself does not Reset: callers build the input batch from
 // the same arena). The batched path is inference-only — no layer records
 // backward state.
+//
+//lint:hotroot inference inner loop; all scratch comes from the arena
 func (n *Network) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	out := in
 	for _, l := range n.Layers {

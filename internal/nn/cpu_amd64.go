@@ -9,9 +9,9 @@ package nn
 // order (see simd_amd64.go), so a run on a pre-AVX2 host is bit-for-bit the
 // same as a run here — only slower.
 
-func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32) //lint:allow simdcover CPU feature probe, not a data kernel; there is no scalar semantics to mirror
 
-func xgetbv0() (eax, edx uint32)
+func xgetbv0() (eax, edx uint32) //lint:allow simdcover CPU feature probe, not a data kernel; there is no scalar semantics to mirror
 
 var hasAVX2 = func() bool {
 	maxID, _, _, _ := cpuid(0, 0)

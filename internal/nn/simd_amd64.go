@@ -48,7 +48,7 @@ func nnDot8SSE2(out, init, a, bt []float64, n int)
 func nnDot16AVX2(out, init, a, bt []float64, n int)
 
 //go:noescape
-func nnDot4x8AVX2(out []float64, on int, init, a []float64, k int, bt []float64, ld int)
+func nnDot4x8AVX2(out []float64, on int, init, a []float64, k int, bt []float64, ld int) //lint:allow simdcover register-tiled quad kernel with no scalar twin; on !amd64 the quad drivers hand every row to the row path, and simd_test.go pins the drivers
 
 //go:noescape
 func pool2x2SSE2(dst, row0, row1 []float64)

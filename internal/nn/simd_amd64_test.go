@@ -141,3 +141,117 @@ func TestNNDot16AVX2MatchesScalarBitForBit(t *testing.T) {
 		}
 	}
 }
+
+func TestNNDot8SSE2MatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for _, k := range []int{0, 1, 2, 3, 7, 9, 25, 72} {
+		for _, n := range []int{8, 9, 16, 23} {
+			a := simdCases(rng, k)
+			var bt []float64
+			if k > 0 {
+				bt = simdCases(rng, (k-1)*n+8)
+			}
+			init := simdCases(rng, 8)
+			got := simdCases(rng, 8)
+			nnDot8SSE2(got, init, a, bt, n)
+			for l := 0; l < 8; l++ {
+				s := init[l]
+				for c := 0; c < k; c++ {
+					s += a[c] * bt[c*n+l]
+				}
+				if !sameBits(got[l], s) {
+					t.Fatalf("k=%d n=%d l=%d: got %x want %x", k, n, l,
+						math.Float64bits(got[l]), math.Float64bits(s))
+				}
+			}
+		}
+	}
+}
+
+func TestPool2x2SSE2MatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for n := 0; n <= 33; n++ {
+		row0 := simdCases(rng, 2*n)
+		row1 := simdCases(rng, 2*n)
+		got := simdCases(rng, n)
+		pool2x2SSE2(got, row0, row1)
+		for x := 0; x < n; x++ {
+			best := row0[2*x]
+			for _, c := range []float64{row0[2*x+1], row1[2*x], row1[2*x+1]} {
+				if c > best {
+					best = c
+				}
+			}
+			if !sameBits(got[x], best) {
+				t.Fatalf("n=%d x=%d: got %x want %x", n, x,
+					math.Float64bits(got[x]), math.Float64bits(best))
+			}
+		}
+	}
+}
+
+func TestTranspose2x2SSE2CoversEvenRegionBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	for _, rows := range []int{0, 1, 2, 3, 5, 8, 13} {
+		for _, cols := range []int{0, 1, 2, 3, 4, 7, 16} {
+			src := simdCases(rng, rows*cols)
+			const sentinel = -12345.5
+			got := make([]float64, rows*cols)
+			for i := range got {
+				got[i] = sentinel
+			}
+			transpose2x2SSE2(got, src, rows, cols)
+			r2, c2 := rows&^1, cols&^1
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					want := sentinel // odd-tail elements are the wrapper's job
+					if r < r2 && c < c2 {
+						want = src[r*cols+c]
+					}
+					if !sameBits(got[c*rows+r], want) {
+						t.Fatalf("rows=%d cols=%d r=%d c=%d: got %x want %x", rows, cols, r, c,
+							math.Float64bits(got[c*rows+r]), math.Float64bits(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConv3x3BwdSSE2MatchesScalarBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	const w, h, inC = 5, 4, 3
+	const hw = w * h
+	for trial := 0; trial < 20; trial++ {
+		gv := rng.NormFloat64()
+		wr := simdCases(rng, inC*9)
+		cr := simdCases(rng, inC*9)
+		gw := simdCases(rng, inC*9)
+		gi := simdCases(rng, inC*hw)
+		wantGW := append([]float64(nil), gw...)
+		wantGI := append([]float64(nil), gi...)
+		for ic := 0; ic < inC; ic++ {
+			for j := 0; j < 9; j++ {
+				wantGW[ic*9+j] += gv * cr[ic*9+j]
+			}
+			for r := 0; r < 3; r++ {
+				for j := 0; j < 3; j++ {
+					wantGI[ic*hw+r*w+j] += gv * wr[ic*9+r*3+j]
+				}
+			}
+		}
+		conv3x3BwdSSE2(gv, wr, cr, gw, gi, w, hw, inC)
+		for i := range wantGW {
+			if !sameBits(gw[i], wantGW[i]) {
+				t.Fatalf("trial=%d gw[%d]: got %x want %x", trial, i,
+					math.Float64bits(gw[i]), math.Float64bits(wantGW[i]))
+			}
+		}
+		for i := range wantGI {
+			if !sameBits(gi[i], wantGI[i]) {
+				t.Fatalf("trial=%d gi[%d]: got %x want %x", trial, i,
+					math.Float64bits(gi[i]), math.Float64bits(wantGI[i]))
+			}
+		}
+	}
+}

@@ -111,7 +111,7 @@ func (st *scenarioStepper) Step(slot, arm int, _ bool) (engine.Observation, erro
 	s, i := st.s, st.edge
 	m := s.Workload[slot][i]
 	if cap(st.batch) < m {
-		st.batch = make([]int, m)
+		st.batch = make([]int, m) //lint:allow hotalloc grow-only batch buffer; steady state reuses capacity
 	}
 	st.batch = st.batch[:m]
 	if s.streamPre != nil {
