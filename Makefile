@@ -10,6 +10,10 @@
 #   make chaos   - fault-tolerance suite under the race detector: deterministic
 #                  fault injection, kill/resume, degradation (see DESIGN.md
 #                  "Failure model")
+#   make chaos-region - elastic-regional-tier suite under the race detector:
+#                  region kill/resume, torn delta frames, graceful departure
+#                  with mid-run shard rebalancing, quorum degradation, and the
+#                  randomized-schedule parity property
 #   make bench   - refresh the machine-readable NN perf baseline
 #                  (BENCH_nn.json) plus the engine's serial-vs-parallel
 #                  slot-stepping benchmark
@@ -20,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos bench bench-diff check sim
+.PHONY: build test vet lint race chaos chaos-region bench bench-diff check sim
 
 build:
 	$(GO) build ./...
@@ -40,6 +44,9 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestCloud' ./internal/deploy/
 	$(GO) test -race -count=1 ./internal/faults/
+
+chaos-region:
+	$(GO) test -race -count=1 -run 'TestRegionChaos|TestRegional|TestShardDeltaReplay' ./internal/deploy/
 
 bench:
 	$(GO) run ./cmd/nnbench -out BENCH_nn.json

@@ -21,6 +21,15 @@
 //	carbonedge-cloud -mode region -region-id 1 -connect host:7070 -listen :7272 &
 //	for i in 0 1; do carbonedge-edge -connect host:7171 -id $i & done
 //	for i in 2 3; do carbonedge-edge -connect host:7272 -id $i & done
+//
+// The regional tier is elastic: give the root -degrade plus a per-link
+// retry budget (-region-retries) and regions a -resumes budget, and a
+// coordinator whose upstream link fails redials the root, resumes from its
+// shard watermark, and the run completes with the same summary bytes. A
+// coordinator started with -leave-before N departs gracefully before slot
+// N and the root rebalances its shard onto a surviving region (or degrades
+// it when fewer than -quorum regions remain). See README.md "Killing a
+// region's link mid-run".
 package main
 
 import (
@@ -63,6 +72,10 @@ func run(args []string, stdout io.Writer) error {
 		epochs   = fs.Int("epochs", 2, "zoo training epochs")
 		retries  = fs.Int("retries", 0, "per-slot transient-failure retry budget per edge")
 		degrade  = fs.Bool("degrade", false, "complete the run without edges that fail beyond their retry budget (default: abort)")
+		rgRetry  = fs.Int("region-retries", 0, "per-slot transient-failure retry budget per region link (root mode)")
+		quorum   = fs.Int("quorum", 0, "live regions required to rebalance a lost shard instead of degrading it (root mode, 0 = 1)")
+		resumes  = fs.Int("resumes", 0, "times this coordinator redials the root and resumes after a link failure (region mode)")
+		leaveAt  = fs.Int("leave-before", 0, "announce a graceful departure before serving this slot (region mode, 0 = never)")
 		hsTO     = fs.Duration("handshake-timeout", 0, "handshake deadline for new connections (0 = 30s default, negative disables)")
 		slotTO   = fs.Duration("slot-timeout", 0, "per-slot exchange deadline per edge (0 disables)")
 	)
@@ -72,8 +85,11 @@ func run(args []string, stdout io.Writer) error {
 	if *horizon <= 0 {
 		return fmt.Errorf("need positive horizon")
 	}
-	if *retries < 0 {
+	if *retries < 0 || *rgRetry < 0 {
 		return fmt.Errorf("negative retry budget")
+	}
+	if *quorum < 0 || *resumes < 0 || *leaveAt < 0 {
+		return fmt.Errorf("negative elasticity parameter")
 	}
 	policy := engine.FailFast
 	if *degrade {
@@ -91,13 +107,14 @@ func run(args []string, stdout io.Writer) error {
 		if *edges <= 0 {
 			return fmt.Errorf("need positive edges")
 		}
-		return runRoot(stdout, *listen, *edges, *regions, *horizon, *seed, *cap, *rate, policy, *hsTO, *slotTO)
+		return runRoot(stdout, *listen, *edges, *regions, *horizon, *seed, *cap, *rate, policy,
+			*rgRetry, *quorum, *hsTO, *slotTO)
 	case "region":
 		if *connect == "" {
 			return fmt.Errorf("region mode needs -connect <root address>")
 		}
 		return runRegion(stdout, *listen, *connect, *regionID, *seed,
-			*trainN, *epochs, *retries, *hsTO, *slotTO)
+			*trainN, *epochs, *retries, *resumes, *leaveAt, *hsTO, *slotTO)
 	default:
 		return fmt.Errorf("unknown mode %q (standalone | root | region)", *mode)
 	}
@@ -189,7 +206,8 @@ func runStandalone(stdout io.Writer, listen string, edges, horizon int, seed int
 // ships checkpoints — the regions hold the zoo — so it skips training and
 // only needs the family size the trained zoos will have.
 func runRoot(stdout io.Writer, listen string, edges, regions, horizon int, seed int64,
-	cap, rate float64, policy engine.ErrorPolicy, hsTO, slotTO time.Duration) error {
+	cap, rate float64, policy engine.ErrorPolicy, rgRetry, quorum int,
+	hsTO, slotTO time.Duration) error {
 	prices, err := deploymentPrices(seed, horizon)
 	if err != nil {
 		return err
@@ -209,6 +227,8 @@ func runRoot(stdout io.Writer, listen string, edges, regions, horizon int, seed 
 
 		SlotTimeout:      slotTO,
 		HandshakeTimeout: hsTO,
+		Retry:            deploy.RetryConfig{Attempts: rgRetry},
+		RegionQuorum:     quorum,
 	})
 	if err != nil {
 		return err
@@ -231,18 +251,15 @@ func runRoot(stdout io.Writer, listen string, edges, regions, horizon int, seed 
 
 // runRegion runs one regional coordinator: it trains the zoo (identical to
 // every other region's, by seed), claims its shard from the root, and admits
-// the shard's edges on its own listener.
+// the shard's edges on its own listener. A positive resume budget makes the
+// coordinator redial the root and resume from its shard watermark when the
+// upstream link fails, exactly as carbonedge-edge -resumes does for edges.
 func runRegion(stdout io.Writer, listen, connect string, regionID int, seed int64,
-	trainN, epochs, retries int, hsTO, slotTO time.Duration) error {
+	trainN, epochs, retries, resumes, leaveAt int, hsTO, slotTO time.Duration) error {
 	source, err := trainSource(stdout, seed, trainN, epochs)
 	if err != nil {
 		return err
 	}
-	upstream, err := net.Dial("tcp", connect)
-	if err != nil {
-		return fmt.Errorf("connect to root: %w", err)
-	}
-	defer upstream.Close()
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -250,7 +267,7 @@ func runRegion(stdout io.Writer, listen, connect string, regionID int, seed int6
 	defer ln.Close()
 	fmt.Fprintf(stdout, "region %d listening on %s, root at %s\n", regionID, ln.Addr(), connect)
 
-	if err := deploy.RunRegion(upstream, ln, deploy.RegionConfig{
+	cfg := deploy.RegionConfig{
 		RegionID: regionID,
 		Source:   source,
 		Seed:     seed,
@@ -258,7 +275,35 @@ func runRegion(stdout io.Writer, listen, connect string, regionID int, seed int6
 		SlotTimeout:      slotTO,
 		HandshakeTimeout: hsTO,
 		Retry:            deploy.RetryConfig{Attempts: retries},
-	}); err != nil {
+		LeaveBeforeSlot:  leaveAt,
+	}
+	if resumes == 0 {
+		upstream, err := net.Dial("tcp", connect)
+		if err != nil {
+			return fmt.Errorf("connect to root: %w", err)
+		}
+		defer upstream.Close()
+		if err := deploy.RunRegion(upstream, ln, cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "region %d complete\n", regionID)
+		return nil
+	}
+	dials := 0
+	dial := func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", connect)
+		if err != nil {
+			return nil, fmt.Errorf("connect to root: %w", err)
+		}
+		dials++
+		if dials == 1 {
+			fmt.Fprintf(stdout, "region %d connected to root at %s\n", regionID, connect)
+		} else {
+			fmt.Fprintf(stdout, "region %d reconnected to root (resume %d)\n", regionID, dials-1)
+		}
+		return conn, nil
+	}
+	if err := deploy.RunRegionResumable(dial, ln, cfg, resumes); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "region %d complete\n", regionID)

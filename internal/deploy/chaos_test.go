@@ -624,9 +624,10 @@ func TestCloudRejectsBadHandshakes(t *testing.T) {
 	// Wait for the real edge to claim its slot, then try to steal it.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		cloud.links[0].mu.Lock()
-		claimed := cloud.links[0].claimed
-		cloud.links[0].mu.Unlock()
+		link := cloud.linkFor(0)
+		link.mu.Lock()
+		claimed := link.claimed
+		link.mu.Unlock()
 		if claimed {
 			break
 		}

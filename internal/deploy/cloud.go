@@ -97,6 +97,16 @@ type Summary struct {
 	Retries      []int
 	Resumes      []int
 	DownErrors   []string
+
+	// Region-tier elasticity accounting (all nil on a fault-free run, so
+	// fault-free regional summaries compare deep-equal to monolithic ones;
+	// only the Root fills them). RegionResumes[id] counts accepted session
+	// resumes of region link id. RegionRetries[k] counts transient retries
+	// burned by shard k's exchanges. Rebalances[k] counts mid-run handoffs
+	// of shard k to a new region link.
+	RegionResumes map[int]int
+	RegionRetries []int
+	Rebalances    []int
 }
 
 // summaryFromResult translates an engine Result into the deployment Summary.

@@ -15,7 +15,7 @@ import (
 )
 
 // fleetConfig parameterizes an edgeFleet: the TCP-facing machinery that
-// admits a contiguous range of edge sessions, carries their connections
+// admits contiguous ranges of edge sessions, carries their connections
 // across drops, and exchanges per-slot assignments for reports.
 //
 // It is the deployment-transport subset of CloudConfig, factored out so both
@@ -23,9 +23,10 @@ import (
 // coordinator (offset = the region's shard start) drive identical admission,
 // resume, retry, and exchange code.
 type fleetConfig struct {
-	// count is the number of edges this fleet admits; offset is the global id
-	// of its first edge: the fleet serves global edge ids
-	// [offset, offset+count).
+	// count is the number of edges this fleet initially admits; offset is the
+	// global id of its first edge: the fleet starts serving global edge ids
+	// [offset, offset+count). count may be 0 for a standby fleet that gains
+	// its ranges only through mid-run shard adoption.
 	count  int
 	offset int
 	// horizon bounds the resume-position plausibility check.
@@ -42,13 +43,35 @@ type fleetConfig struct {
 	retry RetryConfig
 }
 
-// edgeFleet owns the cloud-side state of a contiguous range of edge
-// sessions: one edgeLink per edge, the acceptor that admits initial and
-// resumed connections into the links, and the tcpSteppers that consume them.
+// fleetRange is one contiguous block of edge links the fleet serves: the
+// initial range from fleetConfig, plus one per adopted shard. Tokens and
+// jitter streams are derived from the range's own seed — for an adopted
+// range that is the original owner's fleet seed, so the edges' existing
+// resume tokens keep verifying.
+type fleetRange struct {
+	offset int
+	seed   int64
+	links  []*edgeLink
+}
+
+// edgeFleet owns the cloud-side state of the edge sessions it serves: one
+// edgeLink per edge (grouped into contiguous ranges), the acceptor that
+// admits initial and resumed connections into the links, and the tcpSteppers
+// that consume them.
 type edgeFleet struct {
 	fcfg   fleetConfig
 	source ModelSource
-	links  []*edgeLink
+
+	// mu guards ranges: the acceptor reads them concurrently with mid-run
+	// adoptions appending new ones.
+	mu     sync.RWMutex
+	ranges []*fleetRange
+
+	// initial and acceptErr carry initial-admission progress from the
+	// acceptor to awaitInitial.
+	initial   chan int
+	acceptErr chan error
+
 	// sleep performs retry backoff; injectable so chaos tests replay with
 	// zero wall time. Defaults to time.Sleep.
 	sleep func(time.Duration)
@@ -56,23 +79,93 @@ type edgeFleet struct {
 	done atomic.Bool
 }
 
-// newEdgeFleet builds the fleet's links with deterministic resume tokens.
-// The caller validates the configuration (see NewCloud / RunRegion).
+// newEdgeFleet builds the fleet's initial links with deterministic resume
+// tokens. The caller validates the configuration (see NewCloud / RunRegion).
 func newEdgeFleet(cfg fleetConfig, source ModelSource) *edgeFleet {
-	// Resume tokens are deterministic from the seed: they bind a redialing
-	// connection to the session it claims (mis-binding protection inside a
-	// trusted deployment), not an authentication secret.
-	tokenRNG := numeric.SplitRNG(cfg.seed, "deploy-resume-token")
-	links := make([]*edgeLink, cfg.count)
+	f := &edgeFleet{
+		fcfg:      cfg,
+		source:    source,
+		initial:   make(chan int, cfg.count+1),
+		acceptErr: make(chan error, 1),
+	}
+	f.ranges = []*fleetRange{{
+		offset: cfg.offset,
+		seed:   cfg.seed,
+		links:  buildLinks(cfg.offset, cfg.count, cfg.seed, false),
+	}}
+	//lint:allow nodeterm retry backoff is real wall-clock waiting; chaos tests inject a zero-time sleep
+	f.sleep = time.Sleep
+	return f
+}
+
+// buildLinks derives a contiguous range's links. Resume tokens are
+// deterministic from the seed: they bind a redialing connection to the
+// session it claims (mis-binding protection inside a trusted deployment),
+// not an authentication secret — which is also what lets an adopting
+// coordinator reconstruct an orphaned range's tokens from the original
+// fleet seed instead of having them shipped.
+func buildLinks(offset, count int, seed int64, claimed bool) []*edgeLink {
+	tokenRNG := numeric.SplitRNG(seed, "deploy-resume-token")
+	links := make([]*edgeLink, count)
 	for i := range links {
 		links[i] = &edgeLink{
-			id:       cfg.offset + i,
+			id:       offset + i,
 			token:    fmt.Sprintf("%016x-%02d", tokenRNG.Uint64(), i),
 			incoming: make(chan net.Conn, 1),
+			claimed:  claimed,
 		}
 	}
-	//lint:allow nodeterm retry backoff is real wall-clock waiting; chaos tests inject a zero-time sleep
-	return &edgeFleet{fcfg: cfg, source: source, links: links, sleep: time.Sleep}
+	return links
+}
+
+// linkFor resolves a global edge id to its link, or nil when the fleet does
+// not (yet) serve it.
+func (f *edgeFleet) linkFor(id int) *edgeLink {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, rg := range f.ranges {
+		if local := id - rg.offset; local >= 0 && local < len(rg.links) {
+			return rg.links[local]
+		}
+	}
+	return nil
+}
+
+// adopt installs an orphaned shard's range mid-run from its checkpoint: the
+// links are rebuilt with the original fleet's tokens (derived from
+// ck.FleetSeed) and pre-claimed, so the shard's edges are admitted through
+// the resume path only — exactly the state they are in. It returns the
+// range's steppers, with each edge's backoff jitter stream fast-forwarded to
+// the checkpointed draw position (jitter paces wall-clock retries only; it
+// never reaches Results).
+func (f *edgeFleet) adopt(ck *engine.ShardCheckpoint) ([]*tcpStepper, error) {
+	f.mu.Lock()
+	for _, rg := range f.ranges {
+		if ck.Start < rg.offset+len(rg.links) && rg.offset < ck.Start+ck.Count {
+			f.mu.Unlock()
+			return nil, protocolErrorf("adopted range [%d,%d) overlaps fleet range [%d,%d)",
+				ck.Start, ck.Start+ck.Count, rg.offset, rg.offset+len(rg.links))
+		}
+	}
+	rg := &fleetRange{
+		offset: ck.Start,
+		seed:   ck.FleetSeed,
+		links:  buildLinks(ck.Start, ck.Count, ck.FleetSeed, true),
+	}
+	f.ranges = append(f.ranges, rg)
+	f.mu.Unlock()
+
+	tcp := make([]*tcpStepper, len(rg.links))
+	for i, link := range rg.links {
+		rng := numeric.SplitRNG(ck.FleetSeed, fmt.Sprintf("deploy-retry-%d", i))
+		if ck.JitterDraws != nil {
+			for k := 0; k < ck.JitterDraws[i]; k++ {
+				rng.Int63()
+			}
+		}
+		tcp[i] = &tcpStepper{fleet: f, link: link, id: link.id, rng: rng}
+	}
+	return tcp, nil
 }
 
 // edgeLink is the cloud-side connection slot of one edge: the acceptor
@@ -85,7 +178,7 @@ type edgeLink struct {
 	incoming chan net.Conn
 
 	mu      sync.Mutex
-	claimed bool // initial connection admitted
+	claimed bool // initial connection admitted (true from birth on adopted links)
 	resumes int
 }
 
@@ -106,16 +199,12 @@ func (l *edgeLink) deliver(conn net.Conn) {
 	}
 }
 
-// awaitFleet starts the acceptor on ln and blocks until all fcfg.count
-// initial edge sessions are admitted. The acceptor keeps running so dropped
-// edges can redial and resume mid-run; the returned stop function halts
-// admission and unblocks a blocked Accept without closing the caller's
-// listener. Call stop exactly once, when the run is over.
-func (f *edgeFleet) awaitFleet(ln net.Listener) (stop func(), err error) {
-	initial := make(chan int, f.fcfg.count)
-	acceptErr := make(chan error, 1)
-	go f.acceptLoop(ln, initial, acceptErr)
-	stop = func() {
+// start launches the acceptor on ln for the whole run. The returned stop
+// function halts admission and unblocks a blocked Accept without closing the
+// caller's listener. Call stop exactly once, when the run is over.
+func (f *edgeFleet) start(ln net.Listener) (stop func()) {
+	go f.acceptLoop(ln)
+	return func() {
 		f.done.Store(true)
 		// Unblock a blocked Accept without closing the caller's listener: a
 		// deadline in the distant past forces an immediate timeout.
@@ -123,18 +212,22 @@ func (f *edgeFleet) awaitFleet(ln net.Listener) (stop func(), err error) {
 			d.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // best-effort unblock
 		}
 	}
+}
 
+// awaitInitial blocks until all fcfg.count initial edge sessions are
+// admitted (immediately for a standby fleet).
+func (f *edgeFleet) awaitInitial() error {
 	connected := 0
 	for connected < f.fcfg.count {
 		select {
-		case <-initial:
+		case <-f.initial:
 			connected++
-		case err := <-acceptErr:
+		case err := <-f.acceptErr:
 			// The acceptor is gone; drain admissions that completed before
 			// it died, then fail if the fleet is still short.
 			for {
 				select {
-				case <-initial:
+				case <-f.initial:
 					connected++
 					continue
 				default:
@@ -142,10 +235,21 @@ func (f *edgeFleet) awaitFleet(ln net.Listener) (stop func(), err error) {
 				break
 			}
 			if connected < f.fcfg.count {
-				stop()
-				return nil, fmt.Errorf("deploy: accept: %w", err)
+				return fmt.Errorf("deploy: accept: %w", err)
 			}
 		}
+	}
+	return nil
+}
+
+// awaitFleet starts the acceptor on ln and blocks until the initial fleet is
+// complete. The acceptor keeps running so dropped edges can redial and
+// resume mid-run.
+func (f *edgeFleet) awaitFleet(ln net.Listener) (stop func(), err error) {
+	stop = f.start(ln)
+	if err := f.awaitInitial(); err != nil {
+		stop()
+		return nil, err
 	}
 	return stop, nil
 }
@@ -153,7 +257,7 @@ func (f *edgeFleet) awaitFleet(ln net.Listener) (stop func(), err error) {
 // acceptLoop admits connections for the whole run: initial handshakes first,
 // session resumes once the run is underway. Admissions run concurrently so
 // one slow (or silent) client cannot wedge the fleet.
-func (f *edgeFleet) acceptLoop(ln net.Listener, initial chan<- int, acceptErr chan<- error) {
+func (f *edgeFleet) acceptLoop(ln net.Listener) {
 	var wg sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
@@ -161,7 +265,7 @@ func (f *edgeFleet) acceptLoop(ln net.Listener, initial chan<- int, acceptErr ch
 			wg.Wait() // let in-flight admissions finish before reporting
 			if !f.done.Load() {
 				select {
-				case acceptErr <- err:
+				case f.acceptErr <- err:
 				default:
 				}
 			}
@@ -174,7 +278,7 @@ func (f *edgeFleet) acceptLoop(ln net.Listener, initial chan<- int, acceptErr ch
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f.admit(conn, initial)
+			f.admit(conn)
 		}()
 	}
 }
@@ -182,8 +286,8 @@ func (f *edgeFleet) acceptLoop(ln net.Listener, initial chan<- int, acceptErr ch
 // admit performs one connection's handshake under the handshake deadline and
 // delivers the connection to its edge's link. Bad clients are rejected and
 // closed without disturbing the fleet. Edge ids on the wire are global; the
-// fleet serves [offset, offset+count).
-func (f *edgeFleet) admit(conn net.Conn, initial chan<- int) {
+// fleet serves its ranges' ids (initial plus any adopted mid-run).
+func (f *edgeFleet) admit(conn net.Conn) {
 	admitted := false
 	defer func() {
 		if !admitted {
@@ -208,12 +312,19 @@ func (f *edgeFleet) admit(conn net.Conn, initial chan<- int) {
 		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "expected Hello"})
 		return
 	}
-	local := m.EdgeID - f.fcfg.offset
-	if local < 0 || local >= len(f.links) {
+	link := f.linkFor(m.EdgeID)
+	if link == nil {
+		if m.Resume {
+			// A resuming edge the fleet does not know (yet): during a shard
+			// handoff the edge may redial the adopter before the adopt frame
+			// installs its range. Close without a verdict — the edge sees a
+			// transient drop and retries; a definitive rejection would kill
+			// its session mid-migration.
+			return
+		}
 		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("bad edge id %d", m.EdgeID)})
 		return
 	}
-	link := f.links[local]
 
 	if m.Resume {
 		if m.ResumeToken != link.token {
@@ -269,15 +380,19 @@ func (f *edgeFleet) admit(conn net.Conn, initial chan<- int) {
 		conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
 	}
 	link.deliver(conn)
-	initial <- m.EdgeID
+	f.initial <- m.EdgeID
 	admitted = true
 }
 
-// steppers builds one tcpStepper per link, with deterministic per-edge
-// backoff jitter streams.
+// steppers builds one tcpStepper per initial-range link, with deterministic
+// per-edge backoff jitter streams. Adopted ranges get their steppers from
+// adopt.
 func (f *edgeFleet) steppers() []*tcpStepper {
-	tcp := make([]*tcpStepper, len(f.links))
-	for i, link := range f.links {
+	f.mu.RLock()
+	links := f.ranges[0].links
+	f.mu.RUnlock()
+	tcp := make([]*tcpStepper, len(links))
+	for i, link := range links {
 		tcp[i] = &tcpStepper{
 			fleet: f,
 			link:  link,
@@ -327,10 +442,13 @@ func (f *edgeFleet) abort(steppers []*tcpStepper, err error) error {
 	return err
 }
 
-// resumes snapshots the per-edge accepted-resume counts.
+// resumes snapshots the initial range's per-edge accepted-resume counts.
 func (f *edgeFleet) resumes() []int {
-	out := make([]int, len(f.links))
-	for i, link := range f.links {
+	f.mu.RLock()
+	links := f.ranges[0].links
+	f.mu.RUnlock()
+	out := make([]int, len(links))
+	for i, link := range links {
 		link.mu.Lock()
 		out[i] = link.resumes
 		link.mu.Unlock()

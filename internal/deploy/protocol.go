@@ -60,6 +60,15 @@ const (
 	MsgShardAssign
 	// MsgShardDelta is the region's end-of-slot shard reduction.
 	MsgShardDelta
+	// MsgRegionLeave is a coordinator's graceful departure: sent in reply to
+	// a ShardAssign it will not serve, it tells the root to rebalance the
+	// region's shards onto survivors. The departing region then releases its
+	// edge connections so the edges can redial the adopter and resume.
+	MsgRegionLeave
+	// MsgShardAdopt hands an orphaned shard to a surviving (or newly joined)
+	// coordinator: it carries the engine.ShardCheckpoint the adopter needs to
+	// rebuild the shard's links, tokens, and down state mid-run.
+	MsgShardAdopt
 )
 
 // maxFrame bounds a single frame (weights of a large checkpoint dominate).
@@ -118,6 +127,16 @@ type Message struct {
 	Arms      []int             `json:"arms,omitempty"`
 	Downloads []bool            `json:"downloads,omitempty"`
 	Delta     *engine.SlotDelta `json:"delta,omitempty"`
+
+	// Region elasticity. A RegionHello announces Seed (the coordinator's
+	// fleet seed, so the root can later checkpoint the shard's token and
+	// jitter derivations for an adopter); a resuming RegionHello reuses the
+	// shared Resume/ResumeToken/DoneSlots fields above, exactly as edges do.
+	// ShardAssign carries Start/Count so a coordinator owning several ranges
+	// after an adoption can route the slot; ShardAdopt carries the orphaned
+	// shard's Checkpoint.
+	Seed       int64                   `json:"seed,omitempty"`
+	Checkpoint *engine.ShardCheckpoint `json:"checkpoint,omitempty"`
 }
 
 // ModelMeta is the per-model metadata the cloud announces to edges.
@@ -169,7 +188,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if err := json.Unmarshal(body, &m); err != nil {
 		return nil, protocolErrorf("unmarshal: %v", err)
 	}
-	if m.Type < MsgHello || m.Type > MsgShardDelta {
+	if m.Type < MsgHello || m.Type > MsgShardAdopt {
 		return nil, protocolErrorf("unknown message type %d", m.Type)
 	}
 	return &m, nil
@@ -254,6 +273,22 @@ func ValidateDelta(m *Message, start, count, slot int) error {
 		if ed.Retries < 0 {
 			return protocolErrorf("shard delta slot %d edge %d: negative retry count %d", slot, start+j, ed.Retries)
 		}
+	}
+	return nil
+}
+
+// ValidateAdopt defensively checks a MsgShardAdopt before its checkpoint
+// rebuilds shard state in the adopting coordinator: a malformed checkpoint is
+// a fatal protocol error at the wire boundary, like any other bad frame.
+func ValidateAdopt(m *Message) error {
+	if m.Type != MsgShardAdopt {
+		return protocolErrorf("expected ShardAdopt, got type %d", m.Type)
+	}
+	if m.Checkpoint == nil {
+		return protocolErrorf("shard adopt: missing checkpoint")
+	}
+	if err := m.Checkpoint.Validate(); err != nil {
+		return protocolErrorf("shard adopt: %v", err)
 	}
 	return nil
 }

@@ -7,15 +7,25 @@
 // root's fold is bit-identical to a single-process run over the same fleet;
 // the monolithic/regional parity test pins this.
 //
-// Scope boundary: edges resume within their region (the fleet's retry and
-// resume machinery is region-local), but a lost region link is fatal to the
-// run — the tier distributes throughput, not region-level fault tolerance.
+// The tier is elastic: the root's listener stays open for the whole run, so
+// a dropped coordinator can redial and resume its session from the root's
+// per-shard fold watermark (mirroring the edge Hello{Resume} machinery, with
+// replayed ShardDeltas deduped idempotently), a departing coordinator's
+// shard is handed to a surviving or newly joined one via a serialized
+// ShardCheckpoint (the shard decomposition itself never changes, so the fold
+// still replays canonical edge-index order), and below a configurable region
+// quorum the root degrades the orphaned shard instead of aborting. Every
+// recovery path preserves the bit-identical-results contract: serving-
+// preserving schedules reproduce the fault-free summary exactly, and
+// degraded runs reproduce the equivalent in-process Degrade run exactly.
 package deploy
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,14 +34,23 @@ import (
 	"github.com/carbonedge/carbonedge/internal/energy"
 	"github.com/carbonedge/carbonedge/internal/engine"
 	"github.com/carbonedge/carbonedge/internal/market"
+	"github.com/carbonedge/carbonedge/internal/numeric"
 )
+
+// errRegionLeft marks a region link that is gone for good — the coordinator
+// announced departure, or its retry budget ran dry — as opposed to one that
+// merely dropped a connection (which session resume heals in place). The
+// root reacts by rebalancing the link's shards or degrading them, depending
+// on policy and quorum.
+var errRegionLeft = errors.New("deploy: region left")
 
 // RootConfig parameterizes the root cloud of a regional deployment.
 type RootConfig struct {
 	// Edges is the total fleet size across all regions; Regions is the
-	// number of coordinators that will connect. Edges are partitioned into
+	// number of coordinators that join initially. Edges are partitioned into
 	// Regions contiguous shards with engine.PartitionEdges: region r owns
-	// shard r.
+	// shard r at the start of the run. Additional coordinators with ids >=
+	// Regions may join mid-run as standby capacity for rebalancing.
 	Edges   int
 	Regions int
 	// Horizon is the number of slots to run.
@@ -46,15 +65,19 @@ type RootConfig struct {
 	// EmissionScale hints the expected per-slot emission for Algorithm 2's
 	// step sizes (0 = 1).
 	EmissionScale float64
-	// Seed drives the controller's sampling.
+	// Seed drives the controller's sampling, the region resume-token issue,
+	// and the per-shard backoff jitter streams.
 	Seed int64
 	// NumModels is the zoo size N. The root never ships checkpoints — the
 	// regions hold the zoo — so it only needs the count.
 	NumModels int
 	// Policy is the per-edge failure reaction the regions must apply
 	// (engine.Degrade marks failed edges down shard-locally; the zero value
-	// engine.FailFast aborts the run on the first edge failure). Shard-level
-	// failures — a lost region link — abort the run regardless.
+	// engine.FailFast aborts the run on the first edge failure). It also
+	// selects the root's reaction to a lost region link: under FailFast the
+	// run aborts (the historical behavior); under Degrade the root rebalances
+	// the link's shards onto surviving coordinators, or — below RegionQuorum —
+	// degrades them with the engine's down-slot semantics.
 	Policy engine.ErrorPolicy
 	// SlotTimeout bounds each per-region exchange (assign + delta). Zero
 	// disables deadlines.
@@ -63,14 +86,50 @@ type RootConfig struct {
 	// exchange. Zero selects DefaultHandshakeTimeout; negative disables the
 	// deadline.
 	HandshakeTimeout time.Duration
+	// Retry is the per-slot transient-failure budget of each region link:
+	// how many times a shard's exchange is retried (under the same
+	// deterministic capped-exponential backoff the edge fleet uses) and how
+	// long each try waits for a dropped coordinator to redial and resume.
+	// The zero value disables retries, preserving the historical
+	// one-strike-fatal link semantics under FailFast.
+	Retry RetryConfig
+	// RegionQuorum is the minimum number of live coordinators required to
+	// rebalance a lost link's shards instead of degrading them (only
+	// meaningful under engine.Degrade). 0 defaults to 1: rebalance onto any
+	// survivor, degrade only when none remain.
+	RegionQuorum int
+	// RebalanceTarget optionally picks the adopter for an orphaned shard:
+	// it receives the shard index and the sorted ids of the live candidate
+	// links and returns the chosen id. A nil function (or an id not in the
+	// candidate list) selects the lowest live id.
+	RebalanceTarget func(shard int, live []int) int
 }
 
-// Root is the root cloud: the controller plus one regionStepper per shard.
+// Root is the root cloud: the controller plus one regionStepper per shard,
+// multiplexed over a membership of region links that can shrink and grow
+// mid-run.
 type Root struct {
 	cfg    RootConfig
 	ctrl   *core.Controller
 	ranges []engine.Range
-	done   atomic.Bool
+
+	// sleep performs retry backoff; injectable so chaos tests replay with
+	// zero wall time. Defaults to time.Sleep.
+	sleep func(time.Duration)
+
+	// mu guards links and tokenRNG: admission mutates membership
+	// concurrently with stepper-side elections.
+	mu       sync.Mutex
+	links    map[int]*regionLink
+	tokenRNG *rand.Rand
+
+	// initial and acceptErr carry initial-admission progress from the
+	// acceptor to awaitRegions.
+	initial   chan int
+	acceptErr chan error
+
+	// done flips once the run is over: the acceptor stops admitting.
+	done atomic.Bool
 }
 
 // NewRoot validates the configuration and builds the controller.
@@ -93,6 +152,15 @@ func NewRoot(cfg RootConfig) (*Root, error) {
 	if cfg.Policy != engine.FailFast && cfg.Policy != engine.Degrade {
 		return nil, fmt.Errorf("deploy: unknown error policy %d", cfg.Policy)
 	}
+	if cfg.Retry.Attempts < 0 {
+		return nil, fmt.Errorf("deploy: negative retry budget %d", cfg.Retry.Attempts)
+	}
+	if cfg.Retry.BaseDelay < 0 || cfg.Retry.MaxDelay < 0 || cfg.Retry.ResumeWait < 0 {
+		return nil, fmt.Errorf("deploy: negative retry delays")
+	}
+	if cfg.RegionQuorum < 0 {
+		return nil, fmt.Errorf("deploy: negative region quorum %d", cfg.RegionQuorum)
+	}
 	ctrl, err := core.New(core.Config{
 		NumModels:     cfg.NumModels,
 		DownloadCosts: cfg.DownloadCosts,
@@ -108,56 +176,69 @@ func NewRoot(cfg RootConfig) (*Root, error) {
 	if _, err := energy.NewMeter(cfg.EmissionRate); err != nil {
 		return nil, err
 	}
-	return &Root{cfg: cfg, ctrl: ctrl, ranges: engine.PartitionEdges(cfg.Edges, cfg.Regions)}, nil
+	r := &Root{
+		cfg:       cfg,
+		ctrl:      ctrl,
+		ranges:    engine.PartitionEdges(cfg.Edges, cfg.Regions),
+		tokenRNG:  numeric.SplitRNG(cfg.Seed, "deploy-region-token"),
+		links:     make(map[int]*regionLink, cfg.Regions),
+		initial:   make(chan int, cfg.Regions+1),
+		acceptErr: make(chan error, 1),
+	}
+	//lint:allow nodeterm retry backoff is real wall-clock waiting; chaos tests inject a zero-time sleep
+	r.sleep = time.Sleep
+	// Initial links (and their resume tokens) are built in id order so the
+	// token stream is deterministic; spares joining mid-run draw later
+	// positions in arrival order (tokens never reach Results).
+	for id := 0; id < cfg.Regions; id++ {
+		r.links[id] = newRegionLink(id, fmt.Sprintf("%016x-%02d", r.tokenRNG.Uint64(), id))
+	}
+	return r, nil
 }
 
-// Serve admits cfg.Regions coordinators from ln, runs the full horizon
-// through engine.RunSharded with one regionStepper per shard, and returns
-// the summary. Unlike the monolithic cloud's listener, ln only admits the
-// initial coordinator handshakes — a dropped region cannot redial (a lost
-// region link is fatal), so the acceptor stops once the fleet is complete.
+// Serve runs a full regional deployment over ln: it admits the cfg.Regions
+// initial coordinators, runs the full horizon through engine.RunSharded with
+// one regionStepper per shard, and returns the summary. The listener stays
+// open for the whole run so dropped coordinators can redial and resume, and
+// standby coordinators (ids >= Regions) can join to adopt rebalanced shards;
+// it is not closed (the caller owns it), but Serve unblocks its own acceptor
+// on return when the listener supports deadlines (as TCP listeners do).
 func (r *Root) Serve(ln net.Listener) (*Summary, error) {
-	regions := make([]*regionStepper, len(r.ranges))
-	admitted := make(chan *regionStepper, len(r.ranges))
-	acceptErr := make(chan error, 1)
-	go r.acceptLoop(ln, admitted, acceptErr)
+	go r.acceptLoop(ln)
 	defer func() {
 		r.done.Store(true)
+		// Unblock a blocked Accept without closing the caller's listener: a
+		// deadline in the distant past forces an immediate timeout.
 		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
 			d.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // best-effort unblock
 		}
-	}()
-	connected := 0
-	for connected < len(regions) {
-		select {
-		case rs := <-admitted:
-			regions[rs.index] = rs
-			connected++
-		case err := <-acceptErr:
-			for {
-				select {
-				case rs := <-admitted:
-					regions[rs.index] = rs
-					connected++
-					continue
-				default:
-				}
-				break
-			}
-			if connected < len(regions) {
-				return nil, fmt.Errorf("deploy: accept: %w", err)
-			}
+		for _, l := range r.sortedLinks() {
+			l.retire()
 		}
+	}()
+	if err := r.awaitRegions(); err != nil {
+		return nil, err
 	}
-	defer func() {
-		for _, rs := range regions {
-			rs.conn.Close()
-		}
-	}()
 
-	shards := make([]engine.ShardStepper, len(regions))
-	for k, rs := range regions {
-		shards[k] = rs
+	steppers := make([]*regionStepper, len(r.ranges))
+	shards := make([]engine.ShardStepper, len(r.ranges))
+	for k, rg := range r.ranges {
+		r.mu.Lock()
+		l := r.links[k]
+		r.mu.Unlock()
+		steppers[k] = &regionStepper{
+			root:      r,
+			index:     k,
+			rng:       rg,
+			link:      l,
+			fleetSeed: l.fleetSeed(),
+			jitter:    numeric.SplitRNG(r.cfg.Seed, fmt.Sprintf("deploy-region-retry-%d", k)),
+			down:      make([]bool, rg.Count),
+			downErrs:  make([]string, rg.Count),
+			draws:     make([]int, rg.Count),
+			buf:       make([]engine.EdgeDelta, 0, rg.Count),
+		}
+		shards[k] = steppers[k]
 	}
 	res, err := engine.RunSharded(engine.Config{
 		Name:         "deploy",
@@ -171,38 +252,121 @@ func (r *Root) Serve(ln net.Listener) (*Summary, error) {
 	}, r.ctrl, shards)
 	if err != nil {
 		msg := &Message{Type: MsgError, Reason: err.Error()}
-		for _, rs := range regions {
-			_ = WriteMessage(rs.conn, msg) // best effort; we are already failing
+		for _, l := range r.sortedLinks() {
+			if conn := l.current(); conn != nil {
+				_ = WriteMessage(conn, msg) // best effort; we are already failing
+			}
 		}
 		return nil, err
 	}
 	var finishErrs []error
-	for _, rs := range regions {
-		if werr := WriteMessage(rs.conn, &Message{Type: MsgDone}); werr != nil {
-			finishErrs = append(finishErrs, fmt.Errorf("deploy: send done to region %d: %w", rs.index, werr))
+	for _, l := range r.sortedLinks() {
+		if l.isDead() {
+			continue // departed mid-run; nobody to notify
+		}
+		conn := l.current()
+		if conn == nil {
+			continue
+		}
+		if werr := WriteMessage(conn, &Message{Type: MsgDone}); werr != nil {
+			finishErrs = append(finishErrs, fmt.Errorf("deploy: send done to region %d: %w", l.id, werr))
 		}
 	}
 	if err := errors.Join(finishErrs...); err != nil && r.cfg.Policy == engine.FailFast {
 		return nil, err
 	}
 	// Edge resumes are region-local; the root does not observe them.
-	return summaryFromResult(res, make([]int, r.cfg.Edges)), nil
+	sum := summaryFromResult(res, make([]int, r.cfg.Edges))
+	r.fillElasticity(sum, steppers)
+	return sum, nil
 }
 
-// acceptLoop admits the coordinators' initial handshakes concurrently.
-func (r *Root) acceptLoop(ln net.Listener, admitted chan<- *regionStepper, acceptErr chan<- error) {
-	var (
-		wg sync.WaitGroup
-		mu sync.Mutex
-	)
-	claimed := make([]bool, len(r.ranges))
+// awaitRegions blocks until the cfg.Regions initial coordinators are
+// admitted.
+func (r *Root) awaitRegions() error {
+	connected := 0
+	for connected < len(r.ranges) {
+		select {
+		case <-r.initial:
+			connected++
+		case err := <-r.acceptErr:
+			for {
+				select {
+				case <-r.initial:
+					connected++
+					continue
+				default:
+				}
+				break
+			}
+			if connected < len(r.ranges) {
+				return fmt.Errorf("deploy: accept: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedLinks snapshots the membership in ascending id order, so every
+// iteration over the link map is deterministic.
+func (r *Root) sortedLinks() []*regionLink {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]int, 0, len(r.links))
+	for id := range r.links {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*regionLink, len(ids))
+	for k, id := range ids {
+		out[k] = r.links[id]
+	}
+	return out
+}
+
+// fillElasticity records the run's region-level fault accounting on the
+// summary. Every field stays nil on a fault-free run, so fault-free regional
+// summaries compare deep-equal to monolithic ones.
+func (r *Root) fillElasticity(sum *Summary, steppers []*regionStepper) {
+	resumes := make(map[int]int)
+	for _, l := range r.sortedLinks() {
+		if n := l.resumeCount(); n > 0 {
+			resumes[l.id] = n
+		}
+	}
+	if len(resumes) > 0 {
+		sum.RegionResumes = resumes
+	}
+	retries := make([]int, len(steppers))
+	rebalances := make([]int, len(steppers))
+	anyRetry, anyRebalance := false, false
+	for k, rs := range steppers {
+		retries[k] = rs.retries
+		rebalances[k] = rs.rebalances
+		anyRetry = anyRetry || rs.retries > 0
+		anyRebalance = anyRebalance || rs.rebalances > 0
+	}
+	if anyRetry {
+		sum.RegionRetries = retries
+	}
+	if anyRebalance {
+		sum.Rebalances = rebalances
+	}
+}
+
+// acceptLoop admits coordinator connections for the whole run: initial
+// handshakes first, session resumes and standby joins once the run is
+// underway. Admissions run concurrently so one slow (or silent) dialer
+// cannot wedge the tier.
+func (r *Root) acceptLoop(ln net.Listener) {
+	var wg sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			wg.Wait()
+			wg.Wait() // let in-flight admissions finish before reporting
 			if !r.done.Load() {
 				select {
-				case acceptErr <- err:
+				case r.acceptErr <- err:
 				default:
 				}
 			}
@@ -215,13 +379,15 @@ func (r *Root) acceptLoop(ln net.Listener, admitted chan<- *regionStepper, accep
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r.admit(conn, claimed, &mu, admitted)
+			r.admitRegion(conn)
 		}()
 	}
 }
 
-// admit performs one coordinator's handshake under the handshake deadline.
-func (r *Root) admit(conn net.Conn, claimed []bool, mu *sync.Mutex, admitted chan<- *regionStepper) {
+// admitRegion performs one coordinator's handshake under the handshake
+// deadline and delivers the connection to its region link. Bad dialers are
+// rejected and closed without disturbing the run.
+func (r *Root) admitRegion(conn net.Conn) {
 	ok := false
 	defer func() {
 		if !ok {
@@ -246,49 +412,341 @@ func (r *Root) admit(conn net.Conn, claimed []bool, mu *sync.Mutex, admitted cha
 		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: "expected RegionHello"})
 		return
 	}
-	if m.RegionID < 0 || m.RegionID >= len(r.ranges) {
+	if m.RegionID < 0 {
 		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("bad region id %d", m.RegionID)})
 		return
 	}
-	mu.Lock()
-	if claimed[m.RegionID] {
-		mu.Unlock()
+
+	if m.Resume {
+		r.mu.Lock()
+		l := r.links[m.RegionID]
+		r.mu.Unlock()
+		if l == nil {
+			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("unknown region id %d", m.RegionID)})
+			return
+		}
+		reject := l.resumeReject(m.ResumeToken)
+		if reject == "" && (m.DoneSlots < 0 || m.DoneSlots > r.cfg.Horizon) {
+			reject = fmt.Sprintf("implausible resume position %d", m.DoneSlots)
+		}
+		if reject != "" {
+			_ = WriteMessage(conn, &Message{Type: MsgError, Reason: reject})
+			return
+		}
+		if err := WriteMessage(conn, &Message{Type: MsgRegionWelcome, RegionID: m.RegionID, Resume: true}); err != nil {
+			return
+		}
+		if timeout > 0 {
+			conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+		}
+		l.markResumed()
+		l.deliver(conn)
+		ok = true
+		return
+	}
+
+	r.mu.Lock()
+	l := r.links[m.RegionID]
+	if l == nil {
+		// A standby coordinator joining mid-run: it gets an empty shard and
+		// serves only what rebalancing adopts into it.
+		l = newRegionLink(m.RegionID, fmt.Sprintf("%016x-%02d", r.tokenRNG.Uint64(), m.RegionID))
+		r.links[m.RegionID] = l
+	}
+	r.mu.Unlock()
+	if !l.claim(m.Seed) {
 		_ = WriteMessage(conn, &Message{Type: MsgError, Reason: fmt.Sprintf("duplicate region id %d", m.RegionID)})
 		return
 	}
-	claimed[m.RegionID] = true
-	mu.Unlock()
-	rg := r.ranges[m.RegionID]
 	welcome := &Message{
-		Type:      MsgRegionWelcome,
-		RegionID:  m.RegionID,
-		Start:     rg.Start,
-		Count:     rg.Count,
-		Horizon:   r.cfg.Horizon,
-		NumModels: r.cfg.NumModels,
-		Degrade:   r.cfg.Policy == engine.Degrade,
+		Type:        MsgRegionWelcome,
+		RegionID:    m.RegionID,
+		Horizon:     r.cfg.Horizon,
+		NumModels:   r.cfg.NumModels,
+		Degrade:     r.cfg.Policy == engine.Degrade,
+		ResumeToken: l.token,
+	}
+	if m.RegionID < len(r.ranges) {
+		rg := r.ranges[m.RegionID]
+		welcome.Start, welcome.Count = rg.Start, rg.Count
 	}
 	if err := WriteMessage(conn, welcome); err != nil {
-		mu.Lock()
-		claimed[m.RegionID] = false
-		mu.Unlock()
+		l.unclaim()
 		return
 	}
 	if timeout > 0 {
 		conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
 	}
-	admitted <- &regionStepper{root: r, index: m.RegionID, rng: rg, conn: conn}
+	l.deliver(conn)
+	if m.RegionID < len(r.ranges) {
+		r.initial <- m.RegionID
+	}
 	ok = true
 }
 
-// regionStepper is the root-side engine.ShardStepper of one region: Step is
-// one ShardAssign/ShardDelta round trip on the region link.
+// electTarget picks the adopter for an orphaned shard: the lowest live link
+// id (or RebalanceTarget's validated choice), or nil when the live
+// membership is below the region quorum — the caller then degrades the
+// shard instead of rebalancing it.
+func (r *Root) electTarget(shard int) *regionLink {
+	links := r.sortedLinks()
+	live := make([]int, 0, len(links))
+	byID := make(map[int]*regionLink, len(links))
+	for _, l := range links {
+		if l.isLive() {
+			live = append(live, l.id)
+			byID[l.id] = l
+		}
+	}
+	quorum := r.cfg.RegionQuorum
+	if quorum <= 0 {
+		quorum = 1
+	}
+	if len(live) < quorum {
+		return nil
+	}
+	pick := live[0]
+	if r.cfg.RebalanceTarget != nil {
+		want := r.cfg.RebalanceTarget(shard, append([]int(nil), live...))
+		if _, ok := byID[want]; ok {
+			pick = want
+		}
+	}
+	return byID[pick]
+}
+
+// regionLink is the root-side connection slot of one coordinator: the
+// acceptor delivers handshaken connections (initial and resumed) into
+// incoming, and the shards routed over the link consume them. A dropped
+// coordinator leaves its link empty until a resume arrives; a departed one
+// is marked dead and its shards move elsewhere.
+type regionLink struct {
+	id       int
+	token    string
+	incoming chan net.Conn
+
+	// xmu serializes assign/delta round trips on the link: after an
+	// adoption, several shards may share one coordinator, and each exchange
+	// must own the connection for its full write+read.
+	xmu sync.Mutex
+
+	mu      sync.Mutex
+	conn    net.Conn
+	claimed bool
+	dead    bool
+	seed    int64
+	resumes int
+}
+
+func newRegionLink(id int, token string) *regionLink {
+	return &regionLink{id: id, token: token, incoming: make(chan net.Conn, 1)}
+}
+
+// deliver hands a fresh connection to the link, replacing any stale one that
+// was never consumed (latest connection wins).
+func (l *regionLink) deliver(conn net.Conn) {
+	for {
+		select {
+		case l.incoming <- conn:
+			return
+		default:
+			select {
+			case stale := <-l.incoming:
+				stale.Close()
+			default:
+			}
+		}
+	}
+}
+
+// claim marks the link's initial admission and records the coordinator's
+// announced fleet seed (what a future ShardCheckpoint derives the shard's
+// edge tokens from). It reports false when the link was already claimed.
+func (l *regionLink) claim(seed int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.claimed {
+		return false
+	}
+	l.claimed = true
+	l.seed = seed
+	return true
+}
+
+// unclaim rolls a failed admission back.
+func (l *regionLink) unclaim() {
+	l.mu.Lock()
+	l.claimed = false
+	l.mu.Unlock()
+}
+
+// resumeReject validates a resume attempt, returning the rejection reason
+// ("" to accept).
+func (l *regionLink) resumeReject(token string) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case !l.claimed:
+		return fmt.Sprintf("region id %d never joined", l.id)
+	case l.dead:
+		return fmt.Sprintf("region id %d retired", l.id)
+	case token != l.token:
+		return "bad resume token"
+	}
+	return ""
+}
+
+func (l *regionLink) markResumed() {
+	l.mu.Lock()
+	l.resumes++
+	l.mu.Unlock()
+}
+
+func (l *regionLink) resumeCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.resumes
+}
+
+func (l *regionLink) fleetSeed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seed
+}
+
+// acquire returns the link's live connection: the current one while it
+// lasts, otherwise the next delivered resume, waiting up to wait for the
+// coordinator to redial. The current connection is deliberately used until
+// an exchange fails on it (exactly the edge fleet's discipline) — switching
+// to a fresher delivery eagerly would make the retry accounting depend on
+// how quickly the coordinator redialed. Called with xmu held.
+func (l *regionLink) acquire(wait time.Duration) net.Conn {
+	if conn := l.current(); conn != nil {
+		return conn
+	}
+	select {
+	case conn := <-l.incoming:
+		l.replace(conn)
+		return l.current()
+	default:
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case conn := <-l.incoming:
+		l.replace(conn)
+		return l.current()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (l *regionLink) replace(conn net.Conn) {
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.conn = conn
+	l.mu.Unlock()
+}
+
+func (l *regionLink) current() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+// drop discards a connection whose exchange failed; the next acquire waits
+// for a resumed one.
+func (l *regionLink) drop() {
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.mu.Unlock()
+}
+
+// markDead takes the link out of the rebalancing election without closing
+// its connection: a departing coordinator releases its edges only once the
+// root closes the link (see retire), so the edges cannot redial the adopter
+// before the adopt frame installs their range.
+func (l *regionLink) markDead() {
+	l.mu.Lock()
+	l.dead = true
+	l.mu.Unlock()
+}
+
+// retire marks the link dead and closes everything it holds. Safe to call
+// repeatedly.
+func (l *regionLink) retire() {
+	l.mu.Lock()
+	l.dead = true
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.mu.Unlock()
+	for {
+		select {
+		case c := <-l.incoming:
+			c.Close()
+		default:
+			return
+		}
+	}
+}
+
+func (l *regionLink) isDead() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+func (l *regionLink) isLive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.claimed && !l.dead
+}
+
+// regionStepper is the root-side engine.ShardStepper of one shard: Step is
+// one ShardAssign/ShardDelta round trip on the shard's current region link,
+// with transient failures retried across session resumes, lost links
+// rebalanced onto survivors, and — below quorum — the shard degraded with
+// the engine's down-slot semantics.
 type regionStepper struct {
-	root  *Root
-	index int
-	rng   engine.Range
-	conn  net.Conn
-	delta engine.SlotDelta // decoded in place per slot; valid until next Step
+	root      *Root
+	index     int
+	rng       engine.Range
+	fleetSeed int64
+	jitter    *rand.Rand // deterministic backoff jitter stream
+	link      *regionLink
+
+	// dedup is the shard's fold watermark: a resumed link's replayed deltas
+	// are admitted at most once per slot.
+	dedup engine.SlotDeduper
+
+	// Root-side mirror of the shard's per-edge fault state, folded from the
+	// deltas as they are admitted. It is everything a ShardCheckpoint needs:
+	// no state is ever shipped from a dead coordinator. Only integer, bool,
+	// and string delta fields are read — the float terms pass through to the
+	// engine's fold untouched.
+	down     []bool
+	downErrs []string
+	draws    []int
+
+	// degraded carries the canonical down reason once the shard fell below
+	// quorum ("" while serving).
+	degraded string
+
+	retries    int
+	rebalances int
+	buf        []engine.EdgeDelta
 }
 
 var _ engine.ShardStepper = (*regionStepper)(nil)
@@ -296,46 +754,242 @@ var _ engine.ShardStepper = (*regionStepper)(nil)
 // Range implements engine.ShardStepper.
 func (rs *regionStepper) Range() (start, count int) { return rs.rng.Start, rs.rng.Count }
 
-// Step implements engine.ShardStepper. A failed exchange is a shard-level
-// error — it aborts the run regardless of policy (a lost region link is
-// fatal; per-edge failures were already resolved inside the region's shard).
+// Step implements engine.ShardStepper. A fatal exchange error (protocol
+// violation, forwarded shard error) aborts the run regardless of policy; a
+// lost link is rebalanced or degraded under engine.Degrade and aborts under
+// engine.FailFast.
 func (rs *regionStepper) Step(slot int, arms []int, downloads []bool) (engine.SlotDelta, error) {
+	if rs.degraded != "" {
+		return rs.degradeDelta(slot), nil
+	}
+	for {
+		d, lost, err := rs.attemptSlot(slot, arms, downloads)
+		if err == nil {
+			rs.observe(&d)
+			return d, nil
+		}
+		if !lost {
+			return engine.SlotDelta{}, err
+		}
+		// The link is gone for good (departed, or out of retry budget). Take
+		// it out of the election, but keep its connection open until the
+		// shard has a new home — a departing coordinator holds its edges
+		// until the root closes the link.
+		rs.link.markDead()
+		if rs.root.cfg.Policy != engine.Degrade {
+			rs.link.retire()
+			return engine.SlotDelta{}, err
+		}
+		for {
+			target := rs.root.electTarget(rs.index)
+			if target == nil {
+				rs.degraded = fmt.Sprintf("deploy: region link %d lost at slot %d", rs.link.id, slot)
+				rs.link.retire()
+				return rs.degradeDelta(slot), nil
+			}
+			if aerr := rs.adoptInto(target, slot); aerr != nil {
+				target.retire()
+				continue
+			}
+			rs.link.retire()
+			rs.link = target
+			rs.rebalances++
+			break
+		}
+	}
+}
+
+// attemptSlot runs one slot's exchange on the shard's current link,
+// spending the full retry budget on transient failures. lost reports that
+// the link itself is gone (departure, or budget exhausted) — the caller
+// rebalances or degrades; a false lost with a non-nil error is fatal.
+func (rs *regionStepper) attemptSlot(slot int, arms []int, downloads []bool) (d engine.SlotDelta, lost bool, err error) {
+	retry := rs.root.cfg.Retry.withDefaults()
+	attempts := 0
+	var lastErr error
+	for {
+		d, err := rs.exchange(slot, arms, downloads, retry.ResumeWait)
+		if err == nil {
+			return d, false, nil
+		}
+		if errors.Is(err, errRegionLeft) {
+			return engine.SlotDelta{}, true, err
+		}
+		if !Transient(err) {
+			return engine.SlotDelta{}, false, err
+		}
+		lastErr = err
+		if attempts >= rs.root.cfg.Retry.Attempts {
+			return engine.SlotDelta{}, true,
+				fmt.Errorf("deploy: shard %d region link %d slot %d: retry budget exhausted after %d retries: %w",
+					rs.index, rs.link.id, slot, attempts, lastErr)
+		}
+		attempts++
+		rs.retries++
+		rs.root.sleep(backoffDelay(retry, attempts, rs.jitter))
+	}
+}
+
+// exchange runs one assign/delta round trip on the shard's link, owning the
+// link for the duration (shards sharing a link after an adoption serialize
+// here).
+func (rs *regionStepper) exchange(slot int, arms []int, downloads []bool, wait time.Duration) (engine.SlotDelta, error) {
+	l := rs.link
+	l.xmu.Lock()
+	defer l.xmu.Unlock()
+	if l.isDead() {
+		// A sibling shard already saw the departure; don't burn budget
+		// re-discovering it.
+		return engine.SlotDelta{}, fmt.Errorf("deploy: region link %d: %w", l.id, errRegionLeft)
+	}
+	conn := l.acquire(wait)
+	if conn == nil {
+		return engine.SlotDelta{}, Transientf("region link %d: no live connection within %v", l.id, wait)
+	}
+	d, err := rs.exchangeOn(conn, slot, arms, downloads)
+	if err != nil && !errors.Is(err, errRegionLeft) {
+		// Keep a departed link's connection open: closing it (retire, once the
+		// shard has a new home) is what releases the coordinator's edges, so
+		// they never redial the adopter before the adopt frame installs them.
+		l.drop()
+	}
+	return d, err
+}
+
+// exchangeOn runs the round trip on one connection.
+func (rs *regionStepper) exchangeOn(conn net.Conn, slot int, arms []int, downloads []bool) (engine.SlotDelta, error) {
 	if t := rs.root.cfg.SlotTimeout; t > 0 {
 		//lint:allow nodeterm real I/O deadline on a live TCP connection; wall time is the only clock the kernel honors
-		if err := rs.conn.SetDeadline(time.Now().Add(t)); err != nil {
-			return engine.SlotDelta{}, fmt.Errorf("deploy: region %d deadline: %w", rs.index, err)
+		if err := conn.SetDeadline(time.Now().Add(t)); err != nil {
+			return engine.SlotDelta{}, fmt.Errorf("deploy: region link %d deadline: %w", rs.link.id, err)
 		}
-		defer rs.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
 	}
-	assign := &Message{Type: MsgShardAssign, Slot: slot, Arms: arms, Downloads: downloads}
-	if err := WriteMessage(rs.conn, assign); err != nil {
-		return engine.SlotDelta{}, fmt.Errorf("deploy: region %d assign: %w", rs.index, err)
+	assign := &Message{
+		Type:      MsgShardAssign,
+		Slot:      slot,
+		Start:     rs.rng.Start,
+		Count:     rs.rng.Count,
+		Arms:      arms,
+		Downloads: downloads,
 	}
-	m, err := ReadMessage(rs.conn)
-	if err != nil {
-		return engine.SlotDelta{}, fmt.Errorf("deploy: region %d delta: %w", rs.index, err)
+	if err := WriteMessage(conn, assign); err != nil {
+		return engine.SlotDelta{}, fmt.Errorf("deploy: shard %d assign: %w", rs.index, err)
 	}
-	if m.Type == MsgError {
-		// The region forwards its shard's error verbatim (e.g. the engine's
-		// FailFast "engine: edge %d slot %d: ..." wrapping), so the root run
-		// fails with the same error string a monolithic run would report.
-		return engine.SlotDelta{}, errors.New(m.Reason) //lint:allow errtaxonomy the shard error string must round-trip verbatim so distributed and monolithic runs fail identically
+	for {
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return engine.SlotDelta{}, fmt.Errorf("deploy: shard %d delta: %w", rs.index, err)
+		}
+		switch m.Type {
+		case MsgError:
+			// The region forwards its shard's error verbatim (e.g. the
+			// engine's FailFast "engine: edge %d slot %d: ..." wrapping), so
+			// the root run fails with the same error string a monolithic run
+			// would report.
+			return engine.SlotDelta{}, errors.New(m.Reason) //lint:allow errtaxonomy the shard error string must round-trip verbatim so distributed and monolithic runs fail identically
+		case MsgRegionLeave:
+			return engine.SlotDelta{}, fmt.Errorf("deploy: region link %d departed at slot %d: %w", rs.link.id, slot, errRegionLeft)
+		case MsgShardDelta:
+			if m.Slot != slot && rs.dedup.Seen(m.Slot) {
+				continue // replayed duplicate of an already-folded slot
+			}
+			if err := ValidateDelta(m, rs.rng.Start, rs.rng.Count, slot); err != nil {
+				return engine.SlotDelta{}, fmt.Errorf("deploy: shard %d: %w", rs.index, err)
+			}
+			rs.dedup.Admit(slot)
+			return *m.Delta, nil
+		default:
+			return engine.SlotDelta{}, protocolErrorf("unexpected message type %d from region %d", m.Type, rs.link.id)
+		}
 	}
-	if err := ValidateDelta(m, rs.rng.Start, rs.rng.Count, slot); err != nil {
-		return engine.SlotDelta{}, fmt.Errorf("deploy: region %d: %w", rs.index, err)
+}
+
+// adoptInto hands the shard to target: one ShardAdopt frame carrying the
+// checkpoint. No ack is read — the connection's ordering guarantees the
+// adopt frame is processed before the shard's next assign on the same link.
+func (rs *regionStepper) adoptInto(target *regionLink, slot int) error {
+	target.xmu.Lock()
+	defer target.xmu.Unlock()
+	if target.isDead() {
+		return fmt.Errorf("deploy: region link %d: %w", target.id, errRegionLeft)
 	}
-	rs.delta = *m.Delta
-	return rs.delta, nil
+	wait := rs.root.cfg.Retry.withDefaults().ResumeWait
+	conn := target.acquire(wait)
+	if conn == nil {
+		return Transientf("region link %d: no live connection within %v", target.id, wait)
+	}
+	msg := &Message{Type: MsgShardAdopt, Slot: slot, Checkpoint: rs.checkpoint()}
+	if err := WriteMessage(conn, msg); err != nil {
+		target.drop()
+		return fmt.Errorf("deploy: shard %d adopt into region link %d: %w", rs.index, target.id, err)
+	}
+	return nil
+}
+
+// checkpoint serializes the shard's root-tracked state for an adopter.
+func (rs *regionStepper) checkpoint() *engine.ShardCheckpoint {
+	return &engine.ShardCheckpoint{
+		Start:       rs.rng.Start,
+		Count:       rs.rng.Count,
+		DoneSlots:   rs.dedup.Next(),
+		FleetSeed:   rs.fleetSeed,
+		Down:        append([]bool(nil), rs.down...),
+		DownErrors:  append([]string(nil), rs.downErrs...),
+		JitterDraws: append([]int(nil), rs.draws...),
+	}
+}
+
+// observe folds an admitted delta's fault bookkeeping into the root-side
+// shard mirror. Only integer/bool/string fields are touched; the float terms
+// flow to the engine untouched.
+func (rs *regionStepper) observe(d *engine.SlotDelta) {
+	for j := range d.Edges {
+		ed := &d.Edges[j]
+		rs.draws[j] += ed.Retries
+		if ed.WentDown {
+			rs.downErrs[j] = ed.DownError
+		}
+		if !ed.Served {
+			rs.down[j] = true
+		}
+	}
+}
+
+// degradeDelta synthesizes the shard's delta once it fell below quorum:
+// every edge contributes the engine's down fallback (Served=false, zero
+// terms), with edges that were still up announcing WentDown exactly once
+// with the canonical degrade reason — byte-identical to an in-process
+// Degrade run whose steppers fail with that reason at the same slot.
+func (rs *regionStepper) degradeDelta(slot int) engine.SlotDelta {
+	rs.dedup.Admit(slot)
+	d := engine.SlotDelta{Start: rs.rng.Start, Edges: rs.buf[:0]}
+	for j := 0; j < rs.rng.Count; j++ {
+		ed := engine.EdgeDelta{}
+		if !rs.down[j] {
+			ed.WentDown = true
+			ed.DownError = rs.degraded
+			rs.down[j] = true
+			rs.downErrs[j] = rs.degraded
+		}
+		d.Edges = append(d.Edges, ed)
+	}
+	rs.buf = d.Edges[:0]
+	return d
 }
 
 // RegionConfig parameterizes a regional coordinator.
 type RegionConfig struct {
 	// RegionID identifies the shard this coordinator claims from the root.
+	// Ids below the root's Regions claim an initial shard; higher ids join
+	// as standby capacity and serve only what rebalancing adopts into them.
 	RegionID int
 	// Source supplies the region's model zoo. Its size must match the
 	// root's NumModels; the region ships checkpoints to its edges itself.
 	Source ModelSource
-	// Seed drives the region's resume-token issue and backoff jitter.
+	// Seed drives the region's edge resume-token issue and backoff jitter.
+	// It is announced to the root so a mid-run handoff can reconstruct the
+	// shard's token and jitter derivations on the adopter.
 	Seed int64
 	// Workers bounds how many of the region's edges step concurrently
 	// (0 = one per edge).
@@ -346,6 +1000,17 @@ type RegionConfig struct {
 	HandshakeTimeout time.Duration
 	// Retry is the region-local per-slot transient-failure budget.
 	Retry RetryConfig
+	// LeaveBeforeSlot, when positive, makes the coordinator announce a
+	// graceful departure instead of serving the first assign for a slot >=
+	// LeaveBeforeSlot: it replies MsgRegionLeave, waits for the root to
+	// close the link (which it does once the shard has a new home), releases
+	// its edges so they can redial the adopter, and returns cleanly. 0 never
+	// leaves.
+	LeaveBeforeSlot int
+	// OnSlot, when non-nil, observes every ShardAssign the coordinator
+	// receives (including duplicate replays after a resume) before it is
+	// served — a hook for chaos schedules and metrics.
+	OnSlot func(slot int)
 }
 
 // validateRegionConfig checks a RegionConfig before any wire traffic. It is
@@ -361,19 +1026,147 @@ func validateRegionConfig(cfg RegionConfig) error {
 	if cfg.Retry.Attempts < 0 {
 		return fmt.Errorf("deploy: negative retry budget %d", cfg.Retry.Attempts)
 	}
+	if cfg.LeaveBeforeSlot < 0 {
+		return fmt.Errorf("deploy: negative leave slot %d", cfg.LeaveBeforeSlot)
+	}
 	return nil
 }
 
-// RunRegion runs one regional coordinator to completion: it claims its
-// shard from the root over upstream, admits the shard's edges from ln
-// (global edge ids, exactly the monolithic cloud's admission protocol), and
-// serves ShardAssign/ShardDelta rounds until the root sends Done or Error.
-// The returned error is nil on a completed run.
-func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
+// regionShard is one contiguous edge range a coordinator serves: the initial
+// shard from its RegionWelcome, plus one per adopted checkpoint.
+type regionShard struct {
+	start, count int
+	shard        *engine.Shard
+	tcp          []*tcpStepper
+	done         int      // fold watermark: slots completed (cache holds done-1)
+	last         *Message // cached ShardDelta of slot done-1
+}
+
+// RegionSession is the resumable coordinator-side state of one root run: the
+// shard geometry and resume token from the initial RegionWelcome, the edge
+// fleet, and the per-shard delta caches. The session outlives any single
+// upstream connection — when the root link drops, redial and call Run again;
+// the session re-handshakes with Resume set and answers duplicate
+// ShardAssigns from its delta caches instead of re-stepping them, so the
+// edges' serving streams are never double-drawn and the root never
+// double-folds a slot whose delta was lost in flight.
+type RegionSession struct {
+	cfg RegionConfig
+	ln  net.Listener
+
+	welcomed  bool
+	token     string
+	horizon   int
+	numModels int
+	policy    engine.ErrorPolicy
+
+	fleet  *edgeFleet
+	stop   func()
+	shards []*regionShard
+}
+
+// NewRegionSession builds a fresh session. ln is where the session admits
+// its shard's edges (it must outlive the session; the session stops its own
+// acceptor but never closes ln).
+func NewRegionSession(ln net.Listener, cfg RegionConfig) (*RegionSession, error) {
 	if err := validateRegionConfig(cfg); err != nil {
-		return err
+		return nil, err
 	}
-	if err := WriteMessage(upstream, &Message{Type: MsgRegionHello, RegionID: cfg.RegionID}); err != nil {
+	return &RegionSession{cfg: cfg, ln: ln}, nil
+}
+
+// assignOutcome classifies one handled ShardAssign. The explicit enum keeps
+// the dispatch honest: a shard Step error can wrap a transient cause (a
+// retry budget exhausted on a transient failure), so Transient(err) must not
+// decide whether the session is over.
+type assignOutcome int
+
+const (
+	assignOK       assignOutcome = iota
+	assignLeft                   // graceful departure announced
+	assignConnLost               // upstream write failed; resume can heal it
+	assignFatal                  // shard or protocol failure; the run is over
+)
+
+// Run serves the session over one upstream connection until it ends. done
+// reports whether the session is over: a clean Done (err == nil), a root
+// abort, a graceful departure, or a fatal local/protocol failure. done ==
+// false means the upstream connection itself failed (err is the transient
+// cause) and the caller may redial and call Run again to resume the session
+// — the edge fleet stays connected across the gap.
+func (s *RegionSession) Run(upstream net.Conn) (done bool, err error) {
+	if err := s.handshake(upstream); err != nil {
+		if Transient(err) {
+			return false, err
+		}
+		s.release()
+		return true, err
+	}
+	for {
+		m, err := ReadMessage(upstream)
+		if err != nil {
+			err = fmt.Errorf("deploy: region %d upstream: %w", s.cfg.RegionID, err)
+			if Transient(err) {
+				return false, err // fleet stays up; a resumed Run continues it
+			}
+			s.abortAll(err)
+			return true, err
+		}
+		switch m.Type {
+		case MsgShardAssign:
+			outcome, aerr := s.handleAssign(upstream, m)
+			switch outcome {
+			case assignOK:
+			case assignLeft:
+				// Hold the edges until the root closes the link: by then the
+				// adopter has the shard, so the edges redial into a fleet
+				// that knows them.
+				_, _ = ReadMessage(upstream)
+				s.release()
+				return true, nil
+			case assignConnLost:
+				return false, aerr
+			case assignFatal:
+				s.abortAll(aerr)
+				return true, aerr
+			}
+		case MsgShardAdopt:
+			if aerr := s.handleAdopt(m); aerr != nil {
+				_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: aerr.Error()})
+				s.abortAll(aerr)
+				return true, aerr
+			}
+		case MsgDone:
+			ferr := s.finishAll()
+			if ferr != nil && s.policy == engine.FailFast {
+				return true, ferr
+			}
+			return true, nil
+		case MsgError:
+			aerr := fmt.Errorf("deploy: root aborted: %s", m.Reason) //lint:allow errtaxonomy abort reason is forwarded verbatim and the run is already terminal
+			s.abortAll(aerr)
+			return true, aerr
+		default:
+			aerr := protocolErrorf("unexpected message type %d from root", m.Type)
+			_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: aerr.Error()})
+			s.abortAll(aerr)
+			return true, aerr
+		}
+	}
+}
+
+// handshake performs the initial or resume RegionHello/RegionWelcome
+// exchange. The initial exchange builds the edge fleet and the initial
+// shard; a resume exchange re-binds the existing session to the new
+// connection.
+func (s *RegionSession) handshake(upstream net.Conn) error {
+	hello := &Message{Type: MsgRegionHello, RegionID: s.cfg.RegionID, Seed: s.cfg.Seed}
+	if s.welcomed {
+		hello.Resume = true
+		hello.ResumeToken = s.token
+		hello.DoneSlots = s.minDone()
+	}
+	if err := WriteMessage(upstream, hello); err != nil {
 		return fmt.Errorf("deploy: region hello: %w", err)
 	}
 	w, err := ReadMessage(upstream)
@@ -381,90 +1174,263 @@ func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
 		return fmt.Errorf("deploy: region welcome: %w", err)
 	}
 	if w.Type == MsgError {
-		return fmt.Errorf("deploy: root rejected region %d: %s", cfg.RegionID, w.Reason) //lint:allow errtaxonomy rejection reason is forwarded verbatim and the handshake is already terminal
+		return fmt.Errorf("deploy: root rejected region %d: %s", s.cfg.RegionID, w.Reason) //lint:allow errtaxonomy rejection reason is forwarded verbatim and the handshake is already terminal
 	}
 	if w.Type != MsgRegionWelcome {
 		return protocolErrorf("expected RegionWelcome, got type %d", w.Type)
 	}
-	if w.Count <= 0 || w.Start < 0 || w.Horizon <= 0 {
+	if s.welcomed {
+		return nil // resume Welcome carries no shard geometry
+	}
+	if w.Count < 0 || w.Start < 0 || w.Horizon <= 0 {
 		return protocolErrorf("implausible shard [%d,%d) over %d slots", w.Start, w.Start+w.Count, w.Horizon)
 	}
-	if w.NumModels != cfg.Source.NumModels() {
-		return protocolErrorf("root announces %d models, region zoo has %d", w.NumModels, cfg.Source.NumModels())
+	if w.NumModels != s.cfg.Source.NumModels() {
+		return protocolErrorf("root announces %d models, region zoo has %d", w.NumModels, s.cfg.Source.NumModels())
 	}
-	policy := engine.FailFast
+	s.policy = engine.FailFast
 	if w.Degrade {
-		policy = engine.Degrade
+		s.policy = engine.Degrade
 	}
+	s.horizon = w.Horizon
+	s.numModels = w.NumModels
+	s.token = w.ResumeToken
 
-	fleet := newEdgeFleet(fleetConfig{
+	// Count == 0 is a standby welcome: the fleet starts empty and gains its
+	// ranges only through mid-run shard adoption.
+	s.fleet = newEdgeFleet(fleetConfig{
 		count:   w.Count,
 		offset:  w.Start,
 		horizon: w.Horizon,
-		seed:    cfg.Seed,
+		seed:    s.cfg.Seed,
 		timeouts: func() (time.Duration, time.Duration) {
-			return cfg.HandshakeTimeout, cfg.SlotTimeout
+			return s.cfg.HandshakeTimeout, s.cfg.SlotTimeout
 		},
-		retry: cfg.Retry,
-	}, cfg.Source)
-	stop, err := fleet.awaitFleet(ln)
-	if err != nil {
+		retry: s.cfg.Retry,
+	}, s.cfg.Source)
+	s.stop = s.fleet.start(s.ln)
+	if err := s.fleet.awaitInitial(); err != nil {
 		return err
 	}
-	defer stop()
-	tcp := fleet.steppers()
-	defer fleet.closeAll(tcp)
-	steppers := make([]engine.EdgeStepper, len(tcp))
-	for i, s := range tcp {
-		steppers[i] = s
+	if w.Count > 0 {
+		tcp := s.fleet.steppers()
+		shard, err := s.buildShard(w.Start, tcp)
+		if err != nil {
+			return err
+		}
+		s.shards = append(s.shards, &regionShard{start: w.Start, count: w.Count, shard: shard, tcp: tcp})
 	}
-	workers := cfg.Workers
+	s.welcomed = true
+	return nil
+}
+
+// buildShard wraps a range's steppers into an engine Shard.
+func (s *RegionSession) buildShard(start int, tcp []*tcpStepper) (*engine.Shard, error) {
+	steppers := make([]engine.EdgeStepper, len(tcp))
+	for i, st := range tcp {
+		steppers[i] = st
+	}
+	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = len(steppers)
 	}
-	shard, err := engine.NewShard(engine.ShardConfig{Start: w.Start, Workers: workers, Policy: policy}, steppers)
+	return engine.NewShard(engine.ShardConfig{Start: start, Workers: workers, Policy: s.policy}, steppers)
+}
+
+// shardAt resolves an assign's range start to the session's shard.
+func (s *RegionSession) shardAt(start int) *regionShard {
+	for _, sh := range s.shards {
+		if sh.start == start {
+			return sh
+		}
+	}
+	return nil
+}
+
+// minDone is the session's resume watermark: the smallest per-shard fold
+// position (0 with no shards).
+func (s *RegionSession) minDone() int {
+	min := 0
+	for k, sh := range s.shards {
+		if k == 0 || sh.done < min {
+			min = sh.done
+		}
+	}
+	return min
+}
+
+// handleAssign serves one ShardAssign: route it to its shard, answer a
+// duplicate from the delta cache, honor a scheduled departure, otherwise
+// step the shard and stream the delta back.
+func (s *RegionSession) handleAssign(upstream net.Conn, m *Message) (assignOutcome, error) {
+	sh := s.shardAt(m.Start)
+	if sh == nil {
+		err := protocolErrorf("shard assign slot %d: unknown range start %d", m.Slot, m.Start)
+		_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
+		return assignFatal, err
+	}
+	if len(m.Arms) != sh.count || len(m.Downloads) != sh.count {
+		err := protocolErrorf("shard assign slot %d: %d arms / %d downloads for %d edges",
+			m.Slot, len(m.Arms), len(m.Downloads), sh.count)
+		_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
+		return assignFatal, err
+	}
+	if s.cfg.OnSlot != nil {
+		s.cfg.OnSlot(m.Slot)
+	}
+	if sh.last != nil && m.Slot == sh.last.Slot {
+		// Duplicate assign: the root never saw our delta for this slot.
+		// Answer from the cache — re-stepping would double-draw the edges'
+		// serving streams and double-fold the slot.
+		if err := WriteMessage(upstream, sh.last); err != nil {
+			return assignConnLost, fmt.Errorf("deploy: region %d delta (resend): %w", s.cfg.RegionID, err)
+		}
+		return assignOK, nil
+	}
+	if s.cfg.LeaveBeforeSlot > 0 && m.Slot >= s.cfg.LeaveBeforeSlot {
+		_ = WriteMessage(upstream, &Message{Type: MsgRegionLeave, Slot: m.Slot})
+		return assignLeft, nil
+	}
+	delta, err := sh.shard.Step(m.Slot, m.Arms, m.Downloads)
+	if err != nil {
+		// Forward the shard's error verbatim so the root aborts with the
+		// exact error a monolithic run would report.
+		_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
+		return assignFatal, err
+	}
+	// Deep-copy into the cache: the shard recycles its delta buffer on the
+	// next Step, but the cache must survive until the root acks the next
+	// slot.
+	cp := engine.SlotDelta{Start: delta.Start, Edges: append([]engine.EdgeDelta(nil), delta.Edges...)}
+	sh.last = &Message{Type: MsgShardDelta, Slot: m.Slot, Delta: &cp}
+	sh.done = m.Slot + 1
+	if err := WriteMessage(upstream, sh.last); err != nil {
+		return assignConnLost, fmt.Errorf("deploy: region %d delta: %w", s.cfg.RegionID, err)
+	}
+	return assignOK, nil
+}
+
+// handleAdopt installs an orphaned shard from its checkpoint: rebuild the
+// range's links and tokens from the original fleet seed, restore the
+// per-edge down state, and start serving assigns for the range. The shard's
+// edges redial this coordinator's listener and resume their sessions.
+func (s *RegionSession) handleAdopt(m *Message) error {
+	if err := ValidateAdopt(m); err != nil {
+		return err
+	}
+	ck := m.Checkpoint
+	tcp, err := s.fleet.adopt(ck)
 	if err != nil {
 		return err
 	}
+	shard, err := s.buildShard(ck.Start, tcp)
+	if err != nil {
+		return err
+	}
+	if err := shard.RestoreDown(ck.Down); err != nil {
+		return err
+	}
+	s.shards = append(s.shards, &regionShard{
+		start: ck.Start,
+		count: ck.Count,
+		shard: shard,
+		tcp:   tcp,
+		done:  ck.DoneSlots,
+	})
+	return nil
+}
 
-	for {
-		m, err := ReadMessage(upstream)
-		if err != nil {
-			err = fmt.Errorf("deploy: region %d upstream: %w", cfg.RegionID, err)
-			return fleet.abort(tcp, err)
+// release stops the acceptor and silently closes every edge connection: the
+// edges see a transient drop and can redial whoever serves them next.
+func (s *RegionSession) release() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+	if s.fleet == nil {
+		return
+	}
+	for _, sh := range s.shards {
+		s.fleet.closeAll(sh.tcp)
+	}
+}
+
+// finishAll notifies every still-connected edge that the run is over, then
+// releases the fleet.
+func (s *RegionSession) finishAll() error {
+	var errs []error
+	for _, sh := range s.shards {
+		if err := s.fleet.finish(sh.tcp); err != nil {
+			errs = append(errs, err)
 		}
-		switch m.Type {
-		case MsgShardAssign:
-			if len(m.Arms) != w.Count || len(m.Downloads) != w.Count {
-				err := protocolErrorf("shard assign slot %d: %d arms / %d downloads for %d edges",
-					m.Slot, len(m.Arms), len(m.Downloads), w.Count)
-				_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
-				return fleet.abort(tcp, err)
-			}
-			delta, err := shard.Step(m.Slot, m.Arms, m.Downloads)
-			if err != nil {
-				// Forward the shard's error verbatim so the root aborts with
-				// the exact error a monolithic run would report.
-				_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
-				return fleet.abort(tcp, err)
-			}
-			if err := WriteMessage(upstream, &Message{Type: MsgShardDelta, Slot: m.Slot, Delta: &delta}); err != nil {
-				err = fmt.Errorf("deploy: region %d delta: %w", cfg.RegionID, err)
-				return fleet.abort(tcp, err)
-			}
-		case MsgDone:
-			if err := fleet.finish(tcp); err != nil && policy == engine.FailFast {
+	}
+	s.release()
+	return errors.Join(errs...)
+}
+
+// abortAll tells every still-connected edge the run failed, then releases
+// the fleet.
+func (s *RegionSession) abortAll(err error) {
+	if s.fleet != nil {
+		for _, sh := range s.shards {
+			_ = s.fleet.abort(sh.tcp, err)
+		}
+	}
+	s.release()
+}
+
+// RunRegion runs one regional coordinator to completion over a single
+// upstream connection: it claims its shard from the root, admits the
+// shard's edges from ln (global edge ids, exactly the monolithic cloud's
+// admission protocol), and serves ShardAssign/ShardDelta rounds until the
+// root sends Done or Error. The returned error is nil on a completed run; a
+// transient upstream failure is an error here (use RunRegionResumable to
+// survive it).
+func RunRegion(upstream net.Conn, ln net.Listener, cfg RegionConfig) error {
+	s, err := NewRegionSession(ln, cfg)
+	if err != nil {
+		return err
+	}
+	done, err := s.Run(upstream)
+	if !done {
+		s.abortAll(err)
+	}
+	return err
+}
+
+// RunRegionResumable runs a full coordinator session with automatic
+// reconnect: when the upstream connection fails transiently, it redials and
+// resumes, up to maxResumes times. dial is also what paces reconnection — a
+// dialer may sleep or back off internally; RunRegionResumable itself never
+// waits, so deterministic harnesses stay in control of time.
+func RunRegionResumable(dial func() (net.Conn, error), ln net.Listener, cfg RegionConfig, maxResumes int) error {
+	if dial == nil {
+		return fmt.Errorf("deploy: nil dialer") //lint:allow errtaxonomy argument validation before any wire traffic
+	}
+	s, err := NewRegionSession(ln, cfg)
+	if err != nil {
+		return err
+	}
+	resumes := 0
+	var lastErr error
+	for {
+		conn, err := dial()
+		if err == nil {
+			var done bool
+			done, err = s.Run(conn)
+			conn.Close()
+			if done {
 				return err
 			}
-			return nil
-		case MsgError:
-			err := fmt.Errorf("deploy: root aborted: %s", m.Reason) //lint:allow errtaxonomy abort reason is forwarded verbatim and the run is already terminal
-			_ = fleet.abort(tcp, err)
-			return err
-		default:
-			err := protocolErrorf("unexpected message type %d from root", m.Type)
-			_ = WriteMessage(upstream, &Message{Type: MsgError, Reason: err.Error()})
-			return fleet.abort(tcp, err)
 		}
+		lastErr = err
+		if resumes >= maxResumes {
+			// Release (don't abort) the edges: the root may already have
+			// rebalanced this session's shards, and the edges can still
+			// migrate to the adopter.
+			s.release()
+			return fmt.Errorf("deploy: region %d: resume budget exhausted after %d resumes: %w", s.cfg.RegionID, resumes, lastErr)
+		}
+		resumes++
 	}
 }

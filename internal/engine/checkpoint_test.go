@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestSlotDeduperWatermark pins the admission discipline: exactly the
+// watermark slot is admitted (advancing it), replays and future slots are
+// rejected, and Seen tracks the folded prefix.
+func TestSlotDeduperWatermark(t *testing.T) {
+	var d SlotDeduper
+	if d.Next() != 0 {
+		t.Fatalf("fresh deduper watermark = %d, want 0", d.Next())
+	}
+	if d.Admit(1) {
+		t.Error("admitted future slot 1 at watermark 0")
+	}
+	if !d.Admit(0) {
+		t.Error("rejected watermark slot 0")
+	}
+	if d.Admit(0) {
+		t.Error("admitted slot 0 twice")
+	}
+	if !d.Seen(0) || d.Seen(1) {
+		t.Errorf("Seen(0)=%v Seen(1)=%v, want true false", d.Seen(0), d.Seen(1))
+	}
+	for s := 1; s <= 3; s++ {
+		if !d.Admit(s) {
+			t.Fatalf("rejected watermark slot %d", s)
+		}
+	}
+	if d.Next() != 4 {
+		t.Errorf("watermark = %d after folding 4 slots, want 4", d.Next())
+	}
+	// A replayed prefix after a resume: everything already folded is seen
+	// and nothing is re-admitted.
+	for s := 0; s < 4; s++ {
+		if !d.Seen(s) {
+			t.Errorf("Seen(%d) = false for a folded slot", s)
+		}
+		if d.Admit(s) {
+			t.Errorf("re-admitted folded slot %d", s)
+		}
+	}
+}
+
+// TestShardCheckpointValidate covers the checkpoint's consistency checks and
+// its JSON round trip (it is a wire unit of the regional tier).
+func TestShardCheckpointValidate(t *testing.T) {
+	valid := ShardCheckpoint{
+		Start:       2,
+		Count:       3,
+		DoneSlots:   5,
+		FleetSeed:   77,
+		Down:        []bool{false, true, false},
+		DownErrors:  []string{"", "edge lost", ""},
+		JitterDraws: []int{0, 4, 1},
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	b, err := json.Marshal(&valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardCheckpoint
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(valid, back) {
+		t.Errorf("checkpoint JSON round trip diverged:\n sent: %+v\n got:  %+v", valid, back)
+	}
+
+	for name, mutate := range map[string]func(*ShardCheckpoint){
+		"negative start":       func(c *ShardCheckpoint) { c.Start = -1 },
+		"empty range":          func(c *ShardCheckpoint) { c.Count = 0 },
+		"negative watermark":   func(c *ShardCheckpoint) { c.DoneSlots = -1 },
+		"down length":          func(c *ShardCheckpoint) { c.Down = []bool{true} },
+		"down errors length":   func(c *ShardCheckpoint) { c.DownErrors = []string{"x"} },
+		"jitter length":        func(c *ShardCheckpoint) { c.JitterDraws = []int{1, 2} },
+		"negative jitter draw": func(c *ShardCheckpoint) { c.JitterDraws = []int{0, -1, 2} },
+	} {
+		ck := valid
+		mutate(&ck)
+		if err := ck.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}

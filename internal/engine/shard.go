@@ -99,6 +99,23 @@ func NewShard(cfg ShardConfig, edges []EdgeStepper) (*Shard, error) {
 // Range implements ShardStepper.
 func (s *Shard) Range() (start, count int) { return s.start, len(s.edges) }
 
+// RestoreDown restores the per-edge down state of a checkpointed shard (a
+// ShardCheckpoint's Down slice) after a mid-run handoff. Restored edges keep
+// contributing the down fallback (Served=false, zero terms) without
+// re-announcing WentDown — the root already folded their transition slot, so
+// re-emitting it would double-fire down callbacks and corrupt DownErrors.
+func (s *Shard) RestoreDown(down []bool) error {
+	if down == nil {
+		return nil
+	}
+	if len(down) != len(s.edges) {
+		return fmt.Errorf("engine: shard [%d,%d): restoring %d down flags for %d edges",
+			s.start, s.start+len(s.edges), len(down), len(s.edges))
+	}
+	copy(s.down, down)
+	return nil
+}
+
 // Step implements ShardStepper.
 //
 //lint:hotroot stepped once per slot per shard; the 100k-edge budget allows no allocation here

@@ -79,6 +79,16 @@ type Event struct {
 // by slot (stable, preserving same-slot order).
 type Schedule []Event
 
+// KillAt is the canonical link-kill schedule (edge or region): the
+// connection is cut on the first read at or after slot, so the link dies
+// between slots and the peer's next frame is lost in flight.
+func KillAt(slot int) Schedule { return Schedule{{Slot: slot, Kind: CutRead}} }
+
+// TruncateAt is the canonical torn-frame schedule: the first frame body
+// written at or after slot is cut mid-frame, so the peer observes a
+// mid-frame EOF on a frame whose sender believes it failed.
+func TruncateAt(slot int) Schedule { return Schedule{{Slot: slot, Kind: Truncate}} }
+
 // ErrInjected is returned by Conn for I/O the injector suppressed; it
 // implements net.Error as a non-timeout error so the deployment's error
 // taxonomy classifies it as a transient connection failure.
