@@ -35,6 +35,7 @@ func run(args []string, stdout io.Writer) error {
 		pool    = fs.Int("pool", 300, "local data-pool size")
 		load    = fs.Int("load", 20, "base samples per slot")
 		resumes = fs.Int("resumes", 0, "reconnect-and-resume budget when the cloud connection drops")
+		int8M   = fs.Bool("int8", false, "serve slots through the true-INT8 inference engine (weights quantized at install time)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rt.Int8 = *int8M
 
 	if *resumes < 0 {
 		return fmt.Errorf("negative resume budget")

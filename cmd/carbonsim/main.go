@@ -51,6 +51,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		shards       = fs.Int("shards", 1, "contiguous edge shards per slot (results are identical for any count)")
 		meanWorkload = fs.Float64("mean-workload", -1, "average peak samples/slot per edge (-1 = default 200; lower it for very large fleets)")
 		zooKind      = fs.String("zoo", "surrogate", "model zoo: surrogate | mnist | cifar")
+		int8M        = fs.Bool("int8", false, "score -q8 zoo arms through the true-INT8 engine instead of the fake-quant float oracle")
 		jsonOut      = fs.String("json", "", "write full per-slot results (JSON lines, one object per scheme) to this file")
 		workloadCSV  = fs.String("workload-csv", "", "load the workload trace from this CSV instead of generating it")
 		pricesCSV    = fs.String("prices-csv", "", "load the allowance price trace from this CSV instead of generating it")
@@ -85,7 +86,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		cfg.MeanPeakWorkload = *meanWorkload
 	}
 
-	zoo, err := buildZoo(*zooKind, *seed)
+	zoo, err := buildZoo(*zooKind, *seed, *int8M)
 	if err != nil {
 		return err
 	}
@@ -219,8 +220,13 @@ func exportScenarioTraces(dir string, s *sim.Scenario) error {
 }
 
 // buildZoo constructs the requested model zoo. The "-q8" variants double
-// the arm set with int8-quantized siblings (quantization-aware selection).
-func buildZoo(kind string, seed int64) (models.Zoo, error) {
+// the arm set with int8-quantized siblings (quantization-aware selection);
+// int8Mode scores those siblings through the true-INT8 engine instead of
+// the fake-quant float oracle.
+func buildZoo(kind string, seed int64, int8Mode bool) (models.Zoo, error) {
+	if int8Mode && kind != "mnist-q8" && kind != "cifar-q8" {
+		return nil, fmt.Errorf("-int8 requires a quantized zoo (mnist-q8 | cifar-q8), got %q", kind)
+	}
 	switch kind {
 	case "surrogate":
 		return models.DefaultSurrogateZoo(numeric.SplitRNG(seed, "zoo"))
@@ -230,12 +236,14 @@ func buildZoo(kind string, seed int64) (models.Zoo, error) {
 	case "cifar":
 		return models.CachedTrainedZoo(
 			models.DefaultTrainedZooConfig(dataset.CIFARLike), seed, "zoo")
-	case "mnist-q8":
-		return models.CachedQuantizedTrainedZoo(
-			models.DefaultTrainedZooConfig(dataset.MNISTLike), seed, "zoo")
-	case "cifar-q8":
-		return models.CachedQuantizedTrainedZoo(
-			models.DefaultTrainedZooConfig(dataset.CIFARLike), seed, "zoo")
+	case "mnist-q8", "cifar-q8":
+		spec := dataset.MNISTLike
+		if kind == "cifar-q8" {
+			spec = dataset.CIFARLike
+		}
+		cfg := models.DefaultTrainedZooConfig(spec)
+		cfg.Int8 = int8Mode
+		return models.CachedQuantizedTrainedZoo(cfg, seed, "zoo")
 	default:
 		return nil, fmt.Errorf("unknown zoo %q (surrogate | mnist | cifar | mnist-q8 | cifar-q8)", kind)
 	}

@@ -68,9 +68,11 @@ func run(args []string, stdout io.Writer) error {
 	}{
 		{"GEMM", benchGEMM},
 		{"ConvForward", benchConvForward},
+		{"QuantConvForward", benchQuantConvForward},
 		{"TrainEpoch", benchTrainEpoch},
 		{"ZooBuild", benchZooBuild},
 		{"SlotStep", benchSlotStep},
+		{"QuantSlotStep", benchQuantSlotStep},
 		{"EngineSlot", benchEngineSlot},
 		{"Fig3Regen", benchFig3},
 		{"Fig12Regen", benchFig12},
@@ -196,6 +198,45 @@ func benchConvForward(b *testing.B) {
 	}
 }
 
+// benchQuantConvForward tracks the INT8 engine on a conv-dominated network
+// at benchConvForward's layer shape (6->16 channels, 5x5 kernel, 14x14
+// input: ~94% of the MACs are the convolution). Measured through the public
+// QuantizedNetwork engine — quantized im2col + integer GEMM + requantize —
+// so the entry moves with the int8 kernels, not the float oracle.
+func benchQuantConvForward(b *testing.B) {
+	rng := numeric.SplitRNG(4, "nnbench-qconv")
+	net := nn.NewNetwork("nnbench-qconv", []int{6, 14, 14},
+		nn.NewConv2D(6, 16, 5, rng),
+		nn.NewFlatten(),
+		nn.NewDense(16*10*10, 10, rng),
+	)
+	qw := nn.QuantizeWeights(net)
+	if err := qw.ApplyTo(net); err != nil {
+		b.Fatal(err)
+	}
+	calib := nn.NewTensor(8, 6, 14, 14)
+	for i := range calib.Data {
+		calib.Data[i] = rng.NormFloat64()
+	}
+	qn, err := nn.NewQuantizedNetwork(net, qw, calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := nn.NewTensor(1, 6, 14, 14)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	arena := nn.NewArena()
+	arena.Reset()
+	qn.ForwardBatch(in, arena) // warm the arena: steady state is 0 allocs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		qn.ForwardBatch(in, arena)
+	}
+}
+
 // benchTrainEpoch mirrors internal/nn's BenchmarkTrainEpoch: one batched
 // SGD epoch over 256 samples on the family's small-CNN shape.
 func benchTrainEpoch(b *testing.B) {
@@ -238,7 +279,26 @@ func benchZooBuild(b *testing.B) {
 // benchSlotStep mirrors internal/deploy's BenchmarkNNRuntimeSlot: one
 // steady-state RunSlot on a warmed runtime (the zero-alloc path).
 func benchSlotStep(b *testing.B) {
-	rt, err := benchRuntime()
+	rt, err := benchRuntime(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.RunSlot(0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.RunSlot(i+1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchQuantSlotStep is benchSlotStep with the runtime in INT8 mode: the
+// same slot serving, but every forward pass runs the integer kernels.
+func benchQuantSlotStep(b *testing.B) {
+	rt, err := benchRuntime(true)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -277,8 +337,9 @@ func benchEngineSlot(b *testing.B) {
 	}
 }
 
-// benchRuntime builds the same one-model runtime as the deploy benchmark.
-func benchRuntime() (*deploy.NNRuntime, error) {
+// benchRuntime builds the same one-model runtime as the deploy benchmark,
+// optionally in INT8 execution mode.
+func benchRuntime(int8Mode bool) (*deploy.NNRuntime, error) {
 	spec := dataset.MNISTLike
 	rng := numeric.SplitRNG(7, "bench-runtime")
 	dist, err := dataset.NewDistribution(spec, rng)
@@ -299,6 +360,7 @@ func benchRuntime() (*deploy.NNRuntime, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.Int8 = int8Mode
 	metas := make([]deploy.ModelMeta, models.FamilySize())
 	for i := range metas {
 		metas[i] = deploy.ModelMeta{Name: "bench", PhiKWh: 0.001}

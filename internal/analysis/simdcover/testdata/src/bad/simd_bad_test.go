@@ -8,3 +8,8 @@ func TestSubEquivalence(t *testing.T) {
 	subAVX2(nil, nil)
 	_ = t
 }
+
+func TestQdotInt8Pinned(t *testing.T) {
+	qdotInt8SSE2(nil, nil, nil, 0, 0)
+	_ = t
+}

@@ -1,0 +1,9 @@
+//go:build amd64
+
+package ok
+
+// qdotInt8AVX2 mirrors the int8 GEMM kernel family: int32 accumulators,
+// int8 operands. Covered by the generic twin and the pinning test below.
+func qdotInt8AVX2(out []int32, a, b []int8, n, k int)
+
+func qdotInt8SIMD(out []int32, a, b []int8, n, k int) { qdotInt8AVX2(out, a, b, n, k) }

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package ok
+
+func qdotInt8SIMD(out []int32, a, b []int8, n, k int) {
+	for i := 0; i < n; i++ {
+		var acc int32
+		for j := 0; j < k; j++ {
+			acc += int32(a[j]) * int32(b[i*k+j])
+		}
+		out[i] = acc
+	}
+}

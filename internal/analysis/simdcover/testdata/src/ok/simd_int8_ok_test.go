@@ -1,0 +1,11 @@
+//go:build amd64
+
+package ok
+
+import "testing"
+
+func TestQdotInt8Equivalence(t *testing.T) {
+	out := []int32{0}
+	qdotInt8AVX2(out, []int8{1}, []int8{2}, 1, 1)
+	_ = t
+}

@@ -11,8 +11,8 @@ import (
 )
 
 // benchRuntime builds an NNRuntime with one loaded model, ready to serve
-// slots.
-func benchRuntime(b testing.TB) *NNRuntime {
+// slots. int8 opts the runtime into the true-INT8 engine before any load.
+func benchRuntime(b testing.TB, int8Mode bool) *NNRuntime {
 	b.Helper()
 	spec := dataset.MNISTLike
 	rng := numeric.SplitRNG(7, "bench-runtime")
@@ -34,6 +34,7 @@ func benchRuntime(b testing.TB) *NNRuntime {
 	if err != nil {
 		b.Fatal(err)
 	}
+	rt.Int8 = int8Mode
 	metas := make([]ModelMeta, models.FamilySize())
 	for i := range metas {
 		metas[i] = ModelMeta{Name: "bench", PhiKWh: 0.001}
@@ -59,7 +60,23 @@ func benchRuntime(b testing.TB) *NNRuntime {
 // slot, a steady-state RunSlot must report 0 allocs/op — all NN scratch
 // comes from the runtime-owned arena.
 func BenchmarkNNRuntimeSlot(b *testing.B) {
-	rt := benchRuntime(b)
+	rt := benchRuntime(b, false)
+	if _, err := rt.RunSlot(0, 0); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.RunSlot(i+1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNRuntimeSlotInt8 is the same slot-serving gate with the true-INT8
+// engine: quantized kernels plus the identical zero-alloc steady state.
+func BenchmarkNNRuntimeSlotInt8(b *testing.B) {
+	rt := benchRuntime(b, true)
 	if _, err := rt.RunSlot(0, 0); err != nil { // warm the arena
 		b.Fatal(err)
 	}
@@ -73,18 +90,74 @@ func BenchmarkNNRuntimeSlot(b *testing.B) {
 }
 
 // TestNNRuntimeSlotZeroAllocs enforces the 0 allocs/op gate in the regular
-// test run (benchmarks only execute under -bench).
+// test run (benchmarks only execute under -bench), for both engines.
 func TestNNRuntimeSlotZeroAllocs(t *testing.T) {
-	rt := benchRuntime(t)
-	if _, err := rt.RunSlot(0, 0); err != nil {
-		t.Fatal(err)
+	for _, mode := range []struct {
+		name string
+		int8 bool
+	}{{"float", false}, {"int8", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			rt := benchRuntime(t, mode.int8)
+			if _, err := rt.RunSlot(0, 0); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := rt.RunSlot(1, 0); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state RunSlot allocates %v times per slot, want 0", allocs)
+			}
+		})
 	}
-	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := rt.RunSlot(1, 0); err != nil {
+}
+
+// TestNNRuntimeInt8Serving pins the INT8 execution mode's serving contract:
+// the sample draw stream is the float runtime's (identical RNG consumption,
+// so Samples/Energy/CompSeconds match bit for bit), repeated runs are
+// deterministic, and a model installed before the mode was enabled is
+// rejected rather than silently served through the float path.
+func TestNNRuntimeInt8Serving(t *testing.T) {
+	fp := benchRuntime(t, false)
+	q := benchRuntime(t, true)
+	for slot := 0; slot < 3; slot++ {
+		frep, err := fp.RunSlot(slot, 0)
+		if err != nil {
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state RunSlot allocates %v times per slot, want 0", allocs)
+		qrep, err := q.RunSlot(slot, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qrep.Samples != frep.Samples || qrep.EnergyKWh != frep.EnergyKWh ||
+			qrep.CompSeconds != frep.CompSeconds {
+			t.Fatalf("slot %d: int8 report metadata %+v diverges from float %+v", slot, qrep, frep)
+		}
+		if qrep.AvgLoss < 0 || qrep.Correct < 0 || qrep.Correct > qrep.Samples {
+			t.Fatalf("slot %d: malformed int8 report %+v", slot, qrep)
+		}
+	}
+	// Determinism: two fresh int8 runtimes replay identical reports.
+	q2, q3 := benchRuntime(t, true), benchRuntime(t, true)
+	for slot := 0; slot < 3; slot++ {
+		a, err := q2.RunSlot(slot, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := q3.RunSlot(slot, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("slot %d: int8 serving nondeterministic: %+v vs %+v", slot, a, b)
+		}
+	}
+
+	// A float-loaded model must not be served once Int8 is flipped on.
+	late := benchRuntime(t, false)
+	late.Int8 = true
+	if _, err := late.RunSlot(0, 0); err == nil {
+		t.Fatal("RunSlot served a float-loaded model in Int8 mode")
 	}
 }

@@ -224,9 +224,18 @@ type NNRuntime struct {
 	// one inference (posterior, observed while serving).
 	CompSecondsPerSample func(modelID int) float64
 
-	rng    *rand.Rand
-	metas  []ModelMeta
-	loaded map[int]*nn.Network
+	// Int8 runs every installed checkpoint through the true-INT8 engine
+	// (nn.QuantizedNetwork): LoadModel quantizes the shipped float weights
+	// on arrival and RunSlot serves integer kernels. This is an edge
+	// execution mode — the wire format and the cloud are unchanged. Set it
+	// before the first LoadModel; it is not a per-model switch.
+	Int8 bool
+
+	rng     *rand.Rand
+	metas   []ModelMeta
+	loaded  map[int]*nn.Network
+	qloaded map[int]*nn.QuantizedNetwork
+	calib   *nn.Tensor // INT8 calibration batch, built once from the pool head
 
 	// Batched-inference scratch, owned by this runtime (one runtime per
 	// edge, never shared across goroutines). All three are grow-only, so a
@@ -255,6 +264,7 @@ func NewNNRuntime(build func(int) (*nn.Network, error), pool []nn.Sample,
 		CompSecondsPerSample: compSeconds,
 		rng:                  rng,
 		loaded:               make(map[int]*nn.Network),
+		qloaded:              make(map[int]*nn.QuantizedNetwork),
 		arena:                nn.NewArena(),
 	}, nil
 }
@@ -274,7 +284,7 @@ func (r *NNRuntime) LoadModel(modelID int, checkpoint []byte) error {
 	if modelID < 0 || modelID >= len(r.metas) {
 		return fmt.Errorf("deploy: model id %d out of range", modelID)
 	}
-	if _, ok := r.loaded[modelID]; ok && len(checkpoint) == 0 {
+	if _, ok := r.loaded[modelID]; ok && len(checkpoint) == 0 && (!r.Int8 || r.qloaded[modelID] != nil) {
 		return nil // cached copy, nothing shipped
 	}
 	net, err := r.BuildNet(modelID)
@@ -286,8 +296,43 @@ func (r *NNRuntime) LoadModel(modelID int, checkpoint []byte) error {
 			return err
 		}
 	}
+	if r.Int8 {
+		// Quantize the shipped float weights at install time and compile the
+		// INT8 engine, exactly the zoo's quantization path: fake-quant the
+		// float net (the accuracy oracle), then bind the integer kernels to
+		// the same int8 buffers.
+		qw := nn.QuantizeWeights(net)
+		if err := qw.ApplyTo(net); err != nil {
+			return fmt.Errorf("deploy: quantize model %d: %w", modelID, err)
+		}
+		qn, err := nn.NewQuantizedNetwork(net, qw, r.calibInput())
+		if err != nil {
+			return fmt.Errorf("deploy: compile INT8 model %d: %w", modelID, err)
+		}
+		r.qloaded[modelID] = qn
+	}
 	r.loaded[modelID] = net
 	return nil
+}
+
+// calibInput assembles the INT8 engines' calibration batch from the head of
+// the edge's local pool — deterministic, representative of the stream the
+// activation scales will see, and built once per runtime.
+func (r *NNRuntime) calibInput() *nn.Tensor {
+	if r.calib != nil {
+		return r.calib
+	}
+	b := slotChunk
+	if b > len(r.Pool) {
+		b = len(r.Pool)
+	}
+	sampleLen := r.Pool[0].X.Len()
+	t := nn.NewTensor(append([]int{b}, r.Pool[0].X.Shape...)...)
+	for j := 0; j < b; j++ {
+		copy(t.Data[j*sampleLen:(j+1)*sampleLen], r.Pool[j].X.Data)
+	}
+	r.calib = t
+	return t
 }
 
 // RunSlot implements Runtime: serve M samples with the loaded model.
@@ -297,6 +342,12 @@ func (r *NNRuntime) RunSlot(slot, modelID int) (SlotReport, error) {
 	net, ok := r.loaded[modelID]
 	if !ok {
 		return SlotReport{}, fmt.Errorf("deploy: model %d assigned but never downloaded", modelID)
+	}
+	var qn *nn.QuantizedNetwork
+	if r.Int8 {
+		if qn = r.qloaded[modelID]; qn == nil {
+			return SlotReport{}, fmt.Errorf("deploy: model %d loaded before Int8 mode was enabled", modelID)
+		}
 	}
 	m := r.SamplesPerSlot(slot)
 	if m < 0 {
@@ -330,7 +381,12 @@ func (r *NNRuntime) RunSlot(slot, modelID int) (SlotReport, error) {
 		for j := 0; j < b; j++ {
 			copy(in.Data[j*sampleLen:(j+1)*sampleLen], r.Pool[idx[start+j]].X.Data)
 		}
-		logits := net.ForwardBatch(in, r.arena)
+		var logits *nn.Tensor
+		if qn != nil {
+			logits = qn.ForwardBatch(in, r.arena)
+		} else {
+			logits = net.ForwardBatch(in, r.arena)
+		}
 		classes := logits.Shape[1]
 		scratch := r.arena.Floats(classes)
 		for j := 0; j < b; j++ {

@@ -33,6 +33,7 @@ type zooCacheKey struct {
 	seed          int64
 	stream        string
 	quantized     bool
+	int8Mode      bool
 }
 
 // zooCacheEntry single-flights one build: concurrent lookups of the same
@@ -84,6 +85,7 @@ func cachedZoo(cfg TrainedZooConfig, seed int64, stream string, quantized bool) 
 		seed:      seed,
 		stream:    stream,
 		quantized: quantized,
+		int8Mode:  cfg.Int8,
 	}
 	zooCache.Lock()
 	e, ok := zooCache.m[key]
@@ -95,8 +97,12 @@ func cachedZoo(cfg TrainedZooConfig, seed int64, stream string, quantized bool) 
 	e.once.Do(func() {
 		if quantized {
 			// Reuse (or populate) the cached full-precision base; only the
-			// cheap quantize-and-score extension runs here.
-			base, err := cachedZoo(cfg, seed, stream, false)
+			// cheap quantize-and-score extension runs here. Int8 affects the
+			// quantized extension alone, so the base lookup strips it and is
+			// shared between float-oracle and INT8-engine quantized zoos.
+			baseCfg := cfg
+			baseCfg.Int8 = false
+			base, err := cachedZoo(baseCfg, seed, stream, false)
 			if err != nil {
 				e.err = err
 				return

@@ -11,13 +11,22 @@ import (
 // per-sample path exactly.
 const evalChunk = 64
 
+// batchScorer is the execution engine scorePool drives: the float network
+// or the true-INT8 nn.QuantizedNetwork, selected by TrainedZooConfig.Int8.
+// Both return [B, classes] float64 logits from arena-backed scratch.
+type batchScorer interface {
+	ForwardBatch(in *nn.Tensor, a *nn.Arena) *nn.Tensor
+	InShape() []int
+}
+
 // scorePool evaluates net over pool through the chunked batched inference
 // path, returning the per-sample loss/correctness caches plus their means.
-// Results are bit-for-bit identical to the per-sample loop it replaced
-// (losses accumulate in sample order; nn's equivalence suite pins the
-// kernels) — the zoo's cached streams, and every figure derived from them,
-// do not move.
-func scorePool(net *nn.Network, pool []nn.Sample, arena *nn.Arena) (losses []float64, correct []bool, meanLoss, meanAcc float64) {
+// With the float engine, results are bit-for-bit identical to the per-sample
+// loop it replaced (losses accumulate in sample order; nn's equivalence
+// suite pins the kernels) — the zoo's cached streams, and every figure
+// derived from them, do not move. The INT8 engine is reached only through
+// the opt-in Int8 config, so the committed results stay the float oracle's.
+func scorePool(net batchScorer, pool []nn.Sample, arena *nn.Arena) (losses []float64, correct []bool, meanLoss, meanAcc float64) {
 	losses = make([]float64, len(pool))
 	correct = make([]bool, len(pool))
 	shape := net.InShape()

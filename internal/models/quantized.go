@@ -7,6 +7,7 @@ import (
 
 	"github.com/carbonedge/carbonedge/internal/dataset"
 	"github.com/carbonedge/carbonedge/internal/nn"
+	"github.com/carbonedge/carbonedge/internal/numeric"
 )
 
 // Int8 inference typically runs at a fraction of float energy and latency;
@@ -36,16 +37,27 @@ func NewQuantizedTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, 
 // draws rebuilding each architecture, but the wire-format round-trip then
 // overwrites every parameter tensor, so a cached base plus any RNG stream
 // yields bit-identical quantized zoos (pinned by the cache tests).
+//
+// The q8 arms retain only the shared int8 weight buffers (QuantizeWeights),
+// not a float64 network clone — the float clone exists transiently for
+// scoring and is dropped before the zoo is returned, cutting each q8 arm's
+// resident parameter bytes to ~1/8 of its full-precision sibling
+// (TestQuantizedZooSharesInt8Storage pins the bound). Scoring runs through
+// the fake-quant float oracle by default, or through the true-INT8 engine
+// when cfg.Int8 is set.
 func quantizedFromBase(cfg TrainedZooConfig, base *TrainedZoo, rng *rand.Rand) (*TrainedZoo, error) {
 	n := base.NumModels()
 	z := &TrainedZoo{
-		testPool: base.testPool,
-		nets:     make([]*nn.Network, 0, 2*n),
-		infos:    make([]Info, 0, 2*n),
-		meanLoss: make([]float64, 0, 2*n),
-		meanAcc:  make([]float64, 0, 2*n),
-		losses:   make([][]float64, 0, 2*n),
-		correct:  make([][]bool, 0, 2*n),
+		testPool:  base.testPool,
+		spec:      cfg.Dataset,
+		baseCount: n,
+		nets:      make([]*nn.Network, 0, 2*n),
+		qweights:  make([]*nn.QuantizedWeights, 2*n),
+		infos:     make([]Info, 0, 2*n),
+		meanLoss:  make([]float64, 0, 2*n),
+		meanAcc:   make([]float64, 0, 2*n),
+		losses:    make([][]float64, 0, 2*n),
+		correct:   make([][]bool, 0, 2*n),
 	}
 	// Keep the full-precision entries as-is.
 	z.nets = append(z.nets, base.nets...)
@@ -60,17 +72,36 @@ func quantizedFromBase(cfg TrainedZooConfig, base *TrainedZoo, rng *rand.Rand) (
 	// aligned across all 2N models.
 	pool := base.testPool
 	arena := nn.NewArena()
+	var calib *nn.Tensor
+	if cfg.Int8 {
+		var err error
+		if calib, err = calibBatch(pool); err != nil {
+			return nil, err
+		}
+	}
 
 	for i := 0; i < n; i++ {
 		q, err := cloneNetwork(cfg.Dataset, i, base.nets[i], rng)
 		if err != nil {
 			return nil, err
 		}
-		nn.QuantizeInPlace(q)
+		qw := nn.QuantizeWeights(q)
+		if err := qw.ApplyTo(q); err != nil { // bit-identical to QuantizeInPlace
+			return nil, err
+		}
 		q.Name = base.infos[i].Name + "-q8"
 
-		losses, correct, meanLoss, meanAcc := scorePool(q, pool, arena)
-		z.nets = append(z.nets, q)
+		scorer := batchScorer(q)
+		if cfg.Int8 {
+			qn, err := nn.NewQuantizedNetwork(q, qw, calib)
+			if err != nil {
+				return nil, fmt.Errorf("compile INT8 %s: %w", q.Name, err)
+			}
+			scorer = qn
+		}
+		losses, correct, meanLoss, meanAcc := scorePool(scorer, pool, arena)
+		z.nets = append(z.nets, nil) // no float64 clone retained; q is dropped here
+		z.qweights[n+i] = qw
 		z.infos = append(z.infos, Info{
 			Name:           q.Name,
 			SizeBytes:      nn.QuantizedWireSize(q),
@@ -83,6 +114,51 @@ func quantizedFromBase(cfg TrainedZooConfig, base *TrainedZoo, rng *rand.Rand) (
 		z.correct = append(z.correct, correct)
 	}
 	return z, nil
+}
+
+// calibBatch assembles the INT8 engines' calibration batch from the head of
+// the shared test pool — deterministic, and representative of the stream the
+// activation scales will see.
+func calibBatch(pool []nn.Sample) (*nn.Tensor, error) {
+	b := evalChunk
+	if b > len(pool) {
+		b = len(pool)
+	}
+	if b == 0 {
+		return nil, fmt.Errorf("models: INT8 scoring requires a non-empty test pool")
+	}
+	t := nn.NewTensor(append([]int{b}, pool[0].X.Shape...)...)
+	sampleLen := pool[0].X.Len()
+	for j := 0; j < b; j++ {
+		copy(t.Data[j*sampleLen:(j+1)*sampleLen], pool[j].X.Data)
+	}
+	return t, nil
+}
+
+// materializeQ8 rebuilds a q8 arm's fake-quant float network on demand:
+// clone the trained base arm (wire round-trip; the RNG only feeds the
+// architecture rebuild, every parameter is overwritten), then install the
+// shared int8 weights. Zero-scale tensors are skipped by ApplyTo and keep
+// the base's values — which are exactly the all-zero values a zero scale
+// encodes — so the result is bit-identical to the clone-and-quantize path
+// that produced the arm's score caches.
+func (z *TrainedZoo) materializeQ8(n int) (*nn.Network, error) {
+	base := n - z.baseCount
+	if base < 0 || base >= z.baseCount || z.qweights[n] == nil {
+		return nil, fmt.Errorf("models: model %d has no quantized weights", n)
+	}
+	// The RNG only feeds the architecture rebuild and every draw is then
+	// overwritten by the wire round-trip, but it still must be a properly
+	// derived stream so no shared stream is perturbed.
+	q, err := cloneNetwork(z.spec, base, z.nets[base], numeric.SplitRNG(0, "materialize-q8"))
+	if err != nil {
+		return nil, err
+	}
+	if err := z.qweights[n].ApplyTo(q); err != nil {
+		return nil, err
+	}
+	q.Name = z.infos[n].Name
+	return q, nil
 }
 
 // cloneNetwork copies a trained network by rebuilding its architecture and

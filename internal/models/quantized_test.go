@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/carbonedge/carbonedge/internal/dataset"
+	"github.com/carbonedge/carbonedge/internal/nn"
 )
 
 func TestQuantizedZooShape(t *testing.T) {
@@ -55,6 +56,71 @@ func TestQuantizedZooAccuracyClose(t *testing.T) {
 		fp, q := z.MeanAccuracy(i), z.MeanAccuracy(i+6)
 		if q < fp-0.10 {
 			t.Errorf("%s: quantized accuracy %v far below fp %v", z.Info(i).Name, q, fp)
+		}
+	}
+}
+
+// TestQuantizedZooSharesInt8Storage pins the quantized zoo's memory
+// contract: q8 arms keep no resident float64 network — only the shared int8
+// buffer plus per-tensor scales, well under a quarter (in fact ~1/8) of the
+// full-precision sibling's resident parameter bytes — and Network() still
+// materializes, on demand, a fake-quant network whose scores replay the
+// cached ones bit for bit.
+func TestQuantizedZooSharesInt8Storage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z, err := NewQuantizedTrainedZoo(smallZooConfig(dataset.MNISTLike), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := z.NumModels() / 2
+	for i := 0; i < n; i++ {
+		if z.nets[n+i] != nil {
+			t.Fatalf("%s retains a resident float64 network", z.Info(n+i).Name)
+		}
+		fp, q8 := z.ResidentParamBytes(i), z.ResidentParamBytes(n + i)
+		if q8*4 > fp {
+			t.Errorf("%s resident %d B is not < 1/4 of fp %d B", z.Info(n+i).Name, q8, fp)
+		}
+	}
+	// Materialized q8 networks reproduce the cached score stream exactly.
+	for _, i := range []int{0, n - 1} {
+		net := z.Network(n + i)
+		losses, _, meanLoss, meanAcc := scorePool(net, z.testPool, nn.NewArena())
+		if meanLoss != z.MeanLoss(n+i) || meanAcc != z.MeanAccuracy(n+i) {
+			t.Fatalf("%s: materialized scores (%v, %v) != cached (%v, %v)",
+				net.Name, meanLoss, meanAcc, z.MeanLoss(n+i), z.MeanAccuracy(n+i))
+		}
+		for s, l := range losses {
+			if l != z.losses[n+i][s] {
+				t.Fatalf("%s sample %d: materialized loss %v != cached %v", net.Name, s, l, z.losses[n+i][s])
+			}
+		}
+	}
+}
+
+// TestQuantizedZooInt8Mode runs the opt-in INT8 engine end to end: the zoo
+// builds, the q8 arms' caches come from integer kernels, and their accuracy
+// stays close to the fake-quant oracle's (the engine's accuracy contract;
+// exact bits are pinned in nn). The fp arms are untouched by the mode.
+func TestQuantizedZooInt8Mode(t *testing.T) {
+	cfg := smallZooConfig(dataset.MNISTLike)
+	oracle, err := NewQuantizedTrainedZoo(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Int8 = true
+	z, err := NewQuantizedTrainedZoo(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := z.NumModels() / 2
+	for i := 0; i < n; i++ {
+		if z.MeanLoss(i) != oracle.MeanLoss(i) || z.MeanAccuracy(i) != oracle.MeanAccuracy(i) {
+			t.Errorf("fp arm %s moved under -int8", z.Info(i).Name)
+		}
+		fq, q := oracle.MeanAccuracy(n+i), z.MeanAccuracy(n+i)
+		if q < fq-0.10 {
+			t.Errorf("%s: INT8 accuracy %v far below fake-quant %v", z.Info(n+i).Name, q, fq)
 		}
 	}
 }

@@ -26,6 +26,15 @@ type TrainedZoo struct {
 	// testPool keeps the evaluation samples so zoo extensions (e.g. the
 	// quantized variants) can score new models on the identical pool.
 	testPool []nn.Sample
+
+	// Quantized-zoo storage: q8 arms do not retain a float64 network clone.
+	// nets[i] is nil for them; qweights[i] holds the shared int8 weights
+	// (one buffer per arm, ~1/8 the float resident bytes) and Network(i)
+	// materializes a fake-quant float network on demand from the base arm
+	// plus qweights. spec and baseCount support that materialization.
+	qweights  []*nn.QuantizedWeights
+	spec      dataset.Spec
+	baseCount int
 }
 
 var _ Zoo = (*TrainedZoo)(nil)
@@ -46,6 +55,11 @@ type TrainedZooConfig struct {
 	Epochs    int
 	LR        float64
 	BatchSize int
+	// Int8 opts the quantized arms into the true-INT8 execution engine
+	// (nn.QuantizedNetwork): their score caches are produced by integer
+	// kernels instead of the fake-quant float oracle. Off by default — the
+	// committed results are the float oracle's and must not move.
+	Int8 bool
 }
 
 // DefaultTrainedZooConfig returns a configuration sized for interactive use.
@@ -130,6 +144,7 @@ func NewTrainedZoo(cfg TrainedZooConfig, rng *rand.Rand) (*TrainedZoo, error) {
 	nets := buildFamily(cfg.Dataset, rng)
 	z := &TrainedZoo{
 		testPool: ds.Test,
+		spec:     cfg.Dataset,
 		nets:     nets,
 		infos:    make([]Info, len(nets)),
 		meanLoss: make([]float64, len(nets)),
@@ -258,8 +273,31 @@ func (z *TrainedZoo) BatchLoss(n int, indices []int, _ *rand.Rand) (float64, int
 	return sum / float64(len(indices)), correct
 }
 
-// Network exposes the trained network for model n (diagnostics/examples).
+// Network exposes the trained network for model n (diagnostics, checkpoint
+// serialization). Full-precision arms return the resident network; q8 arms
+// hold no float64 clone, so a fake-quant network is materialized on demand
+// from the base arm and the shared int8 weights — callers should not retain
+// it if they care about the quantized zoo's memory footprint.
 func (z *TrainedZoo) Network(n int) *nn.Network {
 	validateIndex(n, len(z.nets))
-	return z.nets[n]
+	if z.nets[n] != nil {
+		return z.nets[n]
+	}
+	net, err := z.materializeQ8(n)
+	if err != nil {
+		//lint:allow panicpolicy materialization replays the construction-validated clone+ApplyTo path; failure here is a programmer error
+		panic(fmt.Sprintf("models: materialize %s: %v", z.infos[n].Name, err))
+	}
+	return net
+}
+
+// ResidentParamBytes reports the parameter bytes model n keeps resident in
+// the zoo: float64 tensors for full-precision arms, the shared int8 buffer
+// plus per-tensor scales for q8 arms.
+func (z *TrainedZoo) ResidentParamBytes(n int) int64 {
+	validateIndex(n, len(z.nets))
+	if z.nets[n] != nil {
+		return int64(z.nets[n].NumParams()) * 8
+	}
+	return z.qweights[n].ParamBytes()
 }

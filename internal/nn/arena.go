@@ -22,6 +22,10 @@ type Arena struct {
 	nfloats int
 	ints    [][]int
 	nints   int
+	i8s     [][]int8
+	ni8     int
+	i32s    [][]int32
+	ni32    int
 	tensors []*Tensor
 	nten    int
 }
@@ -34,6 +38,7 @@ func NewArena() *Arena { return &Arena{} }
 // without allocating.
 func (a *Arena) Reset() {
 	a.nfloats, a.nints, a.nten = 0, 0, 0
+	a.ni8, a.ni32 = 0, 0
 }
 
 // Floats returns a float64 scratch slice of length n. Contents are
@@ -58,6 +63,33 @@ func (a *Arena) Ints(n int) []int {
 	}
 	buf := a.ints[a.nints][:n]
 	a.nints++
+	return buf
+}
+
+// Int8s returns an int8 scratch slice of length n for the quantized
+// inference path. Contents are unspecified: callers must fully overwrite
+// before reading.
+func (a *Arena) Int8s(n int) []int8 {
+	if a.ni8 == len(a.i8s) {
+		a.i8s = append(a.i8s, make([]int8, n)) //lint:allow hotalloc grow-only arena pool; steady state reuses capacity
+	} else if cap(a.i8s[a.ni8]) < n {
+		a.i8s[a.ni8] = make([]int8, n) //lint:allow hotalloc grow-only arena pool; steady state reuses capacity
+	}
+	buf := a.i8s[a.ni8][:n]
+	a.ni8++
+	return buf
+}
+
+// Int32s returns an int32 scratch slice of length n — the quantized GEMM's
+// accumulator scratch. Contents are unspecified.
+func (a *Arena) Int32s(n int) []int32 {
+	if a.ni32 == len(a.i32s) {
+		a.i32s = append(a.i32s, make([]int32, n)) //lint:allow hotalloc grow-only arena pool; steady state reuses capacity
+	} else if cap(a.i32s[a.ni32]) < n {
+		a.i32s[a.ni32] = make([]int32, n) //lint:allow hotalloc grow-only arena pool; steady state reuses capacity
+	}
+	buf := a.i32s[a.ni32][:n]
+	a.ni32++
 	return buf
 }
 

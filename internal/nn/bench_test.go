@@ -34,6 +34,10 @@ func benchConv(b *testing.B, naive bool) {
 	rng := rand.New(rand.NewSource(2))
 	conv := NewConv2D(6, 16, 5, rng)
 	in := randTensor(rng, 6, 14, 14)
+	// Warm the layer-owned arena so the measured loop is the steady state:
+	// without this the first timed iteration's grow-only allocations smear
+	// a few bytes/op across the run and the zero-alloc gate can't assert 0.
+	conv.Forward(in)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -76,6 +80,77 @@ func benchTrainEpoch(b *testing.B, naive bool) {
 
 func BenchmarkTrainEpoch(b *testing.B)      { benchTrainEpoch(b, false) }
 func BenchmarkTrainEpochNaive(b *testing.B) { benchTrainEpoch(b, true) }
+
+// BenchmarkQuantConvForward measures the INT8 convolution stage on
+// BenchmarkConvForward's exact shapes (6->16 channels, 5x5 kernel, 14x14
+// input), exactly as the engine runs it: padded-stride im2colQ, the qgemmNT
+// dual-row dot sweep over zero-padded weight rows, and the requantize sweep.
+// The QuantConvForward/ConvForward ratio is the true-int8 speedup tracked in
+// BENCH_nn.json.
+func BenchmarkQuantConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const inC, outC, kh, h, w = 6, 16, 5, 14, 14
+	const oh, ow = h - kh + 1, w - kh + 1
+	const kk, np = inC * kh * kh, oh * ow
+	wq, kkPad := padWeightRows(randInt8(rng, outC*kk), outC, kk)
+	src := randInt8(rng, inC*h*w)
+	col := make([]int8, np*kkPad)
+	acc := make([]int32, outC*np)
+	dst := make([]int8, outC*np)
+	biasQ := make([]int32, outC)
+	for oc := range biasQ {
+		biasQ[oc] = int32(rng.Intn(2000) - 1000)
+	}
+	m, shift := quantMultiplier(0.0013)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im2colQ(col, src, inC, h, w, kh, oh, ow, kkPad)
+		qgemmNT(acc, wq, col, outC, np, kkPad)
+		for oc := 0; oc < outC; oc++ {
+			bq := biasQ[oc]
+			arow := acc[oc*np : (oc+1)*np]
+			drow := dst[oc*np : (oc+1)*np]
+			for j, v := range arow {
+				drow[j] = requantize(v+bq, m, shift)
+			}
+		}
+	}
+}
+
+// BenchmarkQuantNetworkForwardBatch is BenchmarkNetworkForwardBatch through
+// the INT8 engine: same architecture, same batch, quantized execution.
+func BenchmarkQuantNetworkForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := BuildCNN("bench-cnn", []int{1, 14, 14}, 8, 16, 64, 10, rng)
+	qw := QuantizeWeights(net)
+	if err := qw.ApplyTo(net); err != nil {
+		b.Fatal(err)
+	}
+	calib := NewTensor(8, 1, 14, 14)
+	for i := range calib.Data {
+		calib.Data[i] = rng.NormFloat64()
+	}
+	qn, err := NewQuantizedNetwork(net, qw, calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := NewArena()
+	const batch = 32
+	in := arena.Tensor(batch, 1, 14, 14)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	// Warm the arena so the measured loop is the steady state.
+	qn.ForwardBatch(in, arena)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		in := arena.Tensor(batch, 1, 14, 14)
+		qn.ForwardBatch(in, arena)
+	}
+}
 
 func BenchmarkNetworkForwardBatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))

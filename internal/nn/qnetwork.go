@@ -1,0 +1,475 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizedNetwork is the true-INT8 execution engine (DESIGN.md §9 "INT8
+// fast path"): a compiled form of a fake-quant network that stores weights
+// as int8 rows plus one float64 scale per tensor (aliasing the zoo's
+// QuantizedWeights buffers, or a zero-padded int8 copy when a row length is
+// not a vector-width multiple — never a float64 clone), runs conv/dense
+// layers as
+// integer im2col + row-dot kernels with int32 accumulation, and carries
+// activations between layers as int8 at statically calibrated per-boundary
+// scales. ReLU and 2x2 max-pool are exact in the quantized domain
+// (max/clamp commute with a positive scale), so the only rounding beyond
+// weight/input quantization is the pinned fixed-point requantization after
+// each conv/dense. The final Dense head dequantizes its int32 accumulators
+// straight to float64 logits, so downstream softmax/loss code is unchanged.
+//
+// It is an opt-in execution mode: the fake-quant float path remains the
+// committed-results oracle, and this engine is reached only through the
+// -int8 flags (models.TrainedZooConfig.Int8, deploy.NNRuntime.Int8).
+type QuantizedNetwork struct {
+	Name string
+
+	inShape []int
+	inScale float64 // input activation scale
+	ops     []qOp
+	outDim  int
+
+	// Per-sample scratch high-water marks, fixed at build time so every
+	// ForwardBatch performs the same four arena requests (zero steady-state
+	// allocations, same discipline as the float path).
+	maxAct int // widest activation boundary
+	maxCol int // widest im2col patch matrix
+	maxAcc int // widest accumulator row block
+}
+
+type qOpKind uint8
+
+const (
+	qConv qOpKind = iota
+	qDense
+	qHead
+	qRelu
+	qPool
+)
+
+// qOp is one compiled stage. Conv and Dense requantize back to int8 at the
+// next boundary's scale; the head produces float64 logits.
+type qOp struct {
+	kind qOpKind
+
+	// wq holds the int8 weight rows at stride kPad = padTo16(row length):
+	// when the natural row length is already a vector-width multiple it
+	// aliases the QuantizedWeights storage directly; otherwise it is a
+	// zero-padded copy (still int8 — at most 15 extra bytes per row), so
+	// the SIMD dots never run a scalar tail. The zero pad multiplies
+	// whatever garbage sits in the matching patch/activation pad, and
+	// adding zeros to an int32 wraparound sum is exact.
+	wq    []int8
+	kPad  int
+	biasQ []int32 // bias in accumulator units: round(b/(sx*sw)), |.| <= 2^30
+	m     int32   // fixed-point requant multiplier (quantMultiplier)
+	shift int
+
+	// zeroScale marks an all-zero weight tensor (sw == 0): the accumulator
+	// units are undefined, so the op's output is the bias alone, quantized
+	// at the output scale.
+	zeroScale bool
+	biasAtSy  []int8
+
+	// head
+	sxw   float64 // sx*sw: int32 accumulator -> float64 logits
+	biasF []float64
+
+	// geometry
+	inC, outC, k   int // conv; pool reuses inC/h/w
+	h, w, oh, ow   int
+	inDim, outDim  int // dense/head
+	inLen, outLen  int // per-sample activation lengths
+}
+
+// actScale maps a calibrated activation maxAbs to a quantization scale,
+// falling back to 1 for an all-zero boundary so activation scales are
+// always positive (the wire format's WriteQuantized rule).
+func actScale(maxAbs float64) float64 {
+	s := maxAbs / 127
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// maxAbsOf ignores NaNs (comparisons with NaN are false); quantizeActs
+// handles them explicitly at inference time.
+func maxAbsOf(data []float64) float64 {
+	m := 0.0
+	for _, v := range data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+const biasQLimit = 1 << 30 // headroom: |dot| <= kk*127*127 << 2^31 - 2^30
+
+func clampBiasQ(v float64) int32 {
+	q := math.Round(v)
+	if q > biasQLimit {
+		q = biasQLimit
+	}
+	if q < -biasQLimit {
+		q = -biasQLimit
+	}
+	return int32(q)
+}
+
+func clampRoundInt8(v float64) int8 {
+	q := math.Round(v)
+	switch {
+	case math.IsNaN(q):
+		return 0
+	case q > 127:
+		return 127
+	case q < -127:
+		return -127
+	}
+	return int8(q)
+}
+
+// NewQuantizedNetwork compiles net — a fake-quant network whose parameters
+// are the dequantized values of qw (QuantizedWeights.ApplyTo) — into the
+// INT8 engine. calib is a [B, inShape...] batch of representative samples;
+// the float network runs over it once, layer by layer, to calibrate one
+// static activation scale per layer boundary (maxAbs/127, zero->one
+// fallback). Weight scales come from qw; biases are read from net's float
+// tensors in accumulator units. Supported layers are the inference set
+// (Conv2D, Dense, ReLU, MaxPool2D, Flatten, inference-identity Dropout)
+// and the final layer must be Dense — every zoo architecture qualifies.
+func NewQuantizedNetwork(net *Network, qw *QuantizedWeights, calib *Tensor) (*QuantizedNetwork, error) {
+	inShape := net.InShape()
+	if len(calib.Shape) != len(inShape)+1 || calib.Shape[0] < 1 {
+		return nil, fmt.Errorf("nn: calibration batch shape %v does not cover input shape %v", calib.Shape, inShape)
+	}
+	for i, d := range inShape {
+		if calib.Shape[i+1] != d {
+			return nil, fmt.Errorf("nn: calibration batch shape %v does not cover input shape %v", calib.Shape, inShape)
+		}
+	}
+	if len(net.Layers) == 0 {
+		return nil, fmt.Errorf("nn: network %q has no layers", net.Name)
+	}
+	if _, ok := net.Layers[len(net.Layers)-1].(*Dense); !ok {
+		return nil, fmt.Errorf("nn: network %q does not end in a Dense head; the INT8 engine needs float logits", net.Name)
+	}
+
+	// Calibrate: one float pass over the batch, recording each boundary's
+	// maxAbs. actMax[i] is the input to layer i; actMax[len(Layers)] the
+	// logits (unused: the head dequantizes, it does not requantize).
+	arena := NewArena()
+	cur := calib
+	actMax := make([]float64, 0, len(net.Layers)+1)
+	actMax = append(actMax, maxAbsOf(cur.Data))
+	for _, l := range net.Layers {
+		cur = l.ForwardBatch(cur, arena)
+		actMax = append(actMax, maxAbsOf(cur.Data))
+	}
+
+	q := &QuantizedNetwork{Name: net.Name, inShape: inShape}
+	q.inScale = actScale(actMax[0])
+	s := q.inScale // running activation scale
+	shape := inShape
+	inLen := 1
+	for _, d := range shape {
+		inLen *= d
+	}
+	q.maxAct = inLen
+	ti := 0
+	for li, l := range net.Layers {
+		outShape := l.OutShape(shape)
+		outLen := 1
+		for _, d := range outShape {
+			outLen *= d
+		}
+		isHead := li == len(net.Layers)-1
+		op := qOp{inLen: inLen, outLen: outLen}
+		switch t := l.(type) {
+		case *Conv2D:
+			if ti+2 > len(qw.Tensors) {
+				return nil, fmt.Errorf("nn: quantized weights exhausted at layer %d of %q", li, net.Name)
+			}
+			wt := qw.Tensors[ti]
+			bias := l.Params()[1]
+			ti += 2
+			op.kind = qConv
+			op.inC, op.outC, op.k = t.InC, t.OutC, t.K
+			op.h, op.w = shape[1], shape[2]
+			op.oh, op.ow = outShape[1], outShape[2]
+			sy := actScale(actMax[li+1])
+			kk := op.inC * op.k * op.k
+			compileRequantOp(&op, wt, bias.Data, s, sy, op.outC, kk)
+			np := op.oh * op.ow
+			if c := np * op.kPad; c > q.maxCol {
+				q.maxCol = c
+			}
+			if a := op.outC * np; a > q.maxAcc {
+				q.maxAcc = a
+			}
+			s = sy
+		case *Dense:
+			if ti+2 > len(qw.Tensors) {
+				return nil, fmt.Errorf("nn: quantized weights exhausted at layer %d of %q", li, net.Name)
+			}
+			wt := qw.Tensors[ti]
+			bias := l.Params()[1]
+			ti += 2
+			op.inDim, op.outDim = t.InDim, t.OutDim
+			if op.outDim > q.maxAcc {
+				q.maxAcc = op.outDim
+			}
+			if isHead {
+				op.kind = qHead
+				op.wq, op.kPad = padWeightRows(wt.Data, t.OutDim, t.InDim)
+				op.sxw = s * wt.Scale
+				op.biasF = bias.Data
+				q.outDim = op.outDim
+			} else {
+				op.kind = qDense
+				sy := actScale(actMax[li+1])
+				compileRequantOp(&op, wt, bias.Data, s, sy, t.OutDim, t.InDim)
+				s = sy
+			}
+			if op.kPad != op.inDim && op.kPad > q.maxCol {
+				q.maxCol = op.kPad // padded activation scratch (runDense/runHead)
+			}
+		case *ReLU:
+			op.kind = qRelu // exact: max(q, 0) at an unchanged positive scale
+		case *MaxPool2D:
+			op.kind = qPool // exact: int8 comparisons replay the float ones
+			op.inC, op.h, op.w = shape[0], shape[1], shape[2]
+			op.oh, op.ow = outShape[1], outShape[2]
+		case *Flatten:
+			shape = outShape // activations are already flat CHW rows
+			continue
+		case *Dropout:
+			shape = outShape // identity at inference
+			continue
+		default:
+			return nil, fmt.Errorf("nn: layer %d of %q (%T) has no INT8 lowering", li, net.Name, l)
+		}
+		if outLen > q.maxAct {
+			q.maxAct = outLen
+		}
+		q.ops = append(q.ops, op)
+		shape = outShape
+		inLen = outLen
+	}
+	if ti != len(qw.Tensors) {
+		return nil, fmt.Errorf("nn: network %q consumed %d of %d quantized tensors", net.Name, ti, len(qw.Tensors))
+	}
+	return q, nil
+}
+
+// padWeightRows lays rows of rowLen int8s out at stride padTo16(rowLen),
+// zero-filling the pad. When rowLen is already a vector-width multiple the
+// QuantizedWeights storage is aliased as is — no copy.
+func padWeightRows(data []int8, rows, rowLen int) ([]int8, int) {
+	lp := padTo16(rowLen)
+	if lp == rowLen {
+		return data, lp
+	}
+	out := make([]int8, rows*lp)
+	for r := 0; r < rows; r++ {
+		copy(out[r*lp:r*lp+rowLen], data[r*rowLen:(r+1)*rowLen])
+	}
+	return out, lp
+}
+
+// compileRequantOp fills the requantizing conv/dense fields: the padded int8
+// weight rows, the fixed-point multiplier for (sx*sw)/sy, and the bias in
+// int32 accumulator units — or, for an all-zero weight tensor, the bias
+// quantized directly at the output scale.
+func compileRequantOp(op *qOp, wt QuantizedTensor, bias []float64, sx, sy float64, rows, rowLen int) {
+	op.wq, op.kPad = padWeightRows(wt.Data, rows, rowLen)
+	if wt.Scale == 0 {
+		op.zeroScale = true
+		op.biasAtSy = make([]int8, len(bias))
+		for o, b := range bias {
+			op.biasAtSy[o] = clampRoundInt8(b / sy)
+		}
+		return
+	}
+	sxw := sx * wt.Scale
+	op.m, op.shift = quantMultiplier(sxw / sy)
+	op.biasQ = make([]int32, len(bias))
+	for o, b := range bias {
+		op.biasQ[o] = clampBiasQ(b / sxw)
+	}
+}
+
+// InShape returns the expected input shape (excluding the batch dimension).
+func (q *QuantizedNetwork) InShape() []int {
+	s := make([]int, len(q.inShape))
+	copy(s, q.inShape)
+	return s
+}
+
+// OutDim returns the number of classes.
+func (q *QuantizedNetwork) OutDim() int { return q.outDim }
+
+// ParamBytes returns the resident int8 parameter bytes (shared with the
+// QuantizedWeights the network was compiled from).
+func (q *QuantizedNetwork) ParamBytes() int64 {
+	n := int64(0)
+	for _, op := range q.ops {
+		n += int64(len(op.wq))
+	}
+	return n
+}
+
+// ForwardBatch runs the INT8 engine on a [B, inShape...] float batch and
+// returns [B, classes] float64 logits. All scratch comes from a (caller
+// Resets between batches, same contract as Network.ForwardBatch); the call
+// always issues the same four scratch requests plus the output tensor, so a
+// warmed arena serves it without allocating.
+//
+//lint:hotroot quantized inference inner loop; all scratch comes from the arena
+func (q *QuantizedNetwork) ForwardBatch(in *Tensor, a *Arena) *Tensor {
+	batch := in.Shape[0]
+	inLen := 1
+	for _, d := range q.inShape {
+		inLen *= d
+	}
+	if in.Len() != batch*inLen {
+		//lint:allow panicpolicy inference hot path: a shape mismatch is a programmer error, mirroring Network.ForwardBatch's layer guards
+		panic(fmt.Sprintf("nn: QuantizedNetwork %q expected %d values per sample, got shape %v", q.Name, inLen, in.Shape))
+	}
+	out := a.Tensor(batch, q.outDim)
+	cur := a.Int8s(batch * q.maxAct)
+	nxt := a.Int8s(batch * q.maxAct)
+	col := a.Int8s(q.maxCol)
+	acc := a.Int32s(q.maxAcc)
+
+	quantizeActs(cur[:batch*inLen], in.Data, q.inScale)
+	for i := range q.ops {
+		op := &q.ops[i]
+		switch op.kind {
+		case qConv:
+			q.runConv(op, batch, cur, nxt, col, acc)
+		case qDense:
+			q.runDense(op, batch, cur, nxt, col, acc)
+		case qHead:
+			q.runHead(op, batch, cur, col, acc, out.Data)
+			return out
+		case qRelu:
+			n := batch * op.inLen
+			for j, v := range cur[:n] {
+				// Branchless max(v, 0): v>>7 is the sign mask, so negative
+				// values clear to zero with no data-dependent branch.
+				nxt[j] = v &^ (v >> 7)
+			}
+		case qPool:
+			q.runPool(op, batch, cur, nxt)
+		}
+		cur, nxt = nxt, cur
+	}
+	return out // unreachable: compilation guarantees a qHead terminator
+}
+
+func (q *QuantizedNetwork) runConv(op *qOp, batch int, cur, nxt, col []int8, acc []int32) {
+	np := op.oh * op.ow
+	for s := 0; s < batch; s++ {
+		src := cur[s*op.inLen : (s+1)*op.inLen]
+		dst := nxt[s*op.outLen : (s+1)*op.outLen]
+		if op.zeroScale {
+			for oc := 0; oc < op.outC; oc++ {
+				b := op.biasAtSy[oc]
+				row := dst[oc*np : (oc+1)*np]
+				for j := range row {
+					row[j] = b
+				}
+			}
+			continue
+		}
+		// Patch rows at the padded stride; the bytes between the patch and
+		// the stride are whatever the arena held, annihilated by the zero
+		// weight pad.
+		im2colQ(col[:np*op.kPad], src, op.inC, op.h, op.w, op.k, op.oh, op.ow, op.kPad)
+		qgemmNT(acc[:op.outC*np], op.wq, col[:np*op.kPad], op.outC, np, op.kPad)
+		for oc := 0; oc < op.outC; oc++ {
+			bq := op.biasQ[oc]
+			arow := acc[oc*np : (oc+1)*np]
+			drow := dst[oc*np : (oc+1)*np]
+			for j, v := range arow {
+				drow[j] = requantize(v+bq, op.m, op.shift)
+			}
+		}
+	}
+}
+
+// denseInput returns the activation row the dense dot can consume as its a
+// operand: the source row itself when inDim is already the padded stride,
+// else a copy into the col scratch sliced to kPad (the pad bytes are
+// garbage — the weight pad is zero, so the extra products vanish).
+func denseInput(op *qOp, src, col []int8) []int8 {
+	if op.kPad == op.inDim {
+		return src
+	}
+	copy(col[:op.inDim], src)
+	return col[:op.kPad]
+}
+
+// Dense layers run one qdotRowSIMD call per sample with the activations as a
+// and the weight rows as b — a single kernel call computes every output,
+// which beats pairing weight rows through qgemmNT (n would be 1, so the
+// dual-row kernel's b sharing buys nothing and the per-call overhead m/2
+// times over dominates these small layers).
+func (q *QuantizedNetwork) runDense(op *qOp, batch int, cur, nxt, col []int8, acc []int32) {
+	for s := 0; s < batch; s++ {
+		src := cur[s*op.inLen : (s+1)*op.inLen]
+		dst := nxt[s*op.outLen : (s+1)*op.outLen]
+		if op.zeroScale {
+			copy(dst, op.biasAtSy)
+			continue
+		}
+		qdotRowSIMD(acc[:op.outDim], denseInput(op, src, col), op.wq, op.outDim, op.kPad)
+		for o, v := range acc[:op.outDim] {
+			dst[o] = requantize(v+op.biasQ[o], op.m, op.shift)
+		}
+	}
+}
+
+// runHead dequantizes the final Dense's int32 accumulators straight to
+// float64 logits: logits[o] = acc[o]*sx*sw + b[o]. Shared scalar Go on
+// every tier, so the logits are cross-tier identical whenever the
+// accumulators are. An all-zero head weight tensor needs no special case:
+// wq is all zeros, so acc == 0 and sxw == 0 leave exactly the bias.
+func (q *QuantizedNetwork) runHead(op *qOp, batch int, cur, col []int8, acc []int32, out []float64) {
+	for s := 0; s < batch; s++ {
+		src := cur[s*op.inLen : (s+1)*op.inLen]
+		qdotRowSIMD(acc[:op.outDim], denseInput(op, src, col), op.wq, op.outDim, op.kPad)
+		orow := out[s*op.outDim : (s+1)*op.outDim]
+		for o, v := range acc[:op.outDim] {
+			orow[o] = float64(v)*op.sxw + op.biasF[o]
+		}
+	}
+}
+
+// runPool is the exact int8 2x2/stride-2 max pool. Max is associative and
+// total on int8, so any comparison order reproduces the float layer's
+// result; the windows are promoted to int and reduced with the builtin max
+// so the compiler emits conditional moves instead of data-dependent
+// branches (random activations mispredict ~50% and dominated the profile).
+func (q *QuantizedNetwork) runPool(op *qOp, batch int, cur, nxt []int8) {
+	ch, h, w, oh, ow := op.inC, op.h, op.w, op.oh, op.ow
+	for s := 0; s < batch; s++ {
+		src := cur[s*op.inLen : (s+1)*op.inLen]
+		dst := nxt[s*op.outLen : (s+1)*op.outLen]
+		for c := 0; c < ch; c++ {
+			for y := 0; y < oh; y++ {
+				row0 := src[(c*h+2*y)*w : (c*h+2*y)*w+w]
+				row1 := src[(c*h+2*y+1)*w : (c*h+2*y+1)*w+w]
+				drow := dst[(c*oh+y)*ow : (c*oh+y)*ow+ow]
+				for x := range drow {
+					m := max(int(row0[2*x]), int(row0[2*x+1]), int(row1[2*x]), int(row1[2*x+1]))
+					drow[x] = int8(m)
+				}
+			}
+		}
+	}
+}

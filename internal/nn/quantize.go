@@ -145,30 +145,12 @@ func QuantizedWireSize(net *Network) int64 {
 
 // QuantizeInPlace replaces the network's weights with their int8
 // dequantized values, measuring the quality impact of serving the
-// quantized model directly.
+// quantized model directly. It is QuantizeWeights followed by ApplyTo —
+// one shared quantization rule (qweights.go), so the fake-quant oracle and
+// the stored int8 representation cannot drift apart.
 func QuantizeInPlace(net *Network) {
-	for _, l := range net.Layers {
-		for _, p := range l.Params() {
-			maxAbs := 0.0
-			for _, v := range p.Data {
-				if a := math.Abs(v); a > maxAbs {
-					maxAbs = a
-				}
-			}
-			scale := maxAbs / 127
-			if scale == 0 {
-				continue
-			}
-			for j, v := range p.Data {
-				q := math.Round(v / scale)
-				if q > 127 {
-					q = 127
-				}
-				if q < -127 {
-					q = -127
-				}
-				p.Data[j] = q * scale
-			}
-		}
+	if err := QuantizeWeights(net).ApplyTo(net); err != nil {
+		//lint:allow panicpolicy unreachable: the weights were captured from net itself, so shapes always align
+		panic(err)
 	}
 }

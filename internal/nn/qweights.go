@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizedTensor is one parameter tensor stored once in its int8 form:
+// values q with a single symmetric per-tensor scale, so the dequantized
+// value is q*Scale. Scale is maxAbs/127 in float64 — the exact scale
+// QuantizeInPlace uses — so applying a QuantizedTensor back onto a float
+// network replays the fake-quant oracle bit for bit. A Scale of zero marks
+// an all-zero tensor (the dequantized values are all zero, and applying it
+// leaves the target untouched, matching QuantizeInPlace's skip).
+type QuantizedTensor struct {
+	Scale float64
+	Data  []int8
+}
+
+// QuantizedWeights holds a network's parameters in int8 form, aligned with
+// the network's Params() order. This is the shared storage behind every
+// "-q8" zoo arm: one int8 buffer per tensor instead of a cloned float64
+// network (8 bytes/param down to ~1), with the float view materialized on
+// demand via ApplyTo.
+type QuantizedWeights struct {
+	Tensors []QuantizedTensor
+}
+
+// quantizeSlice quantizes one float tensor symmetrically: scale = maxAbs/127
+// (0 for an all-zero tensor), q = round(v/scale) clamped to [-127, 127],
+// with round-half-away-from-zero (math.Round) — the committed wire format's
+// exact rule (WriteQuantized).
+func quantizeSlice(dst []int8, src []float64) (scale float64) {
+	maxAbs := 0.0
+	for _, v := range src {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale = maxAbs / 127
+	if scale == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	for i, v := range src {
+		q := math.Round(v / scale)
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// QuantizeWeights captures the network's parameters in int8 form without
+// modifying the network.
+func QuantizeWeights(net *Network) *QuantizedWeights {
+	qw := &QuantizedWeights{}
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			qt := QuantizedTensor{Data: make([]int8, p.Len())}
+			qt.Scale = quantizeSlice(qt.Data, p.Data)
+			qw.Tensors = append(qw.Tensors, qt)
+		}
+	}
+	return qw
+}
+
+// ApplyTo writes the dequantized values q*Scale into an identically shaped
+// network's parameters — bit-identical to QuantizeInPlace on the float
+// weights these were captured from (q is integral in [-127, 127], so
+// float64(int8) reproduces the float q exactly; zero-scale tensors are
+// skipped, leaving the target's values, which QuantizeInPlace also leaves).
+func (qw *QuantizedWeights) ApplyTo(net *Network) error {
+	i := 0
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			if i >= len(qw.Tensors) {
+				return fmt.Errorf("nn: quantized weights have %d tensors, network %q wants more", len(qw.Tensors), net.Name)
+			}
+			qt := qw.Tensors[i]
+			if len(qt.Data) != p.Len() {
+				return fmt.Errorf("nn: quantized tensor %d has %d values, network %q expects %d", i, len(qt.Data), net.Name, p.Len())
+			}
+			if qt.Scale != 0 {
+				for j, q := range qt.Data {
+					p.Data[j] = float64(q) * qt.Scale
+				}
+			}
+			i++
+		}
+	}
+	if i != len(qw.Tensors) {
+		return fmt.Errorf("nn: quantized weights have %d tensors, network %q has %d", len(qw.Tensors), net.Name, i)
+	}
+	return nil
+}
+
+// ParamBytes returns the resident size of the int8 representation: one byte
+// per value plus one float64 scale per tensor.
+func (qw *QuantizedWeights) ParamBytes() int64 {
+	size := int64(0)
+	for _, t := range qw.Tensors {
+		size += int64(len(t.Data)) + 8
+	}
+	return size
+}
+
+// WireSize returns the serialized size of the CEQ8 wire format for these
+// tensors — identical to QuantizedWireSize of the source network.
+func (qw *QuantizedWeights) WireSize() int64 {
+	size := int64(12) // magic + version + count
+	for _, t := range qw.Tensors {
+		size += 4 + 4 + int64(len(t.Data)) // scale + len + int8 data
+	}
+	return size
+}

@@ -1,0 +1,63 @@
+//go:build amd64
+
+package nn
+
+// Integer SIMD kernels for the INT8 inference path (simd_int8_amd64.s).
+// Both tiers compute the same int32 wraparound sums as qdotRowRef; because
+// two's-complement addition is associative, the lane regrouping the vector
+// reductions perform cannot change the resulting bits, so SSE2 == AVX2 ==
+// generic on every input (pinned exhaustively by simd_int8_amd64_test.go).
+
+// qdotRowSSE2 is the baseline tier: 16 int8 MACs per iteration via
+// sign-extending unpacks and PMADDWD (pair sums max out at 2*127*127, far
+// from the instruction's saturation point, so products are exact).
+//
+//go:noescape
+func qdotRowSSE2(out []int32, a, b []int8, n, k int)
+
+// qdotRowAVX2 is the wide tier: 32 int8 MACs per iteration via VPMOVSXBW
+// and VPMADDWD.
+//
+//go:noescape
+func qdotRowAVX2(out []int32, a, b []int8, n, k int)
+
+// qdot2SSE2 is the dual-row baseline tier: two a rows against the same b
+// rows, sharing every b load and sign-extension. Requires k >= 16 and
+// k % 16 == 0 (no scalar tail) — the dispatcher enforces it.
+//
+//go:noescape
+func qdot2SSE2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+
+// qdot2AVX2 is the dual-row wide tier: the shared b chunk is extended once
+// per 32 bytes and VPMADDWD'd against both a rows. Same k preconditions.
+//
+//go:noescape
+func qdot2AVX2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+
+// qdotRowSIMD dispatches the integer row-dot kernel. Short K dimensions stay
+// on SSE2: the AVX2 kernel's 16-byte minimum vector step never engages below
+// k=16 and the VZEROUPPER transition costs more than it saves.
+func qdotRowSIMD(out []int32, a, b []int8, n, k int) {
+	if hasAVX2 && k >= 16 {
+		qdotRowAVX2(out, a, b, n, k)
+		return
+	}
+	qdotRowSSE2(out, a, b, n, k)
+}
+
+// qdot2SIMD dispatches the dual-row kernel: out0[j] = dot(a0, b row j) and
+// out1[j] = dot(a1, b row j). The asm tiers only handle vector-width
+// multiples (the engine pads every weight row to padTo16, so this is the
+// hot case); any other k falls back to two single-row calls.
+func qdot2SIMD(out0, out1 []int32, a0, a1, b []int8, n, k int) {
+	if k < 16 || k%16 != 0 {
+		qdotRowSIMD(out0, a0, b, n, k)
+		qdotRowSIMD(out1, a1, b, n, k)
+		return
+	}
+	if hasAVX2 {
+		qdot2AVX2(out0, out1, a0, a1, b, n, k)
+		return
+	}
+	qdot2SSE2(out0, out1, a0, a1, b, n, k)
+}

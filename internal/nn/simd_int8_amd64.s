@@ -1,0 +1,334 @@
+// Integer SIMD kernels for the INT8 inference path. See simd_int8_amd64.go
+// for the dispatch layer and qkernels.go (qdotRowRef) for the reference
+// semantics. All accumulation is int32 two's-complement wraparound, which is
+// associative — the vector lane regrouping below is therefore bit-identical
+// to the scalar reference by construction, with no rounding to pin.
+
+#include "textflag.h"
+
+// func qdotRowSSE2(out []int32, a, b []int8, n, k int)
+//
+// out[j] = sum_{p<k} int32(a[p]) * int32(b[j*k+p]) for j < n.
+//
+// Per 16-byte step: load 16 int8s of a and of the b row, sign-extend each
+// half to words via a self-interleaving PUNPCK + arithmetic shift, PMADDWD
+// the word pairs (exact: |pair sum| <= 2*127*127 << 2^31), and PADDD into a
+// 4-lane accumulator. The scalar tail accumulates in a GPR and joins the
+// lane sum after the horizontal reduction.
+TEXT ·qdotRowSSE2(SB), NOSPLIT, $0-88
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	MOVQ n+72(FP), CX
+	MOVQ k+80(FP), DX
+	MOVQ DX, R11
+	SUBQ $16, R11 // R11 = k-16 (vector loop bound)
+	XORQ R8, R8   // j
+
+sse2_jloop:
+	CMPQ R8, CX
+	JGE  sse2_done
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9 // R9 = &b[j*k]
+	PXOR X7, X7  // 4-lane int32 accumulator
+	XORQ R12, R12 // scalar tail accumulator
+	XORQ R10, R10 // p
+	CMPQ R11, $0
+	JL   sse2_tail // k < 16: straight to scalar
+
+sse2_vloop:
+	MOVOU (SI)(R10*1), X0 // 16 int8s of a
+	MOVOU (R9)(R10*1), X2 // 16 int8s of the b row
+	MOVO  X0, X1
+	MOVO  X2, X3
+	PUNPCKLBW X0, X0 // low 8 bytes duplicated into words
+	PSRAW     $8, X0 // sign-extend: word = int16(byte)
+	PUNPCKLBW X2, X2
+	PSRAW     $8, X2
+	PMADDWL   X2, X0 // 8 products -> 4 pair sums
+	PADDD     X0, X7
+	PUNPCKHBW X1, X1 // high 8 bytes
+	PSRAW     $8, X1
+	PUNPCKHBW X3, X3
+	PSRAW     $8, X3
+	PMADDWL   X3, X1
+	PADDD     X1, X7
+	ADDQ $16, R10
+	CMPQ R10, R11
+	JLE  sse2_vloop
+
+sse2_tail:
+	CMPQ R10, DX
+	JGE  sse2_reduce
+	MOVBQSX (SI)(R10*1), AX
+	MOVBQSX (R9)(R10*1), R13
+	IMULQ   R13, AX
+	ADDQ    AX, R12
+	INCQ R10
+	JMP  sse2_tail
+
+sse2_reduce:
+	MOVO  X7, X6
+	PSRLO $8, X6 // lanes {2,3} -> {0,1}
+	PADDD X6, X7
+	MOVO  X7, X6
+	PSRLO $4, X6 // lane 1 -> 0
+	PADDD X6, X7
+	MOVQ X7, AX
+	ADDL R12, AX // wraparound join of the scalar tail
+	MOVL AX, (DI)(R8*4)
+	INCQ R8
+	JMP  sse2_jloop
+
+sse2_done:
+	RET
+
+// func qdotRowAVX2(out []int32, a, b []int8, n, k int)
+//
+// The wide tier: VPMOVSXBW sign-extends 16 int8s straight into a ymm of
+// words, VPMADDWD pairs them into 8 int32 lanes. The main loop retires 32
+// bytes per iteration (two extend+madd chains into one accumulator), a
+// single 16-byte step drains p <= k-16, and the scalar tail joins after the
+// cross-lane reduction. Dispatch guarantees k >= 16 here.
+TEXT ·qdotRowAVX2(SB), NOSPLIT, $0-88
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	MOVQ n+72(FP), CX
+	MOVQ k+80(FP), DX
+	MOVQ DX, R11
+	SUBQ $32, R11 // R11 = k-32 (main loop bound)
+	MOVQ DX, R14
+	SUBQ $16, R14 // R14 = k-16 (single-step bound)
+	XORQ R8, R8   // j
+
+avx2_jloop:
+	CMPQ R8, CX
+	JGE  avx2_done
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9 // R9 = &b[j*k]
+	VPXOR Y7, Y7, Y7 // 8-lane int32 accumulator
+	XORQ  R12, R12   // scalar tail accumulator
+	XORQ  R10, R10   // p
+	CMPQ  R11, $0
+	JL    avx2_step16
+
+avx2_vloop:
+	VPMOVSXBW (SI)(R10*1), Y0
+	VPMOVSXBW (R9)(R10*1), Y1
+	VPMADDWD  Y1, Y0, Y0
+	VPADDD    Y0, Y7, Y7
+	VPMOVSXBW 16(SI)(R10*1), Y2
+	VPMOVSXBW 16(R9)(R10*1), Y3
+	VPMADDWD  Y3, Y2, Y2
+	VPADDD    Y2, Y7, Y7
+	ADDQ $32, R10
+	CMPQ R10, R11
+	JLE  avx2_vloop
+
+avx2_step16:
+	CMPQ R10, R14
+	JG   avx2_tail
+	VPMOVSXBW (SI)(R10*1), Y0
+	VPMOVSXBW (R9)(R10*1), Y1
+	VPMADDWD  Y1, Y0, Y0
+	VPADDD    Y0, Y7, Y7
+	ADDQ $16, R10
+
+avx2_tail:
+	CMPQ R10, DX
+	JGE  avx2_reduce
+	MOVBQSX (SI)(R10*1), AX
+	MOVBQSX (R9)(R10*1), R13
+	IMULQ   R13, AX
+	ADDQ    AX, R12
+	INCQ R10
+	JMP  avx2_tail
+
+avx2_reduce:
+	VEXTRACTI128 $1, Y7, X6
+	VPADDD  X6, X7, X7 // fold high 128 into low
+	VPSRLDQ $8, X7, X6
+	VPADDD  X6, X7, X7 // lanes {2,3} -> {0,1}
+	VPSRLDQ $4, X7, X6
+	VPADDD  X6, X7, X7 // lane 1 -> 0
+	MOVQ X7, AX
+	ADDL R12, AX // wraparound join of the scalar tail
+	MOVL AX, (DI)(R8*4)
+	INCQ R8
+	JMP  avx2_jloop
+
+avx2_done:
+	VZEROUPPER
+	RET
+
+// func qdot2SSE2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+//
+// Dual-row variant: two a rows against the same n rows of b, sharing every
+// b load and sign-extension between the two accumulators — the b operand is
+// the expensive stream (the im2col patch matrix, re-read once per output
+// channel), so amortizing it across channel pairs nearly halves the memory
+// and shuffle traffic. The dispatcher guarantees k >= 16 and k % 16 == 0
+// (the engine pads every weight row to the vector width), so there is no
+// scalar tail. Same wraparound-sum bits as two qdotRowRef calls.
+TEXT ·qdot2SSE2(SB), NOSPLIT, $0-136
+	MOVQ out0_base+0(FP), DI
+	MOVQ out1_base+24(FP), AX
+	MOVQ a0_base+48(FP), SI
+	MOVQ a1_base+72(FP), R13
+	MOVQ b_base+96(FP), BX
+	MOVQ n+120(FP), CX
+	MOVQ k+128(FP), DX
+	MOVQ DX, R11
+	SUBQ $16, R11 // R11 = k-16 (loop bound; k >= 16 guaranteed)
+	XORQ R8, R8   // j
+	MOVQ BX, R9   // b row pointer, advanced by k per row
+
+q2s_jloop:
+	CMPQ R8, CX
+	JGE  q2s_done
+	PXOR X6, X6 // accumulator for a0
+	PXOR X7, X7 // accumulator for a1
+	XORQ R10, R10
+
+q2s_vloop:
+	MOVOU (R9)(R10*1), X0 // 16 int8s of the shared b row
+	MOVO  X0, X1
+	PUNPCKLBW X0, X0
+	PSRAW     $8, X0 // b low words
+	PUNPCKHBW X1, X1
+	PSRAW     $8, X1 // b high words
+	MOVOU (SI)(R10*1), X2 // a0
+	MOVO  X2, X3
+	PUNPCKLBW X2, X2
+	PSRAW     $8, X2
+	PUNPCKHBW X3, X3
+	PSRAW     $8, X3
+	PMADDWL X0, X2
+	PADDD   X2, X6
+	PMADDWL X1, X3
+	PADDD   X3, X6
+	MOVOU (R13)(R10*1), X4 // a1
+	MOVO  X4, X5
+	PUNPCKLBW X4, X4
+	PSRAW     $8, X4
+	PUNPCKHBW X5, X5
+	PSRAW     $8, X5
+	PMADDWL X0, X4
+	PADDD   X4, X7
+	PMADDWL X1, X5
+	PADDD   X5, X7
+	ADDQ $16, R10
+	CMPQ R10, R11
+	JLE  q2s_vloop
+
+	MOVO  X6, X0
+	PSRLO $8, X0
+	PADDD X0, X6
+	MOVO  X6, X0
+	PSRLO $4, X0
+	PADDD X0, X6
+	MOVQ X6, R12
+	MOVL R12, (DI)(R8*4)
+	MOVO  X7, X0
+	PSRLO $8, X0
+	PADDD X0, X7
+	MOVO  X7, X0
+	PSRLO $4, X0
+	PADDD X0, X7
+	MOVQ X7, R12
+	MOVL R12, (AX)(R8*4)
+	ADDQ DX, R9
+	INCQ R8
+	JMP  q2s_jloop
+
+q2s_done:
+	RET
+
+// func qdot2AVX2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+//
+// Wide dual-row tier: per 32-byte step the shared b chunk is sign-extended
+// once (two VPMOVSXBW) and VPMADDWD'd against both a rows — six shuffle-port
+// ops per 128 MACs instead of eight per 64 in the single-row kernel. As in
+// qdot2SSE2, the dispatcher guarantees k >= 16 and k % 16 == 0, so the only
+// remainder is a possible single 16-byte step.
+TEXT ·qdot2AVX2(SB), NOSPLIT, $0-136
+	MOVQ out0_base+0(FP), DI
+	MOVQ out1_base+24(FP), AX
+	MOVQ a0_base+48(FP), SI
+	MOVQ a1_base+72(FP), R13
+	MOVQ b_base+96(FP), BX
+	MOVQ n+120(FP), CX
+	MOVQ k+128(FP), DX
+	MOVQ DX, R11
+	SUBQ $32, R11 // R11 = k-32 (main loop bound)
+	MOVQ DX, R14
+	SUBQ $16, R14 // R14 = k-16 (single-step bound)
+	XORQ R8, R8   // j
+	MOVQ BX, R9   // b row pointer, advanced by k per row
+
+q2a_jloop:
+	CMPQ R8, CX
+	JGE  q2a_done
+	VPXOR Y6, Y6, Y6 // accumulator for a0
+	VPXOR Y7, Y7, Y7 // accumulator for a1
+	XORQ  R10, R10
+	CMPQ  R11, $0
+	JL    q2a_step16 // k == 16
+
+q2a_vloop:
+	VPMOVSXBW (R9)(R10*1), Y0   // shared b, low 16 bytes
+	VPMOVSXBW 16(R9)(R10*1), Y1 // shared b, high 16 bytes
+	VPMOVSXBW (SI)(R10*1), Y2
+	VPMADDWD  Y0, Y2, Y2
+	VPADDD    Y2, Y6, Y6
+	VPMOVSXBW (R13)(R10*1), Y3
+	VPMADDWD  Y0, Y3, Y3
+	VPADDD    Y3, Y7, Y7
+	VPMOVSXBW 16(SI)(R10*1), Y4
+	VPMADDWD  Y1, Y4, Y4
+	VPADDD    Y4, Y6, Y6
+	VPMOVSXBW 16(R13)(R10*1), Y5
+	VPMADDWD  Y1, Y5, Y5
+	VPADDD    Y5, Y7, Y7
+	ADDQ $32, R10
+	CMPQ R10, R11
+	JLE  q2a_vloop
+
+q2a_step16:
+	CMPQ R10, R14
+	JG   q2a_reduce
+	VPMOVSXBW (R9)(R10*1), Y0
+	VPMOVSXBW (SI)(R10*1), Y2
+	VPMADDWD  Y0, Y2, Y2
+	VPADDD    Y2, Y6, Y6
+	VPMOVSXBW (R13)(R10*1), Y3
+	VPMADDWD  Y0, Y3, Y3
+	VPADDD    Y3, Y7, Y7
+
+q2a_reduce:
+	VEXTRACTI128 $1, Y6, X0
+	VPADDD  X0, X6, X6
+	VPSRLDQ $8, X6, X0
+	VPADDD  X0, X6, X6
+	VPSRLDQ $4, X6, X0
+	VPADDD  X0, X6, X6
+	MOVQ X6, R12
+	MOVL R12, (DI)(R8*4)
+	VEXTRACTI128 $1, Y7, X0
+	VPADDD  X0, X7, X7
+	VPSRLDQ $8, X7, X0
+	VPADDD  X0, X7, X7
+	VPSRLDQ $4, X7, X0
+	VPADDD  X0, X7, X7
+	MOVQ X7, R12
+	MOVL R12, (AX)(R8*4)
+	ADDQ DX, R9
+	INCQ R8
+	JMP  q2a_jloop
+
+q2a_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Cross-tier bit-identity for the INT8 row-dot kernels: qdotRowSSE2 and
+// qdotRowAVX2 must reproduce qdotRowRef's int32 wraparound bits on every
+// tail length — the engine's only platform-varying stage, so this test IS
+// the SSE2 == AVX2 == generic guarantee on amd64 (the generic tier simply
+// calls qdotRowRef). Both kernels are exercised on every k, including below
+// the dispatch thresholds, so tier selection can never change results.
+func TestQdotRowTiersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(name string, kern func(out []int32, a, b []int8, n, k int), a, b []int8, n, k int, want []int32) {
+		t.Helper()
+		got := make([]int32, n)
+		kern(got, a, b, n, k)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s n=%d k=%d row %d: %d != ref %d", name, n, k, j, got[j], want[j])
+			}
+		}
+	}
+	for k := 0; k <= 70; k++ {
+		for _, n := range []int{1, 3, 7} {
+			a := randInt8(rng, k)
+			b := randInt8(rng, n*k)
+			for p := 0; p < k; p++ { // ±127 extremes in row 0
+				if p%2 == 0 {
+					b[p] = 127
+				} else {
+					b[p] = -127
+				}
+			}
+			want := make([]int32, n)
+			qdotRowRef(want, a, b, n, k)
+			check("qdotRowSSE2", qdotRowSSE2, a, b, n, k, want)
+			if hasAVX2 {
+				check("qdotRowAVX2", qdotRowAVX2, a, b, n, k, want)
+			}
+		}
+	}
+	// Random-shape sweep over both kernels with identical operands.
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(10)
+		k := rng.Intn(300)
+		a := randInt8(rng, k)
+		b := randInt8(rng, n*k)
+		want := make([]int32, n)
+		qdotRowRef(want, a, b, n, k)
+		check("qdotRowSSE2", qdotRowSSE2, a, b, n, k, want)
+		if hasAVX2 {
+			check("qdotRowAVX2", qdotRowAVX2, a, b, n, k, want)
+		}
+	}
+}
+
+// TestQdot2TiersBitIdentical pins both dual-row asm kernels — qdot2SSE2 and
+// qdot2AVX2 — against the scalar reference on their vector-width-multiple
+// domain (the dispatcher routes everything else to the single-row kernels,
+// covered above). Both tiers run regardless of which one dispatch would
+// pick, so tier selection can never change results.
+func TestQdot2TiersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	check := func(name string, kern func(out0, out1 []int32, a0, a1, b []int8, n, k int), a0, a1, b []int8, n, k int, want0, want1 []int32) {
+		t.Helper()
+		got0, got1 := make([]int32, n), make([]int32, n)
+		kern(got0, got1, a0, a1, b, n, k)
+		for j := 0; j < n; j++ {
+			if got0[j] != want0[j] || got1[j] != want1[j] {
+				t.Fatalf("%s n=%d k=%d row %d: (%d, %d) != ref (%d, %d)", name, n, k, j, got0[j], got1[j], want0[j], want1[j])
+			}
+		}
+	}
+	for _, k := range []int{16, 32, 48, 64, 160, 400} {
+		for _, n := range []int{1, 2, 7} {
+			a0 := randInt8(rng, k)
+			a1 := randInt8(rng, k)
+			b := randInt8(rng, n*k)
+			for p := 0; p < k; p++ { // ±127 extremes in row 0 of b
+				if p%2 == 0 {
+					b[p] = 127
+				} else {
+					b[p] = -127
+				}
+			}
+			want0, want1 := make([]int32, n), make([]int32, n)
+			qdotRowRef(want0, a0, b, n, k)
+			qdotRowRef(want1, a1, b, n, k)
+			check("qdot2SSE2", qdot2SSE2, a0, a1, b, n, k, want0, want1)
+			if hasAVX2 {
+				check("qdot2AVX2", qdot2AVX2, a0, a1, b, n, k, want0, want1)
+			}
+		}
+	}
+}

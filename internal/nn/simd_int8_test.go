@@ -1,0 +1,340 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Platform-independent pinning of the INT8 kernel layer: the requantization
+// golden vectors below are the spec (DESIGN.md §9) — every tier funnels
+// through the same scalar requantize, and qdotRowSIMD (whatever tier is
+// active) must reproduce qdotRowRef's int32 wraparound bits exactly.
+
+func TestQuantMultiplierGolden(t *testing.T) {
+	cases := []struct {
+		M     float64
+		m     int32
+		shift int
+	}{
+		{0, 0, 0},
+		{1, 1 << 30, 30},
+		{0.5, 1 << 30, 31},
+		{0.25, 1 << 30, 32},
+		{2, 1 << 30, 29},
+		{0.75, 3 << 29, 31},
+		{1.0 / 3, 1431655765, 32},
+		// frac rounds up to exactly 1.0: must renormalize, not overflow.
+		{math.Nextafter(1, 0), 1 << 30, 30},
+		// Degenerate huge ratio: negative shift (left-shift requant path).
+		{float64(uint64(1) << 33), 1 << 30, -3},
+	}
+	for _, c := range cases {
+		m, shift := quantMultiplier(c.M)
+		if m != c.m || shift != c.shift {
+			t.Errorf("quantMultiplier(%g) = (%d, %d), want (%d, %d)", c.M, m, shift, c.m, c.shift)
+		}
+	}
+	// Normalization invariant: m in [2^30, 2^31) for any positive M.
+	for _, M := range []float64{1e-9, 0.1, 0.9, 1.1, 3.7, 126.99, 1e9} {
+		m, _ := quantMultiplier(M)
+		if m < 1<<30 || int64(m) >= 1<<31 {
+			t.Errorf("quantMultiplier(%g) multiplier %d outside [2^30, 2^31)", M, m)
+		}
+	}
+}
+
+func TestRequantizeGolden(t *testing.T) {
+	mHalf, sHalf := quantMultiplier(0.5) // (2^30, 31)
+	mOne, sOne := quantMultiplier(1)     // (2^30, 30)
+	cases := []struct {
+		name      string
+		acc, m    int32
+		shift     int
+		want      int8
+	}{
+		{"exact", 2, mHalf, sHalf, 1},
+		{"tie-positive-rounds-up", 1, mHalf, sHalf, 1},    // +0.5 -> 1
+		{"tie-negative-rounds-up", -1, mHalf, sHalf, 0},   // -0.5 -> 0
+		{"tie-positive-odd", 3, mHalf, sHalf, 2},          // +1.5 -> 2
+		{"tie-negative-odd", -3, mHalf, sHalf, -1},        // -1.5 -> -1
+		{"identity", 100, mOne, sOne, 100},
+		{"saturate-positive", 1000, mOne, sOne, 127},
+		{"saturate-negative", -1000, mOne, sOne, -127},
+		{"zero-multiplier", 12345, 0, 0, 0},
+		{"negative-shift-saturates", 1, 1 << 30, -2, 127},
+		{"negative-shift-saturates-neg", -1, 1 << 30, -2, -127},
+	}
+	for _, c := range cases {
+		if got := requantize(c.acc, c.m, c.shift); got != c.want {
+			t.Errorf("%s: requantize(%d, %d, %d) = %d, want %d", c.name, c.acc, c.m, c.shift, got, c.want)
+		}
+	}
+	// Symmetric clamp: no input reaches -128.
+	for acc := int32(-100000); acc <= 100000; acc += 37 {
+		if got := requantize(acc, mOne, sOne); got < -127 {
+			t.Fatalf("requantize(%d) = %d breaches the symmetric clamp", acc, got)
+		}
+	}
+}
+
+func TestQuantizeActsSpecials(t *testing.T) {
+	src := []float64{
+		0, 1, -1, 0.5, -0.5, 1.5, -1.5, // ties: round-half-away-from-zero
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		200, -200, 126.4, 127.5,
+	}
+	dst := make([]int8, len(src))
+	quantizeActs(dst, src, 1)
+	want := []int8{0, 1, -1, 1, -1, 2, -2, 0, 127, -127, 127, -127, 126, 127}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Errorf("quantizeActs[%d] (src %g) = %d, want %d", i, src[i], dst[i], w)
+		}
+	}
+}
+
+func TestQuantizeWeightsRoundTripsOracle(t *testing.T) {
+	// ApplyTo must replay QuantizeInPlace bit for bit — the boundary that
+	// keeps the shared int8 zoo storage byte-identical to the committed
+	// fake-quant results. Includes an all-zero tensor (zero-scale skip).
+	rng := rand.New(rand.NewSource(7))
+	net := BuildMLP("m", []int{16}, 12, 8, 4, rng)
+	zeroed := BuildMLP("z", []int{16}, 12, 8, 4, rng)
+	for _, p := range zeroed.Layers[1].Params() {
+		for i := range p.Data {
+			p.Data[i] = 0
+		}
+	}
+	for _, n := range []*Network{net, zeroed} {
+		var oracleBuf, sharedBuf [][]float64
+		oracle := clone(t, n)
+		QuantizeInPlace(oracle)
+		shared := clone(t, n)
+		qw := QuantizeWeights(shared)
+		if err := qw.ApplyTo(shared); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range oracle.Layers {
+			for _, p := range l.Params() {
+				oracleBuf = append(oracleBuf, p.Data)
+			}
+		}
+		for _, l := range shared.Layers {
+			for _, p := range l.Params() {
+				sharedBuf = append(sharedBuf, p.Data)
+			}
+		}
+		for i := range oracleBuf {
+			for j := range oracleBuf[i] {
+				if math.Float64bits(oracleBuf[i][j]) != math.Float64bits(sharedBuf[i][j]) {
+					t.Fatalf("tensor %d value %d: ApplyTo %v != QuantizeInPlace %v", i, j, sharedBuf[i][j], oracleBuf[i][j])
+				}
+			}
+		}
+		if qw.ParamBytes() >= n.NumParams()*8/4 {
+			t.Fatalf("ParamBytes %d is not < 1/4 of the float64 resident size %d", qw.ParamBytes(), n.NumParams()*8)
+		}
+	}
+}
+
+func clone(t *testing.T, n *Network) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	c := BuildMLP(n.Name, n.InShape(), 12, 8, 4, rng)
+	src, dst := paramsOf(n), paramsOf(c)
+	for i := range src {
+		copy(dst[i].Data, src[i].Data)
+	}
+	return c
+}
+
+func paramsOf(n *Network) []*Tensor {
+	var ps []*Tensor
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// TestQdotRowSIMDMatchesRef pins the active qdotRowSIMD tier against the
+// scalar reference on every tail length (the SSE2 kernel's vector loop
+// engages at k=16, AVX2's at 16 and 32, so 0..70 crosses every boundary),
+// with ±127 saturation patterns mixed into the random operands.
+func TestQdotRowSIMDMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for k := 0; k <= 70; k++ {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			a := randInt8(rng, k)
+			b := randInt8(rng, n*k)
+			// Saturation extremes in the first row.
+			for p := 0; p < k; p++ {
+				if p%2 == 0 {
+					b[p] = 127
+				} else {
+					b[p] = -127
+				}
+			}
+			want := make([]int32, n)
+			got := make([]int32, n)
+			qdotRowRef(want, a, b, n, k)
+			qdotRowSIMD(got, a, b, n, k)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("n=%d k=%d row %d: qdotRowSIMD %d != ref %d", n, k, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestQdotRowSIMDSaturationExtremes drives maximum-magnitude accumulations
+// (all ±127) across the vector-width boundaries.
+func TestQdotRowSIMDSaturationExtremes(t *testing.T) {
+	for _, k := range []int{1, 15, 16, 17, 31, 32, 33, 64, 100} {
+		for _, sign := range []int8{127, -127} {
+			a := make([]int8, k)
+			b := make([]int8, 2*k)
+			for i := range a {
+				a[i] = 127
+			}
+			for i := range b {
+				b[i] = sign
+			}
+			want := make([]int32, 2)
+			got := make([]int32, 2)
+			qdotRowRef(want, a, b, 2, k)
+			qdotRowSIMD(got, a, b, 2, k)
+			if got[0] != want[0] || got[1] != want[1] {
+				t.Fatalf("k=%d sign=%d: qdotRowSIMD %v != ref %v", k, sign, got, want)
+			}
+			if want[0] != int32(k)*127*int32(sign) {
+				t.Fatalf("k=%d sign=%d: reference %d is not k*127*sign", k, sign, want[0])
+			}
+		}
+	}
+}
+
+// TestQdotRowSIMDFuzzShapes is the fuzz-style random-shape equivalence run:
+// 300 random (n, k) shapes with random operands against the naive int32
+// reference.
+func TestQdotRowSIMDFuzzShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(12)
+		k := rng.Intn(200)
+		a := randInt8(rng, k)
+		b := randInt8(rng, n*k)
+		want := make([]int32, n)
+		got := make([]int32, n)
+		qdotRowRef(want, a, b, n, k)
+		qdotRowSIMD(got, a, b, n, k)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iter %d n=%d k=%d row %d: %d != %d", iter, n, k, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestIm2colQMatchesFloatLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct{ inC, h, w, kh int }{
+		{1, 8, 8, 3}, {3, 10, 9, 3}, {2, 9, 9, 5}, {4, 7, 6, 2}, {1, 5, 5, 1},
+	} {
+		oh, ow := c.h-c.kh+1, c.w-c.kh+1
+		src8 := randInt8(rng, c.inC*c.h*c.w)
+		srcF := make([]float64, len(src8))
+		for i, v := range src8 {
+			srcF[i] = float64(v)
+		}
+		kk := c.inC * c.kh * c.kh
+		dst8 := make([]int8, oh*ow*kk)
+		dstF := make([]float64, oh*ow*kk)
+		im2colQ(dst8, src8, c.inC, c.h, c.w, c.kh, oh, ow, kk)
+		im2col(dstF, srcF, c.inC, c.h, c.w, c.kh, oh, ow)
+		for i := range dst8 {
+			if float64(dst8[i]) != dstF[i] {
+				t.Fatalf("%+v: im2colQ[%d] = %d, float im2col has %g", c, i, dst8[i], dstF[i])
+			}
+		}
+		// Padded stride: every patch must land at p*ld with the pad bytes
+		// untouched (the engine relies on exactly this to skip re-zeroing).
+		ld := padTo16(kk)
+		pad := make([]int8, oh*ow*ld)
+		for i := range pad {
+			pad[i] = -86 // sentinel
+		}
+		im2colQ(pad, src8, c.inC, c.h, c.w, c.kh, oh, ow, ld)
+		for p := 0; p < oh*ow; p++ {
+			for j := 0; j < kk; j++ {
+				if pad[p*ld+j] != dst8[p*kk+j] {
+					t.Fatalf("%+v: padded im2colQ patch %d elem %d = %d, want %d", c, p, j, pad[p*ld+j], dst8[p*kk+j])
+				}
+			}
+			for j := kk; j < ld; j++ {
+				if pad[p*ld+j] != -86 {
+					t.Fatalf("%+v: padded im2colQ wrote pad byte %d of patch %d", c, j, p)
+				}
+			}
+		}
+	}
+}
+
+// TestQdot2SIMDMatchesRef pins the dual-row kernel (whatever tier is active)
+// against two reference passes: shared-b amortization regroups the
+// wraparound sums but cannot change them. Covers the asm fast path (k a
+// multiple of 16), the fallback path (odd k), and the qgemmNT driver that
+// pairs rows over it, with ±127 extremes mixed in.
+func TestQdot2SIMDMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, k := range []int{0, 1, 7, 15, 16, 17, 31, 32, 33, 48, 100, 160} {
+		for _, n := range []int{1, 2, 5} {
+			a0 := randInt8(rng, k)
+			a1 := randInt8(rng, k)
+			b := randInt8(rng, n*k)
+			for p := 0; p < k; p++ { // saturation extremes in a1
+				if p%2 == 0 {
+					a1[p] = 127
+				} else {
+					a1[p] = -127
+				}
+			}
+			want0, want1 := make([]int32, n), make([]int32, n)
+			qdotRowRef(want0, a0, b, n, k)
+			qdotRowRef(want1, a1, b, n, k)
+			got0, got1 := make([]int32, n), make([]int32, n)
+			qdot2SIMD(got0, got1, a0, a1, b, n, k)
+			for j := 0; j < n; j++ {
+				if got0[j] != want0[j] || got1[j] != want1[j] {
+					t.Fatalf("n=%d k=%d row %d: qdot2SIMD (%d, %d) != ref (%d, %d)", n, k, j, got0[j], got1[j], want0[j], want1[j])
+				}
+			}
+		}
+	}
+	// qgemmNT: odd and even m, against a row-by-row reference.
+	for _, m := range []int{1, 2, 3, 8, 9} {
+		const n, k = 6, 48
+		a := randInt8(rng, m*k)
+		b := randInt8(rng, n*k)
+		want := make([]int32, m*n)
+		for i := 0; i < m; i++ {
+			qdotRowRef(want[i*n:(i+1)*n], a[i*k:(i+1)*k], b, n, k)
+		}
+		got := make([]int32, m*n)
+		qgemmNT(got, a, b, m, n, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("qgemmNT m=%d elem %d: %d != %d", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func randInt8(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = int8(rng.Intn(255) - 127) // [-127, 127]
+	}
+	return s
+}
