@@ -10,6 +10,13 @@
 //	nnbench -out BENCH_nn.json   # also write it to a file
 //	nnbench -benchtime 10x       # longer runs for stabler numbers
 //	nnbench -diff BENCH_nn.json  # rerun and fail on >25% ns/op regressions
+//
+// Besides the per-entry absolute diff, -diff enforces the relative int8
+// contract: QuantSlotStep must beat SlotStep and QuantForwardBatch must beat
+// ForwardBatch, so the quantized path losing to the float path fails the
+// gate even when no single entry moved >25%. Every available INT8 kernel
+// tier also gets its own QdotBatch_<tier> entry, keeping per-tier
+// trajectories visible when dispatch would mask a slower tier.
 package main
 
 import (
@@ -69,6 +76,8 @@ func run(args []string, stdout io.Writer) error {
 		{"GEMM", benchGEMM},
 		{"ConvForward", benchConvForward},
 		{"QuantConvForward", benchQuantConvForward},
+		{"ForwardBatch", benchForwardBatch},
+		{"QuantForwardBatch", benchQuantForwardBatch},
 		{"TrainEpoch", benchTrainEpoch},
 		{"ZooBuild", benchZooBuild},
 		{"SlotStep", benchSlotStep},
@@ -76,6 +85,19 @@ func run(args []string, stdout io.Writer) error {
 		{"EngineSlot", benchEngineSlot},
 		{"Fig3Regen", benchFig3},
 		{"Fig12Regen", benchFig12},
+	}
+	// One micro-benchmark per INT8 kernel tier available on this host
+	// (generic reference, then sse2/avx2/vnni on amd64 or neon on arm64).
+	// Dispatch always runs the fastest tier, which would hide a regression in
+	// any slower one; benching every tier keeps each kernel's own trajectory
+	// visible in BENCH_nn.json. The entry set is host-dependent by design —
+	// diffBaseline treats one-sided entries as informational, never failures.
+	for _, tier := range nn.QdotTiers() {
+		tier := tier
+		benches = append(benches, struct {
+			name string
+			fn   func(*testing.B)
+		}{"QdotBatch_" + tier.Name, func(b *testing.B) { benchQdotBatch(b, tier) }})
 	}
 	entries := make([]entry, 0, len(benches))
 	for _, bm := range benches {
@@ -102,8 +124,50 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("write %s: %w", *outPath, err)
 		}
 	}
+	// The relative gate runs on every invocation and is ENFORCED in -diff
+	// mode: absolute ns/op thresholds once let the int8 path silently decay
+	// to parity with the float path (each entry regressed <25% per change,
+	// so QuantSlotStep drifting from ~0.5x to ~1.0x of SlotStep never
+	// tripped the diff). The quantized path existing at all is justified by
+	// being faster, so quant >= float is a failure, not a data point.
+	if err := checkInt8Wins(stdout, entries, *diffPath != ""); err != nil {
+		return err
+	}
 	if *diffPath != "" {
 		return diffBaseline(stdout, *diffPath, entries)
+	}
+	return nil
+}
+
+// checkInt8Wins prints the int8-vs-float speedup for each quant/float
+// benchmark pair and, when enforce is set, fails if the quantized side is
+// not strictly faster than its float twin.
+func checkInt8Wins(stdout io.Writer, entries []entry, enforce bool) error {
+	byName := make(map[string]entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var losing []string
+	for _, pair := range [][2]string{
+		{"QuantSlotStep", "SlotStep"},
+		{"QuantForwardBatch", "ForwardBatch"},
+	} {
+		q, okQ := byName[pair[0]]
+		f, okF := byName[pair[1]]
+		if !okQ || !okF || q.NsPerOp <= 0 {
+			continue
+		}
+		speedup := f.NsPerOp / q.NsPerOp
+		status := "int8 wins"
+		if speedup <= 1 {
+			status = "INT8 NOT FASTER"
+			losing = append(losing, fmt.Sprintf("%s %.2fx vs %s", pair[0], speedup, pair[1]))
+		}
+		fmt.Fprintf(stdout, "int8 speedup %-18s %.2fx  (%s %.0f ns/op, %s %.0f ns/op)  %s\n",
+			pair[0], speedup, pair[0], q.NsPerOp, pair[1], f.NsPerOp, status)
+	}
+	if enforce && len(losing) > 0 {
+		return fmt.Errorf("int8 path lost to the float path: %v", losing)
 	}
 	return nil
 }
@@ -112,6 +176,17 @@ func run(args []string, stdout io.Writer) error {
 // -diff treats as a regression. 1.25 leaves headroom for host noise while
 // still catching real slowdowns of the tracked hot paths.
 const regressionFactor = 1.25
+
+// Sub-microsecond entries (the QdotBatch kernel tiers) swing ±40% run to
+// run with identical code: the AVX-512 tiers' throughput tracks the CPU's
+// frequency license, which depends on thermal and neighbor state, and at
+// a few hundred ns/op that noise dwarfs the 25% band. Entries below
+// tinyNsFloor get the doubled band instead — still a real gate, because a
+// kernel whose vector loop stops engaging regresses 2x or more.
+const (
+	tinyNsFloor          = 5000
+	tinyRegressionFactor = 2.0
+)
 
 // diffBaseline compares freshly measured entries against the committed
 // baseline JSON and errors when any shared benchmark's ns/op regressed by
@@ -140,12 +215,16 @@ func diffBaseline(stdout io.Writer, path string, fresh []entry) error {
 			continue
 		}
 		ratio := e.NsPerOp / b.NsPerOp
+		factor := regressionFactor
+		if b.NsPerOp < tinyNsFloor {
+			factor = tinyRegressionFactor
+		}
 		status := "ok"
-		if ratio > regressionFactor {
+		if ratio > factor {
 			status = "REGRESSED"
 			regressed = append(regressed, e.Name)
 		}
-		fmt.Fprintf(stdout, "  %-14s %14.0f ns/op  baseline %14.0f  x%.2f  %s\n",
+		fmt.Fprintf(stdout, "  %-18s %14.0f ns/op  baseline %14.0f  x%.2f  %s\n",
 			e.Name, e.NsPerOp, b.NsPerOp, ratio, status)
 	}
 	for _, b := range baseline {
@@ -234,6 +313,81 @@ func benchQuantConvForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		arena.Reset()
 		qn.ForwardBatch(in, arena)
+	}
+}
+
+// benchForwardBatch mirrors internal/nn's BenchmarkNetworkForwardBatch: the
+// float engine on the bench CNN at batch 32 — the float half of the
+// QuantForwardBatch/ForwardBatch pair checkInt8Wins enforces.
+func benchForwardBatch(b *testing.B) {
+	rng := numeric.SplitRNG(3, "nnbench-fwdbatch")
+	net := nn.BuildCNN("bench-cnn", []int{1, 14, 14}, 8, 16, 64, 10, rng)
+	arena := nn.NewArena()
+	const batch = 32
+	in := arena.Tensor(batch, 1, 14, 14)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	net.ForwardBatch(in, arena) // warm the arena: steady state is 0 allocs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		in := arena.Tensor(batch, 1, 14, 14)
+		net.ForwardBatch(in, arena)
+	}
+}
+
+// benchQuantForwardBatch is benchForwardBatch through the INT8 engine: same
+// architecture, same batch, quantized execution — the batch path the tiled
+// qgemmNT / fused-requantize work optimizes end to end.
+func benchQuantForwardBatch(b *testing.B) {
+	rng := numeric.SplitRNG(3, "nnbench-qfwdbatch")
+	net := nn.BuildCNN("bench-cnn", []int{1, 14, 14}, 8, 16, 64, 10, rng)
+	qw := nn.QuantizeWeights(net)
+	if err := qw.ApplyTo(net); err != nil {
+		b.Fatal(err)
+	}
+	calib := nn.NewTensor(8, 1, 14, 14)
+	for i := range calib.Data {
+		calib.Data[i] = rng.NormFloat64()
+	}
+	qn, err := nn.NewQuantizedNetwork(net, qw, calib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := nn.NewArena()
+	const batch = 32
+	in := arena.Tensor(batch, 1, 14, 14)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	qn.ForwardBatch(in, arena) // warm the arena: steady state is 0 allocs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		in := arena.Tensor(batch, 1, 14, 14)
+		qn.ForwardBatch(in, arena)
+	}
+}
+
+// benchQdotBatch measures one INT8 kernel tier on a GEMM-interior shape: two
+// 128-wide activation rows against 100 weight rows, the dual-row b-sharing
+// sweep qgemmNT drives. k=128 sits above every dispatch threshold, so each
+// tier runs its full vector main loop.
+func benchQdotBatch(b *testing.B, tier nn.QdotTier) {
+	const n, k = 100, 128
+	rng := numeric.SplitRNG(6, "nnbench-qdot-"+tier.Name)
+	a0 := randInt8Slice(rng, k)
+	a1 := randInt8Slice(rng, k)
+	bm := randInt8Slice(rng, n*k)
+	out0 := make([]int32, n)
+	out1 := make([]int32, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tier.Qdot2(out0, out1, a0, a1, bm, n, k)
 	}
 }
 
@@ -413,6 +567,14 @@ func randSlice(rng *rand.Rand, n int) []float64 {
 	s := make([]float64, n)
 	for i := range s {
 		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func randInt8Slice(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = int8(rng.Intn(255) - 127) // [-127, 127]
 	}
 	return s
 }

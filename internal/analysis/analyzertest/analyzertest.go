@@ -19,6 +19,8 @@ package analyzertest
 import (
 	"fmt"
 	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -55,47 +57,85 @@ func moduleRoot(dir string) (string, error) {
 	}
 }
 
-// parseWants collects the expectations of every loaded file, keyed by
-// filename and line.
+// parseWants collects the expectations of every file in every testdata
+// package directory, keyed by filename and line. Build-tag-excluded files
+// (an arm64 fixture on an amd64 host) are raw-parsed from disk: analyzers
+// that scan excluded sources themselves (simdcover's architecture-universal
+// kernel check) report positions inside them, so their want comments must
+// participate like any other.
 func parseWants(t *testing.T, pkgs []*analysis.Package) map[string]map[int][]*expectation {
 	t.Helper()
 	wants := make(map[string]map[int][]*expectation)
+	addComment := func(fset *token.FileSet, c *ast.Comment) {
+		text, ok := cutWant(c)
+		if !ok {
+			return
+		}
+		pos := fset.Position(c.Pos())
+		quoted := wantRx.FindAllString(text, -1)
+		if len(quoted) == 0 {
+			t.Errorf("%s: want comment with no quoted patterns", pos)
+			return
+		}
+		for _, q := range quoted {
+			pattern := strings.Trim(q, "`")
+			if q[0] == '"' {
+				var err error
+				pattern, err = strconv.Unquote(q)
+				if err != nil {
+					t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+					continue
+				}
+			}
+			rx, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+				continue
+			}
+			lines := wants[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]*expectation)
+				wants[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], &expectation{rx: rx})
+		}
+	}
 	for _, pkg := range pkgs {
+		loaded := make(map[string]bool)
+		dir := ""
 		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			loaded[name] = true
+			if dir == "" {
+				dir = filepath.Dir(name)
+			}
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text, ok := cutWant(c)
-					if !ok {
-						continue
-					}
-					pos := pkg.Fset.Position(c.Pos())
-					quoted := wantRx.FindAllString(text, -1)
-					if len(quoted) == 0 {
-						t.Errorf("%s: want comment with no quoted patterns", pos)
-						continue
-					}
-					for _, q := range quoted {
-						pattern := strings.Trim(q, "`")
-						if q[0] == '"' {
-							var err error
-							pattern, err = strconv.Unquote(q)
-							if err != nil {
-								t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
-								continue
-							}
-						}
-						rx, err := regexp.Compile(pattern)
-						if err != nil {
-							t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
-							continue
-						}
-						lines := wants[pos.Filename]
-						if lines == nil {
-							lines = make(map[int][]*expectation)
-							wants[pos.Filename] = lines
-						}
-						lines[pos.Line] = append(lines[pos.Line], &expectation{rx: rx})
-					}
+					addComment(pkg.Fset, c)
+				}
+			}
+		}
+		if dir == "" {
+			continue
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzertest: reading %s: %v", dir, err)
+			continue
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			name := filepath.Join(dir, e.Name())
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || loaded[name] {
+				continue
+			}
+			f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if perr != nil {
+				continue // unparseable excluded files are an analyzer concern, not ours
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					addComment(fset, c)
 				}
 			}
 		}

@@ -9,12 +9,22 @@
 //   - some simd*_test.go in the package must reference the kernel by name,
 //     pinning it against the scalar reference bit for bit.
 //
+// The check is architecture-universal: kernels declared in files the
+// current build excludes (an arm64 NEON tier analyzed from an amd64 host,
+// and vice versa) are raw-parsed from disk and held to the same two rules,
+// so adding a tier for another architecture cannot silently skip the
+// contract. An excluded kernel's fallback must live in a different file
+// than the kernel's own declaration file — a dispatch wrapper beside the
+// declaration is part of the same excluded build, not a fallback.
+//
 // The analyzer reads the excluded files and test files straight from disk
 // (they are, by construction, outside the loaded build), compares
 // signatures textually, and reports kernels whose fallback or equivalence
 // test is missing. Kernels with no meaningful scalar twin (register-tiled
-// drivers that fall back through a different code path) carry
-// //lint:allow simdcover <reason>.
+// drivers that fall back through a different code path, CPU feature probes)
+// carry //lint:allow simdcover <reason> — for excluded files, on the
+// declaration's own line or the line above, resolved here since the
+// carbonlint suppression pass only sees loaded files.
 package simdcover
 
 import (
@@ -55,41 +65,91 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 		}
 	}
-	if len(kernels) == 0 {
+	if dir == "" {
 		return nil, nil
 	}
 
-	fallbacks, testIdents, err := scanPackageDir(dir, loaded)
+	scan, err := scanPackageDir(dir, loaded, pass.Fset)
 	if err != nil {
 		return nil, err
 	}
+	if len(kernels) == 0 && len(scan.kernels) == 0 {
+		return nil, nil
+	}
 	for _, fd := range kernels {
 		sig := renderFuncType(fd.Type)
-		if !fallbacks[sig] {
+		if len(scan.fallbacks[sig]) == 0 {
 			pass.Reportf(fd.Pos(),
 				"asm-declared %s has no build-tagged generic fallback with signature %s; non-amd64 builds lose the kernel semantics",
 				fd.Name.Name, sig)
 		}
-		if !testIdents[fd.Name.Name] {
+		if !scan.testIdents[fd.Name.Name] {
 			pass.Reportf(fd.Pos(),
 				"asm-declared %s is not referenced by any simd*_test.go; add an equivalence test pinning it against the scalar reference",
 				fd.Name.Name)
 		}
 	}
+	for _, k := range scan.kernels {
+		sig := renderFuncType(k.decl.Type)
+		if !fallbackOutside(scan.fallbacks[sig], k.file) {
+			pass.Reportf(k.decl.Pos(),
+				"asm-declared %s (excluded from this build) has no build-tagged generic fallback with signature %s outside its own file; other-architecture builds lose the kernel semantics",
+				k.decl.Name.Name, sig)
+		}
+		if !scan.testIdents[k.decl.Name.Name] {
+			pass.Reportf(k.decl.Pos(),
+				"asm-declared %s (excluded from this build) is not referenced by any simd*_test.go; add an equivalence test pinning it against the scalar reference",
+				k.decl.Name.Name)
+		}
+	}
 	return nil, nil
 }
 
+// fallbackOutside reports whether sig's fallback set contains a file other
+// than the kernel's own declaration file.
+func fallbackOutside(files map[string]bool, own string) bool {
+	for f := range files {
+		if f != own {
+			return true
+		}
+	}
+	return false
+}
+
+// extKernel is a bodyless declaration found in a build-tag-excluded file:
+// an asm kernel of another architecture, held to the same coverage rules.
+type extKernel struct {
+	decl *ast.FuncDecl
+	file string // base name of the declaring file
+}
+
+type packageScan struct {
+	// fallbacks maps a canonical signature to the set of excluded files
+	// declaring a bodied function with it.
+	fallbacks map[string]map[string]bool
+	// testIdents is every identifier referenced by any simd*_test.go,
+	// loaded or not (arm64 test files pin arm64 kernels; the reference
+	// check must see them from any host).
+	testIdents map[string]bool
+	// kernels are the bodyless declarations of excluded files, minus those
+	// carrying a //lint:allow simdcover directive.
+	kernels []extKernel
+}
+
 // scanPackageDir raw-parses the package files outside the loaded build:
-// build-tag-excluded sources contribute fallback signatures, simd*_test.go
-// files contribute the referenced identifier set.
-func scanPackageDir(dir string, loaded map[string]bool) (fallbacks, testIdents map[string]bool, err error) {
-	fallbacks = make(map[string]bool)
-	testIdents = make(map[string]bool)
+// build-tag-excluded sources contribute fallback signatures and
+// other-architecture kernel declarations, simd*_test.go files contribute
+// the referenced identifier set. Excluded files are parsed into the pass's
+// FileSet so reported positions point at the real declaration.
+func scanPackageDir(dir string, loaded map[string]bool, fset *token.FileSet) (*packageScan, error) {
+	scan := &packageScan{
+		fallbacks:  make(map[string]map[string]bool),
+		testIdents: make(map[string]bool),
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	fset := token.NewFileSet()
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") {
@@ -100,26 +160,68 @@ func scanPackageDir(dir string, loaded map[string]bool) (fallbacks, testIdents m
 		if loaded[name] || (isTest && !isSimdTest) {
 			continue
 		}
-		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if perr != nil {
 			continue // a file the build also can't read is not this analyzer's finding
 		}
 		if isSimdTest {
 			ast.Inspect(f, func(n ast.Node) bool {
 				if id, ok := n.(*ast.Ident); ok {
-					testIdents[id.Name] = true
+					scan.testIdents[id.Name] = true
 				}
 				return true
 			})
 			continue
 		}
+		allowed := allowLines(fset, f)
 		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && fd.Recv == nil {
-				fallbacks[renderFuncType(fd.Type)] = true
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if fd.Body != nil {
+				sig := renderFuncType(fd.Type)
+				if scan.fallbacks[sig] == nil {
+					scan.fallbacks[sig] = make(map[string]bool)
+				}
+				scan.fallbacks[sig][name] = true
+				continue
+			}
+			line := fset.Position(fd.Pos()).Line
+			if allowed[line] || allowed[line-1] {
+				continue
+			}
+			scan.kernels = append(scan.kernels, extKernel{decl: fd, file: name})
+		}
+	}
+	return scan, nil
+}
+
+// allowLines collects the lines of f carrying a //lint:allow simdcover
+// directive (line or block form; a nested "//" ends the payload, mirroring
+// the carbonlint suppression grammar). Excluded files never reach the
+// normal suppression pass — it only sees loaded syntax — so the analyzer
+// resolves its own directives here. A directive covers its own line and the
+// line below, like suppression everywhere else.
+func allowLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			switch {
+			case strings.HasPrefix(text, "//"):
+				text = text[2:]
+			case strings.HasPrefix(text, "/*"):
+				text = strings.TrimSuffix(text[2:], "*/")
+			}
+			text, _, _ = strings.Cut(text, "//")
+			fields := strings.Fields(text)
+			if len(fields) >= 3 && fields[0] == "lint:allow" && fields[1] == "simdcover" {
+				lines[fset.Position(c.Pos()).Line] = true
 			}
 		}
 	}
-	return fallbacks, testIdents, nil
+	return lines
 }
 
 // renderFuncType canonicalizes a signature as "(types...)(results...)" with

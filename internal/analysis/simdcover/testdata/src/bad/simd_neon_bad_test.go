@@ -1,0 +1,10 @@
+//go:build arm64
+
+package bad
+
+import "testing"
+
+func TestDotNEONPinned(t *testing.T) {
+	dotNEON(nil, nil, nil, 0)
+	_ = t
+}

@@ -120,6 +120,14 @@ func BenchmarkQuantConvForward(b *testing.B) {
 
 // BenchmarkQuantNetworkForwardBatch is BenchmarkNetworkForwardBatch through
 // the INT8 engine: same architecture, same batch, quantized execution.
+//
+// The pair is a RELATIVE contract, not two independent numbers: the int8
+// path exists to be faster than the float path, so compare the two
+// ns/op figures whenever either moves. Absolute per-benchmark thresholds
+// once let the quantized side decay to ~1.0x of the float side without any
+// single entry regressing enough to trip a gate; `make bench-diff`
+// (cmd/nnbench's checkInt8Wins) now fails outright when
+// QuantForwardBatch >= ForwardBatch or QuantSlotStep >= SlotStep.
 func BenchmarkQuantNetworkForwardBatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	net := BuildCNN("bench-cnn", []int{1, 14, 14}, 8, 16, 64, 10, rng)

@@ -29,3 +29,31 @@ var hasAVX2 = func() bool {
 	_, b, _, _ := cpuid(7, 0)
 	return b&(1<<5) != 0
 }()
+
+// hasAVX512 gates the plain AVX-512 integer kernels (requantizeRowAVX512's
+// zmm int64 arithmetic). Beyond the AVX2 preconditions it needs AVX512F +
+// AVX512VL (leaf 7 EBX bits 16 and 31) and an OS that saves the opmask/ZMM
+// state (XCR0 bits 5-7).
+var hasAVX512 = func() bool {
+	if !hasAVX2 {
+		return false
+	}
+	const xmmYmm, opmaskZmm = 0x6, 0xe0
+	if eax, _ := xgetbv0(); eax&(xmmYmm|opmaskZmm) != xmmYmm|opmaskZmm {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	const avx512f, avx512vl = 1 << 16, 1 << 31
+	return b&avx512f != 0 && b&avx512vl != 0
+}()
+
+// hasVNNI gates the AVX-512 VNNI tier of the integer GEMM kernels (VPDPBUSD
+// over zmm plus the AVX512VL xmm remainder forms): hasAVX512 plus the
+// AVX512VNNI bit (leaf 7 ECX bit 11).
+var hasVNNI = func() bool {
+	if !hasAVX512 {
+		return false
+	}
+	_, _, c, _ := cpuid(7, 0)
+	return c&(1<<11) != 0
+}()

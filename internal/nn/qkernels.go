@@ -81,6 +81,52 @@ func requantize(acc, m int32, shift int) int8 {
 	return int8(r)
 }
 
+// requantizeRowScalar is the batch-path form of requantize: one bias for the
+// whole row (a conv output-channel row) with the shift>0 branch and the
+// rounding constant hoisted out of the element loop. lo is the lower clamp
+// bound: -127 normally, 0 when the following ReLU has been fused into the
+// store — exact, because relu(clamp(r, -127, 127)) == clamp(r, 0, 127). Each
+// element computes the identical (p + 2^(shift-1)) >> shift expression as
+// requantize, so the single-rounding-site contract pinned by the golden
+// vectors holds; the requantizeRow-vs-spec test replays it against
+// requantize + max. The hot path dispatches through requantizeRow, which on
+// amd64 routes full 8-lane blocks to the AVX-512 kernel when available.
+func requantizeRowScalar(dst []int8, acc []int32, bias, m int32, shift int, lo int8) {
+	dst = dst[:len(acc)]
+	if shift <= 0 { // degenerate-scale cold path: keep the spec's clamp order
+		for j, v := range acc {
+			dst[j] = max(requantize(v+bias, m, shift), lo)
+		}
+		return
+	}
+	rnd := int64(1) << (shift - 1)
+	l, mm := int64(lo), int64(m)
+	for j, v := range acc {
+		r := (int64(v+bias)*mm + rnd) >> shift
+		dst[j] = int8(min(max(r, l), 127))
+	}
+}
+
+// requantizeRowPerCol is requantizeRow with a per-column bias vector — the
+// dense-layer form, where acc is one sample's output row and bias[o] is the
+// o-th unit's bias in accumulator units.
+func requantizeRowPerCol(dst []int8, acc []int32, bias []int32, m int32, shift int, lo int8) {
+	dst = dst[:len(acc)]
+	bias = bias[:len(acc)]
+	if shift <= 0 {
+		for j, v := range acc {
+			dst[j] = max(requantize(v+bias[j], m, shift), lo)
+		}
+		return
+	}
+	rnd := int64(1) << (shift - 1)
+	l, mm := int64(lo), int64(m)
+	for j, v := range acc {
+		r := (int64(v+bias[j])*mm + rnd) >> shift
+		dst[j] = int8(min(max(r, l), 127))
+	}
+}
+
 // quantizeActs quantizes a float activation slice symmetrically at the given
 // scale: q = round(v/scale) clamped to [-127, 127], round-half-away-from-zero
 // (math.Round, the weight rule). NaN quantizes to 0 and ±Inf saturate to

@@ -32,9 +32,12 @@ type QuantizedNetwork struct {
 
 	// Per-sample scratch high-water marks, fixed at build time so every
 	// ForwardBatch performs the same four arena requests (zero steady-state
-	// allocations, same discipline as the float path).
+	// allocations, same discipline as the float path). Each is multiplied by
+	// the batch size at request time: the engine lowers a whole chunk into
+	// one im2col buffer / one accumulator block so each conv or dense stage
+	// is a single batch GEMM rather than per-sample row-dots.
 	maxAct int // widest activation boundary
-	maxCol int // widest im2col patch matrix
+	maxCol int // widest im2col patch matrix / padded activation row
 	maxAcc int // widest accumulator row block
 }
 
@@ -65,6 +68,7 @@ type qOp struct {
 	biasQ []int32 // bias in accumulator units: round(b/(sx*sw)), |.| <= 2^30
 	m     int32   // fixed-point requant multiplier (quantMultiplier)
 	shift int
+	relu  bool // fused following ReLU: requantize clamps to [0, 127]
 
 	// zeroScale marks an all-zero weight tensor (sw == 0): the accumulator
 	// units are undefined, so the op's output is the bias alone, quantized
@@ -238,6 +242,25 @@ func NewQuantizedNetwork(net *Network, qw *QuantizedWeights, calib *Tensor) (*Qu
 				q.maxCol = op.kPad // padded activation scratch (runDense/runHead)
 			}
 		case *ReLU:
+			// Peephole: a ReLU directly after a requantizing conv/dense fuses
+			// into that op's store — requantizeRow clamps to [0, 127] instead
+			// of [-127, 127], which is exactly relu ∘ clamp, so the standalone
+			// pass (and its full activation read+write) disappears. Every zoo
+			// architecture places its ReLUs this way; the standalone qRelu op
+			// remains for any network that does not.
+			if n := len(q.ops); n > 0 {
+				if prev := &q.ops[n-1]; prev.kind == qConv || prev.kind == qDense {
+					if prev.zeroScale {
+						for o, b := range prev.biasAtSy {
+							prev.biasAtSy[o] = max(b, 0)
+						}
+					} else {
+						prev.relu = true
+					}
+					shape = outShape
+					continue
+				}
+			}
 			op.kind = qRelu // exact: max(q, 0) at an unchanged positive scale
 		case *MaxPool2D:
 			op.kind = qPool // exact: int8 comparisons replay the float ones
@@ -342,8 +365,8 @@ func (q *QuantizedNetwork) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	out := a.Tensor(batch, q.outDim)
 	cur := a.Int8s(batch * q.maxAct)
 	nxt := a.Int8s(batch * q.maxAct)
-	col := a.Int8s(q.maxCol)
-	acc := a.Int32s(q.maxAcc)
+	col := a.Int8s(batch * q.maxCol)
+	acc := a.Int32s(batch * q.maxAcc)
 
 	quantizeActs(cur[:batch*inLen], in.Data, q.inScale)
 	for i := range q.ops {
@@ -371,12 +394,20 @@ func (q *QuantizedNetwork) ForwardBatch(in *Tensor, a *Arena) *Tensor {
 	return out // unreachable: compilation guarantees a qHead terminator
 }
 
+// runConv lowers the WHOLE chunk at once: every sample's patch rows go into
+// one shared im2col buffer (batch*np rows at the padded stride) and a single
+// qgemmNT call computes all outC x (batch*np) accumulators, so the weight
+// rows stream through the batch-tiled dual-row kernels once per chunk
+// instead of once per sample. int32 wraparound addition is associative, so
+// the batch-tiled accumulation is bit-identical to the per-sample row-dots
+// it replaced. The accumulator block is laid out [oc][s*np+j] and the
+// requantize pass scatters it back to the per-sample [s][oc][j] activation
+// layout.
 func (q *QuantizedNetwork) runConv(op *qOp, batch int, cur, nxt, col []int8, acc []int32) {
 	np := op.oh * op.ow
-	for s := 0; s < batch; s++ {
-		src := cur[s*op.inLen : (s+1)*op.inLen]
-		dst := nxt[s*op.outLen : (s+1)*op.outLen]
-		if op.zeroScale {
+	if op.zeroScale {
+		for s := 0; s < batch; s++ {
+			dst := nxt[s*op.outLen : (s+1)*op.outLen]
 			for oc := 0; oc < op.outC; oc++ {
 				b := op.biasAtSy[oc]
 				row := dst[oc*np : (oc+1)*np]
@@ -384,67 +415,87 @@ func (q *QuantizedNetwork) runConv(op *qOp, batch int, cur, nxt, col []int8, acc
 					row[j] = b
 				}
 			}
-			continue
 		}
-		// Patch rows at the padded stride; the bytes between the patch and
-		// the stride are whatever the arena held, annihilated by the zero
-		// weight pad.
-		im2colQ(col[:np*op.kPad], src, op.inC, op.h, op.w, op.k, op.oh, op.ow, op.kPad)
-		qgemmNT(acc[:op.outC*np], op.wq, col[:np*op.kPad], op.outC, np, op.kPad)
-		for oc := 0; oc < op.outC; oc++ {
-			bq := op.biasQ[oc]
-			arow := acc[oc*np : (oc+1)*np]
-			drow := dst[oc*np : (oc+1)*np]
-			for j, v := range arow {
-				drow[j] = requantize(v+bq, op.m, op.shift)
-			}
-		}
+		return
 	}
-}
-
-// denseInput returns the activation row the dense dot can consume as its a
-// operand: the source row itself when inDim is already the padded stride,
-// else a copy into the col scratch sliced to kPad (the pad bytes are
-// garbage — the weight pad is zero, so the extra products vanish).
-func denseInput(op *qOp, src, col []int8) []int8 {
-	if op.kPad == op.inDim {
-		return src
-	}
-	copy(col[:op.inDim], src)
-	return col[:op.kPad]
-}
-
-// Dense layers run one qdotRowSIMD call per sample with the activations as a
-// and the weight rows as b — a single kernel call computes every output,
-// which beats pairing weight rows through qgemmNT (n would be 1, so the
-// dual-row kernel's b sharing buys nothing and the per-call overhead m/2
-// times over dominates these small layers).
-func (q *QuantizedNetwork) runDense(op *qOp, batch int, cur, nxt, col []int8, acc []int32) {
+	// Patch rows at the padded stride; the bytes between the patch and the
+	// stride are whatever the arena held, annihilated by the zero weight pad.
+	spl := np * op.kPad // per-sample patch block
 	for s := 0; s < batch; s++ {
-		src := cur[s*op.inLen : (s+1)*op.inLen]
+		im2colQ(col[s*spl:(s+1)*spl], cur[s*op.inLen:(s+1)*op.inLen], op.inC, op.h, op.w, op.k, op.oh, op.ow, op.kPad)
+	}
+	cols := batch * np
+	qgemmNT(acc[:op.outC*cols], op.wq, col[:batch*spl], op.outC, cols, op.kPad)
+	lo := int8(-127)
+	if op.relu {
+		lo = 0
+	}
+	// The accumulator row for one output channel is contiguous across the
+	// whole batch and shares one bias, so it requantizes as a single long row
+	// — long enough for the AVX-512 tier to engage — into the col scratch
+	// (dead once the GEMM has consumed it), and a per-sample copy scatters
+	// the bytes back to the [s][oc][j] activation layout.
+	rq := col[:cols]
+	for oc := 0; oc < op.outC; oc++ {
+		requantizeRow(rq, acc[oc*cols:(oc+1)*cols], op.biasQ[oc], op.m, op.shift, lo)
+		for s := 0; s < batch; s++ {
+			copy(nxt[s*op.outLen+oc*np:s*op.outLen+(oc+1)*np], rq[s*np:(s+1)*np])
+		}
+	}
+}
+
+// denseInputBatch returns the batch's activation rows at the kPad stride the
+// GEMM consumes as its a operand: the cur block itself when inDim is already
+// the padded stride (the rows are contiguous), else a strided copy into the
+// col scratch (the pad bytes are garbage — the weight pad is zero, so the
+// extra products vanish).
+func denseInputBatch(op *qOp, batch int, cur, col []int8) []int8 {
+	if op.kPad == op.inDim {
+		return cur[:batch*op.inDim]
+	}
+	for s := 0; s < batch; s++ {
+		copy(col[s*op.kPad:s*op.kPad+op.inDim], cur[s*op.inLen:(s+1)*op.inLen])
+	}
+	return col[:batch*op.kPad]
+}
+
+// Dense layers run ONE qgemmNT per chunk with the batch's activation rows as
+// a (m = batch) and the weight rows as b (n = outDim): sample pairs stream
+// through the batch-tiled dual-row kernels, so the weight matrix is
+// sign-extended once per sample pair and per column quad instead of once per
+// sample. The accumulator block lands per-sample contiguous (acc[s*outDim+o])
+// so the requantize pass reads and writes sequentially.
+func (q *QuantizedNetwork) runDense(op *qOp, batch int, cur, nxt, col []int8, acc []int32) {
+	if op.zeroScale {
+		for s := 0; s < batch; s++ {
+			copy(nxt[s*op.outLen:(s+1)*op.outLen], op.biasAtSy)
+		}
+		return
+	}
+	qgemmNT(acc[:batch*op.outDim], denseInputBatch(op, batch, cur, col), op.wq, batch, op.outDim, op.kPad)
+	lo := int8(-127)
+	if op.relu {
+		lo = 0
+	}
+	for s := 0; s < batch; s++ {
 		dst := nxt[s*op.outLen : (s+1)*op.outLen]
-		if op.zeroScale {
-			copy(dst, op.biasAtSy)
-			continue
-		}
-		qdotRowSIMD(acc[:op.outDim], denseInput(op, src, col), op.wq, op.outDim, op.kPad)
-		for o, v := range acc[:op.outDim] {
-			dst[o] = requantize(v+op.biasQ[o], op.m, op.shift)
-		}
+		arow := acc[s*op.outDim : (s+1)*op.outDim]
+		requantizeRowPerCol(dst, arow, op.biasQ, op.m, op.shift, lo)
 	}
 }
 
 // runHead dequantizes the final Dense's int32 accumulators straight to
 // float64 logits: logits[o] = acc[o]*sx*sw + b[o]. Shared scalar Go on
 // every tier, so the logits are cross-tier identical whenever the
-// accumulators are. An all-zero head weight tensor needs no special case:
-// wq is all zeros, so acc == 0 and sxw == 0 leave exactly the bias.
+// accumulators are. Batched exactly like runDense (one GEMM per chunk). An
+// all-zero head weight tensor needs no special case: wq is all zeros, so
+// acc == 0 and sxw == 0 leave exactly the bias.
 func (q *QuantizedNetwork) runHead(op *qOp, batch int, cur, col []int8, acc []int32, out []float64) {
+	qgemmNT(acc[:batch*op.outDim], denseInputBatch(op, batch, cur, col), op.wq, batch, op.outDim, op.kPad)
 	for s := 0; s < batch; s++ {
-		src := cur[s*op.inLen : (s+1)*op.inLen]
-		qdotRowSIMD(acc[:op.outDim], denseInput(op, src, col), op.wq, op.outDim, op.kPad)
 		orow := out[s*op.outDim : (s+1)*op.outDim]
-		for o, v := range acc[:op.outDim] {
+		arow := acc[s*op.outDim : (s+1)*op.outDim]
+		for o, v := range arow {
 			orow[o] = float64(v)*op.sxw + op.biasF[o]
 		}
 	}

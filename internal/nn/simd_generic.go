@@ -134,21 +134,6 @@ func gemmNNQuadJ(out, a, bt, bias []float64, m, n, k, ld int) int { return 0 }
 
 func gemmNNQuadAcc(out, a, bt []float64, m, n, k, ld int) int { return 0 }
 
-// qdotRowSIMD is the generic tier of the INT8 row-dot kernel (see
-// qkernels.go). Integer wraparound accumulation is associative, so this
-// plain loop produces the exact bits of the amd64 vector tiers.
-func qdotRowSIMD(out []int32, a, b []int8, n, k int) {
-	qdotRowRef(out, a, b, n, k)
-}
-
-// qdot2SIMD is the generic tier of the dual-row INT8 kernel: the amd64
-// version shares b loads across both rows, which cannot change the
-// wraparound sums, so two reference passes are bit-identical.
-func qdot2SIMD(out0, out1 []int32, a0, a1, b []int8, n, k int) {
-	qdotRowRef(out0, a0, b, n, k)
-	qdotRowRef(out1, a1, b, n, k)
-}
-
 func nnDot8SIMD(out, init, a, bt []float64, n int) {
 	s0, s1, s2, s3 := init[0], init[1], init[2], init[3]
 	s4, s5, s6, s7 := init[4], init[5], init[6], init[7]

@@ -3,10 +3,11 @@
 package nn
 
 // Integer SIMD kernels for the INT8 inference path (simd_int8_amd64.s).
-// Both tiers compute the same int32 wraparound sums as qdotRowRef; because
+// Every tier computes the same int32 wraparound sums as qdotRowRef; because
 // two's-complement addition is associative, the lane regrouping the vector
 // reductions perform cannot change the resulting bits, so SSE2 == AVX2 ==
-// generic on every input (pinned exhaustively by simd_int8_amd64_test.go).
+// VNNI == generic on every input (pinned exhaustively by
+// simd_int8_amd64_test.go and the qgemm fuzz gate in simd_int8_test.go).
 
 // qdotRowSSE2 is the baseline tier: 16 int8 MACs per iteration via
 // sign-extending unpacks and PMADDWD (pair sums max out at 2*127*127, far
@@ -21,18 +22,81 @@ func qdotRowSSE2(out []int32, a, b []int8, n, k int)
 //go:noescape
 func qdotRowAVX2(out []int32, a, b []int8, n, k int)
 
-// qdot2SSE2 is the dual-row baseline tier: two a rows against the same b
-// rows, sharing every b load and sign-extension. Requires k >= 16 and
-// k % 16 == 0 (no scalar tail) — the dispatcher enforces it.
+// qgemm2SSE2 is the batch-tiled dual-row baseline tier: two a rows against
+// the same b rows, the columns blocked four at a time into a 2x4 int32
+// register tile so the sign-extensions are amortized over eight
+// accumulators. Requires k >= 16 and k % 16 == 0 (no scalar tail) — the
+// dispatcher enforces it.
 //
 //go:noescape
-func qdot2SSE2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+func qgemm2SSE2(out0, out1 []int32, a0, a1, b []int8, n, k int)
 
-// qdot2AVX2 is the dual-row wide tier: the shared b chunk is extended once
-// per 32 bytes and VPMADDWD'd against both a rows. Same k preconditions.
+// qgemm2AVX2 is the batch-tiled wide tier: same 2x4 tile with ymm
+// accumulators, 0.375 extends per madd instead of the single-row kernel's
+// 1.5. Same k preconditions.
 //
 //go:noescape
-func qdot2AVX2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+func qgemm2AVX2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+
+// qgemm2VNNI is the AVX-512 VNNI tier: VPDPBUSD retires 64 int8 MACs per
+// accumulator per step. Its unsigned-operand requirement is met by flipping
+// b with 0x80 and subtracting the precomputed 128*sum(a) compensation at
+// store time — exact in the mod-2^32 ring, so still bit-identical. Same k
+// preconditions.
+//
+//go:noescape
+func qgemm2VNNI(out0, out1 []int32, a0, a1, b []int8, n, k int)
+
+// requantizeRowAVX512 requantizes 8 accumulators per step: dword add of the
+// broadcast bias (int32 wraparound, same as Go), VPMOVSXDQ widen, VPMULDQ
+// signed 32x32->64 against the broadcast multiplier, VPADDQ the rounding
+// constant, VPSRAQ by shift, VPMAXSQ/VPMINSQ clamp to [lo, 127], VPMOVQB
+// narrow. Every lane computes the identical int64 expression as
+// requantizeRowScalar's shift>0 path, so the bits cannot differ. Requires
+// len(acc) > 0 and len(acc) % 8 == 0 and 0 < shift < 62 — the dispatcher
+// enforces both and routes everything else (plus the block tail) to the
+// scalar loop.
+//
+//go:noescape
+func requantizeRowAVX512(dst []int8, acc []int32, bias, m int32, shift int, lo int8)
+
+// requantizeRow dispatches the row requantizer: full 8-lane blocks go to the
+// AVX-512 kernel when the CPU+OS support it, the shift is in the kernel's
+// domain (shift >= 62 only arises from degenerate scale ratios; the scalar
+// path keeps the spec's exact semantics there), and the row is long enough
+// to amortize the kernel's fixed cost (the per-call zmm state transition
+// after VZEROUPPER — measured crossover between 128 and 256 elements on a
+// Sapphire Rapids class host; the engine's conv rows span the whole batch,
+// 4k+ elements, where the kernel runs ~3.5x the scalar loop). The remainder
+// goes to the scalar loop.
+func requantizeRow(dst []int8, acc []int32, bias, m int32, shift int, lo int8) {
+	if hasAVX512 && shift > 0 && shift < 62 && len(acc) >= 192 {
+		n8 := len(acc) &^ 7
+		requantizeRowAVX512(dst[:n8], acc[:n8], bias, m, shift, lo)
+		if n8 == len(acc) {
+			return
+		}
+		requantizeRowScalar(dst[n8:len(acc)], acc[n8:], bias, m, shift, lo)
+		return
+	}
+	requantizeRowScalar(dst, acc, bias, m, shift, lo)
+}
+
+// archQdotTiers lists the amd64 asm tiers this host can execute, narrowest
+// first. SSE2 is unconditional (part of the amd64 baseline); AVX2 and VNNI
+// gate on the CPUID/XCR0 probes. The registry exposes the raw kernels — the
+// k >= 16 && k%16 == 0 precondition is the caller's to respect, exactly as
+// it is the dispatcher's.
+func archQdotTiers() []QdotTier {
+	tiers := []QdotTier{{Name: "sse2", Qdot2: qgemm2SSE2}}
+	if hasAVX2 {
+		tiers = append(tiers, QdotTier{Name: "avx2", Qdot2: qgemm2AVX2})
+	}
+	if hasVNNI {
+		tiers = append(tiers, QdotTier{Name: "vnni", Qdot2: qgemm2VNNI})
+	}
+	return tiers
+}
 
 // qdotRowSIMD dispatches the integer row-dot kernel. Short K dimensions stay
 // on SSE2: the AVX2 kernel's 16-byte minimum vector step never engages below
@@ -45,19 +109,28 @@ func qdotRowSIMD(out []int32, a, b []int8, n, k int) {
 	qdotRowSSE2(out, a, b, n, k)
 }
 
-// qdot2SIMD dispatches the dual-row kernel: out0[j] = dot(a0, b row j) and
-// out1[j] = dot(a1, b row j). The asm tiers only handle vector-width
-// multiples (the engine pads every weight row to padTo16, so this is the
-// hot case); any other k falls back to two single-row calls.
+// qdot2SIMD dispatches the batch-tiled dual-row kernel: out0[j] =
+// dot(a0, b row j) and out1[j] = dot(a1, b row j). The asm tiers only
+// handle vector-width multiples (the engine pads every weight and im2col
+// row to padTo16, so this is the hot case); any other k falls back to two
+// single-row calls. Tier order is widest-first: VNNI when the CPU+OS
+// support AVX-512 and k is large enough for its 64-byte main loop to engage
+// (below that the zmm zeroing/reduce overhead on mostly-empty vectors loses
+// to AVX2 — conv k=16 layers measured ~1.4x slower on VNNI), then AVX2,
+// then the SSE2 baseline.
 func qdot2SIMD(out0, out1 []int32, a0, a1, b []int8, n, k int) {
 	if k < 16 || k%16 != 0 {
 		qdotRowSIMD(out0, a0, b, n, k)
 		qdotRowSIMD(out1, a1, b, n, k)
 		return
 	}
-	if hasAVX2 {
-		qdot2AVX2(out0, out1, a0, a1, b, n, k)
+	if hasVNNI && k >= 64 {
+		qgemm2VNNI(out0, out1, a0, a1, b, n, k)
 		return
 	}
-	qdot2SSE2(out0, out1, a0, a1, b, n, k)
+	if hasAVX2 {
+		qgemm2AVX2(out0, out1, a0, a1, b, n, k)
+		return
+	}
+	qgemm2SSE2(out0, out1, a0, a1, b, n, k)
 }

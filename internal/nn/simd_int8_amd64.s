@@ -6,6 +6,12 @@
 
 #include "textflag.h"
 
+// 0x80 in every byte: XORing an int8 with it adds 128 (mod 256), i.e. maps
+// signed [-128,127] onto unsigned [0,255]. The VNNI kernel uses this to feed
+// VPDPBUSD's unsigned operand; see qgemm2VNNI below for the compensation.
+DATA qflip<>+0(SB)/8, $0x8080808080808080
+GLOBL qflip<>(SB), RODATA|NOPTR, $8
+
 // func qdotRowSSE2(out []int32, a, b []int8, n, k int)
 //
 // out[j] = sum_{p<k} int32(a[p]) * int32(b[j*k+p]) for j < n.
@@ -164,16 +170,19 @@ avx2_done:
 	VZEROUPPER
 	RET
 
-// func qdot2SSE2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+// func qgemm2SSE2(out0, out1 []int32, a0, a1, b []int8, n, k int)
 //
-// Dual-row variant: two a rows against the same n rows of b, sharing every
-// b load and sign-extension between the two accumulators — the b operand is
-// the expensive stream (the im2col patch matrix, re-read once per output
-// channel), so amortizing it across channel pairs nearly halves the memory
-// and shuffle traffic. The dispatcher guarantees k >= 16 and k % 16 == 0
-// (the engine pads every weight row to the vector width), so there is no
-// scalar tail. Same wraparound-sum bits as two qdotRowRef calls.
-TEXT ·qdot2SSE2(SB), NOSPLIT, $0-136
+// Batch-tiled dual-row kernel: two a rows against the same n rows of b, the
+// columns blocked 4 at a time into a 2x4 register tile of int32 accumulators
+// (X0..X7). Each 16-byte k-step sign-extends a0/a1 once (X8..X11) and each
+// of the four b rows once (X12/X13), so the expensive extension work is
+// amortized over 8 accumulators instead of 2. int32 wraparound addition is
+// associative, so this regrouping is bit-identical to eight qdotRowRef calls
+// — no accumulation-order contract constrains the blocking. The dispatcher
+// guarantees k >= 16 and k % 16 == 0 (the engine pads every weight and
+// im2col row to padTo16), so there is no scalar tail; a trailing n % 4
+// column loop reuses the shared-b dual-row pattern.
+TEXT ·qgemm2SSE2(SB), NOSPLIT, $0-136
 	MOVQ out0_base+0(FP), DI
 	MOVQ out1_base+24(FP), AX
 	MOVQ a0_base+48(FP), SI
@@ -182,24 +191,167 @@ TEXT ·qdot2SSE2(SB), NOSPLIT, $0-136
 	MOVQ n+120(FP), CX
 	MOVQ k+128(FP), DX
 	MOVQ DX, R11
-	SUBQ $16, R11 // R11 = k-16 (loop bound; k >= 16 guaranteed)
-	XORQ R8, R8   // j
-	MOVQ BX, R9   // b row pointer, advanced by k per row
+	SUBQ $16, R11        // R11 = k-16 (k-loop bound; k >= 16 guaranteed)
+	LEAQ (DX)(DX*2), R12 // R12 = 3k (b row 3 offset)
+	XORQ R8, R8          // j
 
-q2s_jloop:
-	CMPQ R8, CX
-	JGE  q2s_done
-	PXOR X6, X6 // accumulator for a0
-	PXOR X7, X7 // accumulator for a1
+g2s_jquad:
+	LEAQ 3(R8), R14
+	CMPQ R14, CX
+	JGE  g2s_jtail // fewer than 4 columns left
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9 // R9 = &b[j*k], advanced 16 per k-step
+	PXOR X0, X0  // acc[a0][j+0]
+	PXOR X1, X1  // acc[a1][j+0]
+	PXOR X2, X2  // acc[a0][j+1]
+	PXOR X3, X3  // acc[a1][j+1]
+	PXOR X4, X4  // acc[a0][j+2]
+	PXOR X5, X5  // acc[a1][j+2]
+	PXOR X6, X6  // acc[a0][j+3]
+	PXOR X7, X7  // acc[a1][j+3]
 	XORQ R10, R10
 
-q2s_vloop:
+g2s_kloop:
+	MOVOU (SI)(R10*1), X8 // a0: low/high word extends in X8/X9
+	MOVO  X8, X9
+	PUNPCKLBW X8, X8
+	PSRAW     $8, X8
+	PUNPCKHBW X9, X9
+	PSRAW     $8, X9
+	MOVOU (R13)(R10*1), X10 // a1: X10/X11
+	MOVO  X10, X11
+	PUNPCKLBW X10, X10
+	PSRAW     $8, X10
+	PUNPCKHBW X11, X11
+	PSRAW     $8, X11
+	MOVOU (R9), X12 // b row j+0
+	MOVO  X12, X13
+	PUNPCKLBW X12, X12
+	PSRAW     $8, X12
+	PUNPCKHBW X13, X13
+	PSRAW     $8, X13
+	MOVO    X12, X14
+	PMADDWL X8, X14
+	PADDD   X14, X0
+	MOVO    X13, X14
+	PMADDWL X9, X14
+	PADDD   X14, X0
+	MOVO    X12, X14
+	PMADDWL X10, X14
+	PADDD   X14, X1
+	MOVO    X13, X14
+	PMADDWL X11, X14
+	PADDD   X14, X1
+	MOVOU (R9)(DX*1), X12 // b row j+1
+	MOVO  X12, X13
+	PUNPCKLBW X12, X12
+	PSRAW     $8, X12
+	PUNPCKHBW X13, X13
+	PSRAW     $8, X13
+	MOVO    X12, X14
+	PMADDWL X8, X14
+	PADDD   X14, X2
+	MOVO    X13, X14
+	PMADDWL X9, X14
+	PADDD   X14, X2
+	MOVO    X12, X14
+	PMADDWL X10, X14
+	PADDD   X14, X3
+	MOVO    X13, X14
+	PMADDWL X11, X14
+	PADDD   X14, X3
+	MOVOU (R9)(DX*2), X12 // b row j+2
+	MOVO  X12, X13
+	PUNPCKLBW X12, X12
+	PSRAW     $8, X12
+	PUNPCKHBW X13, X13
+	PSRAW     $8, X13
+	MOVO    X12, X14
+	PMADDWL X8, X14
+	PADDD   X14, X4
+	MOVO    X13, X14
+	PMADDWL X9, X14
+	PADDD   X14, X4
+	MOVO    X12, X14
+	PMADDWL X10, X14
+	PADDD   X14, X5
+	MOVO    X13, X14
+	PMADDWL X11, X14
+	PADDD   X14, X5
+	MOVOU (R9)(R12*1), X12 // b row j+3
+	MOVO  X12, X13
+	PUNPCKLBW X12, X12
+	PSRAW     $8, X12
+	PUNPCKHBW X13, X13
+	PSRAW     $8, X13
+	MOVO    X12, X14
+	PMADDWL X8, X14
+	PADDD   X14, X6
+	MOVO    X13, X14
+	PMADDWL X9, X14
+	PADDD   X14, X6
+	MOVO    X12, X14
+	PMADDWL X10, X14
+	PADDD   X14, X7
+	MOVO    X13, X14
+	PMADDWL X11, X14
+	PADDD   X14, X7
+	ADDQ $16, R9
+	ADDQ $16, R10
+	CMPQ R10, R11
+	JLE  g2s_kloop
+
+	// Transpose-reduce: interleave the four accumulators of each out row so
+	// one PADDD tree yields [j, j+1, j+2, j+3] in a single xmm, stored with
+	// one 16-byte write (PHADDD is SSSE3, so the SSE2 baseline transposes
+	// with unpacks instead). 10 ops per 4 outputs instead of 7 per 1.
+	MOVO X0, X8
+	PUNPCKLLQ X2, X8 // [a0 b0 a1 b1]
+	PUNPCKHLQ X2, X0 // [a2 b2 a3 b3]
+	PADDD X0, X8
+	MOVO X4, X9
+	PUNPCKLLQ X6, X9
+	PUNPCKHLQ X6, X4
+	PADDD X4, X9     // [c02 d02 c13 d13]
+	MOVO X8, X10
+	PUNPCKLQDQ X9, X10
+	PUNPCKHQDQ X9, X8
+	PADDD X8, X10
+	MOVOU X10, (DI)(R8*4)
+	MOVO X1, X8
+	PUNPCKLLQ X3, X8
+	PUNPCKHLQ X3, X1
+	PADDD X1, X8
+	MOVO X5, X9
+	PUNPCKLLQ X7, X9
+	PUNPCKHLQ X7, X5
+	PADDD X5, X9
+	MOVO X8, X10
+	PUNPCKLQDQ X9, X10
+	PUNPCKHQDQ X9, X8
+	PADDD X8, X10
+	MOVOU X10, (AX)(R8*4)
+	ADDQ $4, R8
+	JMP  g2s_jquad
+
+g2s_jtail:
+	CMPQ R8, CX
+	JGE  g2s_done
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9 // R9 = &b[j*k]
+	PXOR X6, X6  // accumulator for a0
+	PXOR X7, X7  // accumulator for a1
+	XORQ R10, R10
+
+g2s_tloop:
 	MOVOU (R9)(R10*1), X0 // 16 int8s of the shared b row
 	MOVO  X0, X1
 	PUNPCKLBW X0, X0
-	PSRAW     $8, X0 // b low words
+	PSRAW     $8, X0
 	PUNPCKHBW X1, X1
-	PSRAW     $8, X1 // b high words
+	PSRAW     $8, X1
 	MOVOU (SI)(R10*1), X2 // a0
 	MOVO  X2, X3
 	PUNPCKLBW X2, X2
@@ -222,7 +374,7 @@ q2s_vloop:
 	PADDD   X5, X7
 	ADDQ $16, R10
 	CMPQ R10, R11
-	JLE  q2s_vloop
+	JLE  g2s_tloop
 
 	MOVO  X6, X0
 	PSRLO $8, X0
@@ -230,31 +382,30 @@ q2s_vloop:
 	MOVO  X6, X0
 	PSRLO $4, X0
 	PADDD X0, X6
-	MOVQ X6, R12
-	MOVL R12, (DI)(R8*4)
+	MOVQ X6, R14
+	MOVL R14, (DI)(R8*4)
 	MOVO  X7, X0
 	PSRLO $8, X0
 	PADDD X0, X7
 	MOVO  X7, X0
 	PSRLO $4, X0
 	PADDD X0, X7
-	MOVQ X7, R12
-	MOVL R12, (AX)(R8*4)
-	ADDQ DX, R9
+	MOVQ X7, R14
+	MOVL R14, (AX)(R8*4)
 	INCQ R8
-	JMP  q2s_jloop
+	JMP  g2s_jtail
 
-q2s_done:
+g2s_done:
 	RET
 
-// func qdot2AVX2(out0, out1 []int32, a0, a1, b []int8, n, k int)
+// func qgemm2AVX2(out0, out1 []int32, a0, a1, b []int8, n, k int)
 //
-// Wide dual-row tier: per 32-byte step the shared b chunk is sign-extended
-// once (two VPMOVSXBW) and VPMADDWD'd against both a rows — six shuffle-port
-// ops per 128 MACs instead of eight per 64 in the single-row kernel. As in
-// qdot2SSE2, the dispatcher guarantees k >= 16 and k % 16 == 0, so the only
-// remainder is a possible single 16-byte step.
-TEXT ·qdot2AVX2(SB), NOSPLIT, $0-136
+// Wide batch-tiled kernel, same 2x4 int32 tile as qgemm2SSE2 in Y0..Y7.
+// Per 16-byte k-step the two a rows are sign-extended once (Y8/Y9) and each
+// b row once (Y10), giving 6 VPMOVSXBW per 128 MACs versus 8 per 64 in the
+// single-row kernel — 0.375 extends per madd instead of 1.5. Same
+// k >= 16 && k % 16 == 0 precondition, same bit-exactness argument.
+TEXT ·qgemm2AVX2(SB), NOSPLIT, $0-136
 	MOVQ out0_base+0(FP), DI
 	MOVQ out1_base+24(FP), AX
 	MOVQ a0_base+48(FP), SI
@@ -263,72 +414,424 @@ TEXT ·qdot2AVX2(SB), NOSPLIT, $0-136
 	MOVQ n+120(FP), CX
 	MOVQ k+128(FP), DX
 	MOVQ DX, R11
-	SUBQ $32, R11 // R11 = k-32 (main loop bound)
-	MOVQ DX, R14
-	SUBQ $16, R14 // R14 = k-16 (single-step bound)
-	XORQ R8, R8   // j
-	MOVQ BX, R9   // b row pointer, advanced by k per row
+	SUBQ $16, R11        // R11 = k-16
+	LEAQ (DX)(DX*2), R12 // R12 = 3k
+	XORQ R8, R8          // j
 
-q2a_jloop:
+g2a_jquad:
+	LEAQ 3(R8), R14
+	CMPQ R14, CX
+	JGE  g2a_jtail
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9 // R9 = &b[j*k], advanced 16 per k-step
+	VPXOR Y0, Y0, Y0 // acc[a0][j+0]
+	VPXOR Y1, Y1, Y1 // acc[a1][j+0]
+	VPXOR Y2, Y2, Y2 // acc[a0][j+1]
+	VPXOR Y3, Y3, Y3 // acc[a1][j+1]
+	VPXOR Y4, Y4, Y4 // acc[a0][j+2]
+	VPXOR Y5, Y5, Y5 // acc[a1][j+2]
+	VPXOR Y6, Y6, Y6 // acc[a0][j+3]
+	VPXOR Y7, Y7, Y7 // acc[a1][j+3]
+	XORQ  R10, R10
+
+g2a_kloop:
+	VPMOVSXBW (SI)(R10*1), Y8   // a0 words
+	VPMOVSXBW (R13)(R10*1), Y9  // a1 words
+	VPMOVSXBW (R9), Y10         // b row j+0
+	VPMADDWD  Y10, Y8, Y11
+	VPADDD    Y11, Y0, Y0
+	VPMADDWD  Y10, Y9, Y11
+	VPADDD    Y11, Y1, Y1
+	VPMOVSXBW (R9)(DX*1), Y10   // b row j+1
+	VPMADDWD  Y10, Y8, Y11
+	VPADDD    Y11, Y2, Y2
+	VPMADDWD  Y10, Y9, Y11
+	VPADDD    Y11, Y3, Y3
+	VPMOVSXBW (R9)(DX*2), Y10   // b row j+2
+	VPMADDWD  Y10, Y8, Y11
+	VPADDD    Y11, Y4, Y4
+	VPMADDWD  Y10, Y9, Y11
+	VPADDD    Y11, Y5, Y5
+	VPMOVSXBW (R9)(R12*1), Y10  // b row j+3
+	VPMADDWD  Y10, Y8, Y11
+	VPADDD    Y11, Y6, Y6
+	VPMADDWD  Y10, Y9, Y11
+	VPADDD    Y11, Y7, Y7
+	ADDQ $16, R9
+	ADDQ $16, R10
+	CMPQ R10, R11
+	JLE  g2a_kloop
+
+	// VPHADDD tree: three hadds collapse four 8-lane accumulators into one
+	// xmm of [j, j+1, j+2, j+3] column sums per out row, stored with a
+	// single 16-byte write — 6 ops per 4 outputs instead of 8 per 1, which
+	// is what makes the tile pay off at small k (conv1 is k=16).
+	VPHADDD Y2, Y0, Y8
+	VPHADDD Y6, Y4, Y9
+	VPHADDD Y9, Y8, Y8
+	VEXTRACTI128 $1, Y8, X9
+	VPADDD  X9, X8, X8
+	VMOVDQU X8, (DI)(R8*4)
+	VPHADDD Y3, Y1, Y8
+	VPHADDD Y7, Y5, Y9
+	VPHADDD Y9, Y8, Y8
+	VEXTRACTI128 $1, Y8, X9
+	VPADDD  X9, X8, X8
+	VMOVDQU X8, (AX)(R8*4)
+	ADDQ $4, R8
+	JMP  g2a_jquad
+
+g2a_jtail:
 	CMPQ R8, CX
-	JGE  q2a_done
+	JGE  g2a_done
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9
 	VPXOR Y6, Y6, Y6 // accumulator for a0
 	VPXOR Y7, Y7, Y7 // accumulator for a1
 	XORQ  R10, R10
-	CMPQ  R11, $0
-	JL    q2a_step16 // k == 16
 
-q2a_vloop:
-	VPMOVSXBW (R9)(R10*1), Y0   // shared b, low 16 bytes
-	VPMOVSXBW 16(R9)(R10*1), Y1 // shared b, high 16 bytes
-	VPMOVSXBW (SI)(R10*1), Y2
-	VPMADDWD  Y0, Y2, Y2
-	VPADDD    Y2, Y6, Y6
-	VPMOVSXBW (R13)(R10*1), Y3
-	VPMADDWD  Y0, Y3, Y3
-	VPADDD    Y3, Y7, Y7
-	VPMOVSXBW 16(SI)(R10*1), Y4
-	VPMADDWD  Y1, Y4, Y4
-	VPADDD    Y4, Y6, Y6
-	VPMOVSXBW 16(R13)(R10*1), Y5
-	VPMADDWD  Y1, Y5, Y5
-	VPADDD    Y5, Y7, Y7
-	ADDQ $32, R10
+g2a_tloop:
+	VPMOVSXBW (R9)(R10*1), Y10 // shared b
+	VPMOVSXBW (SI)(R10*1), Y8
+	VPMADDWD  Y10, Y8, Y8
+	VPADDD    Y8, Y6, Y6
+	VPMOVSXBW (R13)(R10*1), Y9
+	VPMADDWD  Y10, Y9, Y9
+	VPADDD    Y9, Y7, Y7
+	ADDQ $16, R10
 	CMPQ R10, R11
-	JLE  q2a_vloop
+	JLE  g2a_tloop
 
-q2a_step16:
-	CMPQ R10, R14
-	JG   q2a_reduce
-	VPMOVSXBW (R9)(R10*1), Y0
-	VPMOVSXBW (SI)(R10*1), Y2
-	VPMADDWD  Y0, Y2, Y2
-	VPADDD    Y2, Y6, Y6
-	VPMOVSXBW (R13)(R10*1), Y3
-	VPMADDWD  Y0, Y3, Y3
-	VPADDD    Y3, Y7, Y7
-
-q2a_reduce:
-	VEXTRACTI128 $1, Y6, X0
-	VPADDD  X0, X6, X6
-	VPSRLDQ $8, X6, X0
-	VPADDD  X0, X6, X6
-	VPSRLDQ $4, X6, X0
-	VPADDD  X0, X6, X6
-	MOVQ X6, R12
-	MOVL R12, (DI)(R8*4)
-	VEXTRACTI128 $1, Y7, X0
-	VPADDD  X0, X7, X7
-	VPSRLDQ $8, X7, X0
-	VPADDD  X0, X7, X7
-	VPSRLDQ $4, X7, X0
-	VPADDD  X0, X7, X7
-	MOVQ X7, R12
-	MOVL R12, (AX)(R8*4)
-	ADDQ DX, R9
+	VEXTRACTI128 $1, Y6, X8
+	VPADDD  X8, X6, X6
+	VPSRLDQ $8, X6, X8
+	VPADDD  X8, X6, X6
+	VPSRLDQ $4, X6, X8
+	VPADDD  X8, X6, X6
+	MOVQ X6, R14
+	MOVL R14, (DI)(R8*4)
+	VEXTRACTI128 $1, Y7, X8
+	VPADDD  X8, X7, X7
+	VPSRLDQ $8, X7, X8
+	VPADDD  X8, X7, X7
+	VPSRLDQ $4, X7, X8
+	VPADDD  X8, X7, X7
+	MOVQ X7, R14
+	MOVL R14, (AX)(R8*4)
 	INCQ R8
-	JMP  q2a_jloop
+	JMP  g2a_jtail
 
-q2a_done:
+g2a_done:
+	VZEROUPPER
+	RET
+
+// func qgemm2VNNI(out0, out1 []int32, a0, a1, b []int8, n, k int)
+//
+// AVX-512 VNNI tier: VPDPBUSD fuses the extend+madd+add chain into one
+// instruction that retires 64 int8 MACs per accumulator, but its first
+// operand is UNSIGNED. The standard fixup applies: XOR each b byte with
+// 0x80 (= b+128 viewed unsigned, exact in the mod-2^32 ring VPDPBUSD
+// accumulates in, since the instruction's dword adds wrap rather than
+// saturate), so each lane accumulates sum((b[p]+128)*a[p]) =
+// dot + 128*sum(a). The preamble computes comp_i = 128*sum_p a_i[p] once
+// per call with the exact-by-range VPMADDWD-by-ones trick, and the stores
+// subtract it — every step is exact mod 2^32, and the true dot fits int32,
+// so the result is bit-identical to qdotRowRef.
+//
+// Same 2x4 column tile as the other qgemm2 kernels (accumulators Z0..Z7,
+// 16 lanes each), 64-byte main k-steps with a 16-byte xmm-load remainder:
+// the xmm loads zero the upper 48 bytes of both operand registers, so after
+// the flip the upper b bytes become +128 against zero a bytes — zero
+// products — and full-width VPDPBUSD into the live zmm accumulators stays
+// exact without clobbering them. Precondition k >= 16 && k % 16 == 0 as
+// with the other tiers.
+TEXT ·qgemm2VNNI(SB), NOSPLIT, $0-136
+	MOVQ out0_base+0(FP), DI
+	MOVQ out1_base+24(FP), AX
+	MOVQ a0_base+48(FP), SI
+	MOVQ a1_base+72(FP), R13
+	MOVQ b_base+96(FP), BX
+	MOVQ n+120(FP), CX
+	MOVQ k+128(FP), DX
+
+	// comp_i = 128 * sum_p a_i[p], computed as VPMADDWD against words of 1
+	// (exact: |pair sum| <= 2*127). Stored negated: R14 = -comp0 and
+	// X15 = -comp1 (spilled so the GPRs stay free for addressing).
+	VPCMPEQD Y12, Y12, Y12
+	VPSRLW   $15, Y12, Y12 // Y12 = 16 words of 1
+	VPXOR    Y13, Y13, Y13 // sum(a0) lanes
+	VPXOR    Y14, Y14, Y14 // sum(a1) lanes
+	MOVQ DX, R11
+	SUBQ $16, R11 // R11 = k-16
+	XORQ R10, R10
+
+vnni_comp:
+	VPMOVSXBW (SI)(R10*1), Y8
+	VPMADDWD  Y12, Y8, Y8
+	VPADDD    Y8, Y13, Y13
+	VPMOVSXBW (R13)(R10*1), Y9
+	VPMADDWD  Y12, Y9, Y9
+	VPADDD    Y9, Y14, Y14
+	ADDQ $16, R10
+	CMPQ R10, R11
+	JLE  vnni_comp
+
+	VEXTRACTI128 $1, Y13, X8
+	VPADDD  X8, X13, X13
+	VPSRLDQ $8, X13, X8
+	VPADDD  X8, X13, X13
+	VPSRLDQ $4, X13, X8
+	VPADDD  X8, X13, X13
+	MOVQ X13, R14
+	SHLL $7, R14
+	NEGL R14 // R14 = -comp0
+	VEXTRACTI128 $1, Y14, X8
+	VPADDD  X8, X14, X14
+	VPSRLDQ $8, X14, X8
+	VPADDD  X8, X14, X14
+	VPSRLDQ $4, X14, X8
+	VPADDD  X8, X14, X14
+	MOVQ X14, R9
+	SHLL $7, R9
+	NEGL R9
+	MOVQ R9, X15 // X15 = -comp1 (scalar, for the column tail)
+
+	// Vector forms of the compensations for the quad stores.
+	MOVL R14, X12
+	VPBROADCASTD X12, X12 // X12 = [-comp0] x4
+	VPBROADCASTD X15, X13 // X13 = [-comp1] x4
+
+	VPBROADCASTQ qflip<>(SB), Z10 // 0x80 in every byte
+	MOVQ DX, R11
+	SUBQ $64, R11        // R11 = k-64 (main loop bound)
+	LEAQ (DX)(DX*2), R12 // R12 = 3k
+	XORQ R8, R8          // j
+
+vnni_jquad:
+	LEAQ 3(R8), R9
+	CMPQ R9, CX
+	JGE  vnni_jtail
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9 // R9 = &b[j*k], advanced per k-step
+	VPXORD Z0, Z0, Z0 // acc[a0][j+0]
+	VPXORD Z1, Z1, Z1 // acc[a1][j+0]
+	VPXORD Z2, Z2, Z2 // acc[a0][j+1]
+	VPXORD Z3, Z3, Z3 // acc[a1][j+1]
+	VPXORD Z4, Z4, Z4 // acc[a0][j+2]
+	VPXORD Z5, Z5, Z5 // acc[a1][j+2]
+	VPXORD Z6, Z6, Z6 // acc[a0][j+3]
+	VPXORD Z7, Z7, Z7 // acc[a1][j+3]
+	XORQ R10, R10
+	CMPQ R11, $0
+	JL   vnni_krem // k < 64: 16-byte steps only
+
+vnni_kmain:
+	VMOVDQU64 (SI)(R10*1), Z8  // a0
+	VMOVDQU64 (R13)(R10*1), Z9 // a1
+	VMOVDQU64 (R9), Z11        // b row j+0
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z0
+	VPDPBUSD Z9, Z11, Z1
+	VMOVDQU64 (R9)(DX*1), Z11 // b row j+1
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z2
+	VPDPBUSD Z9, Z11, Z3
+	VMOVDQU64 (R9)(DX*2), Z11 // b row j+2
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z4
+	VPDPBUSD Z9, Z11, Z5
+	VMOVDQU64 (R9)(R12*1), Z11 // b row j+3
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z6
+	VPDPBUSD Z9, Z11, Z7
+	ADDQ $64, R9
+	ADDQ $64, R10
+	CMPQ R10, R11
+	JLE  vnni_kmain
+
+vnni_krem:
+	CMPQ R10, DX
+	JGE  vnni_reduce
+	VMOVDQU (SI)(R10*1), X8  // upper 48 a bytes zeroed
+	VMOVDQU (R13)(R10*1), X9
+	VMOVDQU (R9), X11
+	VPXORD   Z10, Z11, Z11 // upper b bytes flip to +128; a there is 0
+	VPDPBUSD Z8, Z11, Z0
+	VPDPBUSD Z9, Z11, Z1
+	VMOVDQU (R9)(DX*1), X11
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z2
+	VPDPBUSD Z9, Z11, Z3
+	VMOVDQU (R9)(DX*2), X11
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z4
+	VPDPBUSD Z9, Z11, Z5
+	VMOVDQU (R9)(R12*1), X11
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z6
+	VPDPBUSD Z9, Z11, Z7
+	ADDQ $16, R9
+	ADDQ $16, R10
+	JMP  vnni_krem
+
+vnni_reduce:
+	// Fold each zmm accumulator to its low ymm, then the same VPHADDD tree
+	// as qgemm2AVX2 collapses each 4-column row into one xmm, plus the
+	// broadcast compensation, stored with a single 16-byte write.
+	VEXTRACTI64X4 $1, Z0, Y8
+	VPADDD Y8, Y0, Y0
+	VEXTRACTI64X4 $1, Z1, Y8
+	VPADDD Y8, Y1, Y1
+	VEXTRACTI64X4 $1, Z2, Y8
+	VPADDD Y8, Y2, Y2
+	VEXTRACTI64X4 $1, Z3, Y8
+	VPADDD Y8, Y3, Y3
+	VEXTRACTI64X4 $1, Z4, Y8
+	VPADDD Y8, Y4, Y4
+	VEXTRACTI64X4 $1, Z5, Y8
+	VPADDD Y8, Y5, Y5
+	VEXTRACTI64X4 $1, Z6, Y8
+	VPADDD Y8, Y6, Y6
+	VEXTRACTI64X4 $1, Z7, Y8
+	VPADDD Y8, Y7, Y7
+	VPHADDD Y2, Y0, Y8
+	VPHADDD Y6, Y4, Y9
+	VPHADDD Y9, Y8, Y8
+	VEXTRACTI128 $1, Y8, X9
+	VPADDD  X9, X8, X8
+	VPADDD  X12, X8, X8 // -comp0 on all four columns
+	VMOVDQU X8, (DI)(R8*4)
+	VPHADDD Y3, Y1, Y8
+	VPHADDD Y7, Y5, Y9
+	VPHADDD Y9, Y8, Y8
+	VEXTRACTI128 $1, Y8, X9
+	VPADDD  X9, X8, X8
+	VPADDD  X13, X8, X8 // -comp1
+	VMOVDQU X8, (AX)(R8*4)
+	ADDQ $4, R8
+	JMP  vnni_jquad
+
+vnni_jtail:
+	CMPQ R8, CX
+	JGE  vnni_done
+	MOVQ  R8, R9
+	IMULQ DX, R9
+	ADDQ  BX, R9
+	VPXORD Z0, Z0, Z0 // accumulator for a0
+	VPXORD Z1, Z1, Z1 // accumulator for a1
+	XORQ R10, R10
+	CMPQ R11, $0
+	JL   vnni_trem
+
+vnni_tmain:
+	VMOVDQU64 (SI)(R10*1), Z8
+	VMOVDQU64 (R13)(R10*1), Z9
+	VMOVDQU64 (R9)(R10*1), Z11
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z0
+	VPDPBUSD Z9, Z11, Z1
+	ADDQ $64, R10
+	CMPQ R10, R11
+	JLE  vnni_tmain
+
+vnni_trem:
+	CMPQ R10, DX
+	JGE  vnni_treduce
+	VMOVDQU (SI)(R10*1), X8
+	VMOVDQU (R13)(R10*1), X9
+	VMOVDQU (R9)(R10*1), X11
+	VPXORD   Z10, Z11, Z11
+	VPDPBUSD Z8, Z11, Z0
+	VPDPBUSD Z9, Z11, Z1
+	ADDQ $16, R10
+	JMP  vnni_trem
+
+vnni_treduce:
+	MOVQ X15, R10 // -comp1
+	VEXTRACTI64X4 $1, Z0, Y8
+	VPADDD  Y8, Y0, Y0
+	VEXTRACTI128 $1, Y0, X8
+	VPADDD  X8, X0, X0
+	VPSRLDQ $8, X0, X8
+	VPADDD  X8, X0, X0
+	VPSRLDQ $4, X0, X8
+	VPADDD  X8, X0, X0
+	MOVQ X0, R9
+	ADDL R14, R9
+	MOVL R9, (DI)(R8*4)
+	VEXTRACTI64X4 $1, Z1, Y8
+	VPADDD  Y8, Y1, Y1
+	VEXTRACTI128 $1, Y1, X8
+	VPADDD  X8, X1, X1
+	VPSRLDQ $8, X1, X8
+	VPADDD  X8, X1, X1
+	VPSRLDQ $4, X1, X8
+	VPADDD  X8, X1, X1
+	MOVQ X1, R9
+	ADDL R10, R9
+	MOVL R9, (AX)(R8*4)
+	INCQ R8
+	JMP  vnni_jtail
+
+vnni_done:
+	VZEROUPPER
+	RET
+
+// func requantizeRowAVX512(dst []int8, acc []int32, bias, m int32, shift int, lo int8)
+//
+// 8 accumulators per step. Dword bias add wraps exactly like Go's int32 +,
+// VPMOVSXDQ/VPMULDQ form the exact signed int64 product (v+bias)*m, VPADDQ
+// adds the hoisted rounding constant 1<<(shift-1), VPSRAQ floors like Go's
+// arithmetic >>, and VPMAXSQ/VPMINSQ clamp to [lo, 127] so the VPMOVQB
+// truncation never drops significant bits. Preconditions (dispatcher):
+// len(acc) > 0, len(acc) % 8 == 0, 0 < shift < 62.
+TEXT ·requantizeRowAVX512(SB), NOSPLIT, $0-65
+	MOVQ dst_base+0(FP), DI
+	MOVQ acc_base+24(FP), SI
+	MOVQ acc_len+32(FP), R12
+
+	MOVL bias+48(FP), AX
+	VMOVD AX, X1
+	VPBROADCASTD X1, Y1     // bias in every dword
+	MOVL m+52(FP), AX
+	VMOVD AX, X2
+	VPBROADCASTD X2, Z2     // m in every dword (VPMULDQ reads the even ones)
+
+	MOVQ shift+56(FP), CX
+	DECQ CX
+	MOVQ $1, AX
+	SHLQ CL, AX             // rnd = 1 << (shift-1)
+	VMOVQ AX, X3
+	VPBROADCASTQ X3, Z3
+	INCQ CX
+	MOVQ CX, X4             // VPSRAQ count
+
+	MOVBQSX lo+64(FP), AX
+	VMOVQ AX, X5
+	VPBROADCASTQ X5, Z5     // lower clamp bound as int64 lanes
+	MOVQ $127, AX
+	VMOVQ AX, X6
+	VPBROADCASTQ X6, Z6     // upper clamp bound
+
+	XORQ BX, BX
+
+rq_loop:
+	VMOVDQU (SI)(BX*4), Y7
+	VPADDD  Y1, Y7, Y7      // v + bias, int32 wraparound
+	VPMOVSXDQ Y7, Z7        // 8 x int64
+	VPMULDQ Z2, Z7, Z7      // p = int64(v+bias) * int64(m), exact
+	VPADDQ  Z3, Z7, Z7      // p + rnd
+	VPSRAQ  X4, Z7, Z7      // >> shift (arithmetic)
+	VPMAXSQ Z5, Z7, Z7      // max(r, lo)
+	VPMINSQ Z6, Z7, Z7      // min(r, 127)
+	VPMOVQB Z7, X7          // truncate qwords to 8 bytes
+	VMOVQ X7, (DI)(BX*1)
+	ADDQ $8, BX
+	CMPQ BX, R12
+	JL   rq_loop
+
 	VZEROUPPER
 	RET

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -57,11 +58,171 @@ func TestQdotRowTiersBitIdentical(t *testing.T) {
 	}
 }
 
-// TestQdot2TiersBitIdentical pins both dual-row asm kernels — qdot2SSE2 and
-// qdot2AVX2 — against the scalar reference on their vector-width-multiple
-// domain (the dispatcher routes everything else to the single-row kernels,
-// covered above). Both tiers run regardless of which one dispatch would
-// pick, so tier selection can never change results.
+// TestRequantizeRowAVX512BitIdentical pins the AVX-512 requantize kernel
+// against the scalar loop on its whole domain: 8-lane-multiple rows, shifts
+// across (0, 62), both clamp bounds, and accumulators spanning the full
+// int32 range so the bias add wraps exactly like Go's int32 arithmetic.
+func TestRequantizeRowAVX512BitIdentical(t *testing.T) {
+	if !hasAVX512 {
+		t.Skip("no AVX-512 support on this host")
+	}
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 400; iter++ {
+		n := 8 * (1 + rng.Intn(12))
+		acc := make([]int32, n)
+		for j := range acc {
+			acc[j] = int32(rng.Uint32()) // full wraparound range
+		}
+		bias := int32(rng.Uint32())
+		m := int32(1<<30 + rng.Intn(1<<30))
+		shift := 1 + rng.Intn(61)
+		for _, lo := range []int8{-127, 0} {
+			want := make([]int8, n)
+			got := make([]int8, n)
+			requantizeRowScalar(want, acc, bias, m, shift, lo)
+			requantizeRowAVX512(got, acc, bias, m, shift, lo)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("requantizeRowAVX512(n=%d bias=%d m=%d shift=%d lo=%d)[%d]: %d != scalar %d",
+						n, bias, m, shift, lo, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDispatchFeatureOverrideBitIdentical force-disables the CPUID feature
+// flags tier by tier — VNNI off, then AVX-512 off, then AVX2 off, leaving
+// the SSE2 + scalar floor — and replays both the raw dispatchers and a full
+// quantized-network forward under every configuration. The outputs must be
+// bit-identical to the native-flag run: tier selection is a pure performance
+// decision and can never change results. Flags are only ever force-DISABLED
+// (forcing one on would execute instructions the host may lack), and the
+// natural probe must already satisfy the implication chain
+// VNNI => AVX-512 => AVX2.
+func TestDispatchFeatureOverrideBitIdentical(t *testing.T) {
+	if hasVNNI && !hasAVX512 {
+		t.Fatal("CPUID probe inconsistency: hasVNNI set without hasAVX512")
+	}
+	if hasAVX512 && !hasAVX2 {
+		t.Fatal("CPUID probe inconsistency: hasAVX512 set without hasAVX2")
+	}
+	saveAVX2, saveVNNI, saveAVX512 := hasAVX2, hasVNNI, hasAVX512
+	defer func() { hasAVX2, hasVNNI, hasAVX512 = saveAVX2, saveVNNI, saveAVX512 }()
+
+	// A quantized network end to end: flags steer qdot2SIMD inside qgemmNT
+	// and requantizeRow inside runConv/runDense, so the forward output is the
+	// integration-level witness that dispatch cannot leak into results.
+	rng := rand.New(rand.NewSource(31))
+	net := BuildCNN("dispatch-cnn", []int{1, 14, 14}, 8, 16, 64, 10, rng)
+	qw := QuantizeWeights(net)
+	if err := qw.ApplyTo(net); err != nil {
+		t.Fatal(err)
+	}
+	calib := NewTensor(8, 1, 14, 14)
+	for i := range calib.Data {
+		calib.Data[i] = rng.NormFloat64()
+	}
+	qn, err := NewQuantizedNetwork(net, qw, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 7
+	inData := make([]float64, batch*14*14)
+	for i := range inData {
+		inData[i] = rng.NormFloat64()
+	}
+	forward := func() []float64 {
+		arena := NewArena()
+		in := arena.Tensor(batch, 1, 14, 14)
+		copy(in.Data, inData)
+		out := qn.ForwardBatch(in, arena)
+		return append([]float64(nil), out.Data...)
+	}
+
+	// Kernel-level witness on the asm fast-path domain, plus a requantize row
+	// long enough to cross the AVX-512 dispatch threshold.
+	a0, a1 := randInt8(rng, 128), randInt8(rng, 128)
+	bmat := randInt8(rng, 9*128)
+	acc := make([]int32, 512)
+	for j := range acc {
+		acc[j] = int32(rng.Uint32())
+	}
+	kernels := func() ([]int32, []int8) {
+		d0, d1 := make([]int32, 9), make([]int32, 9)
+		qdot2SIMD(d0, d1, a0, a1, bmat, 9, 128)
+		rq := make([]int8, len(acc))
+		requantizeRow(rq, acc, 12345, 1<<30+77, 31, -127)
+		return append(d0, d1...), rq
+	}
+
+	wantOut := forward()
+	wantDots, wantRq := kernels()
+	steps := []struct {
+		name    string
+		disable func()
+	}{
+		{"native", func() {}},
+		{"no-vnni", func() { hasVNNI = false }},
+		{"no-avx512", func() { hasAVX512 = false }},
+		{"no-avx2 (sse2+scalar floor)", func() { hasAVX2 = false }},
+	}
+	for _, step := range steps {
+		step.disable()
+		gotDots, gotRq := kernels()
+		for j := range wantDots {
+			if gotDots[j] != wantDots[j] {
+				t.Fatalf("%s: qdot2SIMD[%d] = %d, native %d", step.name, j, gotDots[j], wantDots[j])
+			}
+		}
+		for j := range wantRq {
+			if gotRq[j] != wantRq[j] {
+				t.Fatalf("%s: requantizeRow[%d] = %d, native %d", step.name, j, gotRq[j], wantRq[j])
+			}
+		}
+		gotOut := forward()
+		for j := range wantOut {
+			if math.Float64bits(gotOut[j]) != math.Float64bits(wantOut[j]) {
+				t.Fatalf("%s: ForwardBatch output %d = %v, native %v", step.name, j, gotOut[j], wantOut[j])
+			}
+		}
+	}
+}
+
+// qgemm2Tiers lists every batch-tiled dual-row asm kernel available on this
+// host, widest last. The SSE2 tier is unconditionally present; AVX2 and
+// VNNI join when the CPU+OS support them (on a VNNI host all three run).
+func qgemm2Tiers() []struct {
+	name string
+	kern func(out0, out1 []int32, a0, a1, b []int8, n, k int)
+} {
+	tiers := []struct {
+		name string
+		kern func(out0, out1 []int32, a0, a1, b []int8, n, k int)
+	}{{"qgemm2SSE2", qgemm2SSE2}}
+	if hasAVX2 {
+		tiers = append(tiers, struct {
+			name string
+			kern func(out0, out1 []int32, a0, a1, b []int8, n, k int)
+		}{"qgemm2AVX2", qgemm2AVX2})
+	}
+	if hasVNNI {
+		tiers = append(tiers, struct {
+			name string
+			kern func(out0, out1 []int32, a0, a1, b []int8, n, k int)
+		}{"qgemm2VNNI", qgemm2VNNI})
+	}
+	return tiers
+}
+
+// TestQdot2TiersBitIdentical pins every batch-tiled dual-row asm kernel —
+// qgemm2SSE2, qgemm2AVX2, and qgemm2VNNI where available — against the
+// scalar reference on their vector-width-multiple domain (the dispatcher
+// routes everything else to the single-row kernels, covered above). Every
+// available tier runs regardless of which one dispatch would pick, so tier
+// selection can never change results. n spans below, at, and across the 4-
+// column tile boundary so both the quad loop and the column tail are hit;
+// the ±127 lanes stress the VNNI compensation with extreme row sums.
 func TestQdot2TiersBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(101))
 	check := func(name string, kern func(out0, out1 []int32, a0, a1, b []int8, n, k int), a0, a1, b []int8, n, k int, want0, want1 []int32) {
@@ -75,7 +236,7 @@ func TestQdot2TiersBitIdentical(t *testing.T) {
 		}
 	}
 	for _, k := range []int{16, 32, 48, 64, 160, 400} {
-		for _, n := range []int{1, 2, 7} {
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 11} {
 			a0 := randInt8(rng, k)
 			a1 := randInt8(rng, k)
 			b := randInt8(rng, n*k)
@@ -86,13 +247,29 @@ func TestQdot2TiersBitIdentical(t *testing.T) {
 					b[p] = -127
 				}
 			}
+			for p := 0; p < k; p++ { // all-(-128) a1: worst-case VNNI comp
+				a1[p] = -128
+			}
 			want0, want1 := make([]int32, n), make([]int32, n)
 			qdotRowRef(want0, a0, b, n, k)
 			qdotRowRef(want1, a1, b, n, k)
-			check("qdot2SSE2", qdot2SSE2, a0, a1, b, n, k, want0, want1)
-			if hasAVX2 {
-				check("qdot2AVX2", qdot2AVX2, a0, a1, b, n, k, want0, want1)
+			for _, tier := range qgemm2Tiers() {
+				check(tier.name, tier.kern, a0, a1, b, n, k, want0, want1)
 			}
+		}
+	}
+	// Random fuzz over the same domain with fully random operands.
+	for iter := 0; iter < 150; iter++ {
+		k := 16 * (1 + rng.Intn(25))
+		n := 1 + rng.Intn(13)
+		a0 := randInt8(rng, k)
+		a1 := randInt8(rng, k)
+		b := randInt8(rng, n*k)
+		want0, want1 := make([]int32, n), make([]int32, n)
+		qdotRowRef(want0, a0, b, n, k)
+		qdotRowRef(want1, a1, b, n, k)
+		for _, tier := range qgemm2Tiers() {
+			check(tier.name, tier.kern, a0, a1, b, n, k, want0, want1)
 		}
 	}
 }

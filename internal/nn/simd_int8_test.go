@@ -78,6 +78,41 @@ func TestRequantizeGolden(t *testing.T) {
 	}
 }
 
+// TestRequantizeRowMatchesSpec pins the hoisted row helpers against the
+// scalar spec: requantizeRow / requantizeRowPerCol must produce exactly
+// max(requantize(acc+bias, m, shift), lo) for every element — including the
+// degenerate shift <= 0 path and both clamp bounds (lo = -127 plain, lo = 0
+// fused ReLU, which is exact because relu ∘ clamp == clamp-to-[0,127]).
+func TestRequantizeRowMatchesSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(40)
+		m := int32(1<<30 + rng.Intn(1<<30)) // quantMultiplier range [2^30, 2^31)
+		shift := rng.Intn(40) - 3           // includes the shift <= 0 cold path
+		bias := make([]int32, n)
+		acc := make([]int32, n)
+		for j := range acc {
+			acc[j] = int32(rng.Uint32()) % 2_000_000
+			bias[j] = int32(rng.Intn(1<<20) - 1<<19)
+		}
+		for _, lo := range []int8{-127, 0} {
+			got := make([]int8, n)
+			requantizeRow(got, acc, bias[0], m, shift, lo)
+			for j, v := range acc {
+				if want := max(requantize(v+bias[0], m, shift), lo); got[j] != want {
+					t.Fatalf("requantizeRow(m=%d shift=%d lo=%d)[%d]: %d != spec %d", m, shift, lo, j, got[j], want)
+				}
+			}
+			requantizeRowPerCol(got, acc, bias, m, shift, lo)
+			for j, v := range acc {
+				if want := max(requantize(v+bias[j], m, shift), lo); got[j] != want {
+					t.Fatalf("requantizeRowPerCol(m=%d shift=%d lo=%d)[%d]: %d != spec %d", m, shift, lo, j, got[j], want)
+				}
+			}
+		}
+	}
+}
+
 func TestQuantizeActsSpecials(t *testing.T) {
 	src := []float64{
 		0, 1, -1, 0.5, -0.5, 1.5, -1.5, // ties: round-half-away-from-zero
@@ -326,6 +361,118 @@ func TestQdot2SIMDMatchesRef(t *testing.T) {
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("qgemmNT m=%d elem %d: %d != %d", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQgemmNTFuzzOracle is the batch-tiled driver's fuzz gate: random
+// (M, N, K) shapes — including empty batches on both axes and K both at and
+// off the engine's padTo16 widths — against a retained row-by-row scalar
+// oracle. Engine-shaped inputs carry explicit zero-padded tails (real kk
+// columns padded with zeros to padTo16(kk), exactly what im2colQ +
+// quantizeWeights produce) and ±127 saturation rows, so the register tile's
+// column blocking, the odd-row fallback, and every dispatch tier below it
+// are all exercised on the layouts the quantized network actually feeds in.
+func TestQgemmNTFuzzOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+
+	// Empty batches first: m == 0 and n == 0 must be exact no-ops.
+	qgemmNT(nil, nil, randInt8(rng, 4*32), 0, 4, 32)
+	qgemmNT([]int32{}, randInt8(rng, 3*32), nil, 3, 0, 32)
+
+	oracle := func(out []int32, a, b []int8, m, n, k int) {
+		for i := 0; i < m; i++ {
+			qdotRowRef(out[i*n:(i+1)*n], a[i*k:(i+1)*k], b, n, k)
+		}
+	}
+	for iter := 0; iter < 250; iter++ {
+		m := rng.Intn(10)  // includes the empty batch
+		n := rng.Intn(12)  // includes zero output columns
+		var k, kk int
+		if iter%2 == 0 {
+			// Engine-shaped: kk real columns zero-padded to the next
+			// 16-multiple, the layout the asm fast path runs on.
+			kk = 1 + rng.Intn(150)
+			k = padTo16(kk)
+		} else {
+			// Arbitrary K, exercising the k%16 != 0 fallback path too.
+			kk = rng.Intn(180)
+			k = kk
+		}
+		a := randInt8(rng, m*k)
+		b := randInt8(rng, n*k)
+		for i := 0; i < m; i++ { // zero the pad tail, like im2colQ's caller
+			for j := kk; j < k; j++ {
+				a[i*k+j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := kk; j < k; j++ {
+				b[i*k+j] = 0
+			}
+		}
+		if m > 0 { // ±127 extremes in the last a row (odd-row fallback when m is odd)
+			for j := 0; j < kk; j++ {
+				if j%2 == 0 {
+					a[(m-1)*k+j] = 127
+				} else {
+					a[(m-1)*k+j] = -127
+				}
+			}
+		}
+		if n > 0 {
+			for j := 0; j < kk; j++ {
+				b[j] = 127
+			}
+		}
+		want := make([]int32, m*n)
+		got := make([]int32, m*n)
+		oracle(want, a, b, m, n, k)
+		qgemmNT(got, a, b, m, n, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d m=%d n=%d k=%d (kk=%d) elem %d: qgemmNT %d != oracle %d",
+					iter, m, n, k, kk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQdotTierRegistryBitIdentical walks the QdotTiers registry — the same
+// enumeration nnbench uses for per-tier micro-benchmarks — and pins every
+// tier against the generic reference head entry. This is the portable
+// cross-tier gate: on amd64 it covers SSE2/AVX2/VNNI, on arm64 NEON, and on
+// anything else it degenerates to checking the reference against itself.
+func TestQdotTierRegistryBitIdentical(t *testing.T) {
+	tiers := QdotTiers()
+	if len(tiers) == 0 || tiers[0].Name != "generic" {
+		t.Fatalf("QdotTiers() = %v, want generic reference first", tiers)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 60; iter++ {
+		k := 16 * (1 + rng.Intn(12)) // asm-tier domain: k >= 16, k % 16 == 0
+		n := 1 + rng.Intn(9)
+		a0 := randInt8(rng, k)
+		a1 := randInt8(rng, k)
+		b := randInt8(rng, n*k)
+		for j := 0; j < k; j++ { // saturation extremes in a1
+			if j%2 == 0 {
+				a1[j] = 127
+			} else {
+				a1[j] = -127
+			}
+		}
+		want0, want1 := make([]int32, n), make([]int32, n)
+		tiers[0].Qdot2(want0, want1, a0, a1, b, n, k)
+		for _, tier := range tiers[1:] {
+			got0, got1 := make([]int32, n), make([]int32, n)
+			tier.Qdot2(got0, got1, a0, a1, b, n, k)
+			for j := 0; j < n; j++ {
+				if got0[j] != want0[j] || got1[j] != want1[j] {
+					t.Fatalf("tier %s n=%d k=%d row %d: (%d, %d) != generic (%d, %d)",
+						tier.Name, n, k, j, got0[j], got1[j], want0[j], want1[j])
+				}
 			}
 		}
 	}
